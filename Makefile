@@ -1,0 +1,25 @@
+.PHONY: install test bench bench-artifacts examples lint all
+
+install:
+	pip install -e . --no-build-isolation
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only -s
+
+bench-artifacts:
+	pytest benchmarks/bench_fig2.py benchmarks/bench_table1.py \
+	  benchmarks/bench_fig3.py --benchmark-only -s
+
+examples:
+	python examples/quickstart.py
+	python examples/slack_timeline.py
+	python examples/energy_saving.py
+	python examples/compare_strategies.py
+	python examples/custom_strategy.py
+	python examples/battery_shutdown.py
+	python examples/sync_vs_async.py
+
+all: install test bench

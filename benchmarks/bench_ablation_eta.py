@@ -1,0 +1,50 @@
+"""Ablation — the decay coefficient ``eta`` (Eq. 20).
+
+The paper constrains ``0 < eta < 1`` but does not pick a value;
+DESIGN.md calls the choice out for ablation. This bench sweeps eta at
+the quick profile and verifies the predicted trade-off:
+
+* eta -> 1 degenerates toward pure greedy: faster rounds (fast users
+  monopolize selection) but coverage holes like FedCS;
+* eta -> 0 degenerates toward round-robin: full coverage but rounds as
+  slow as random selection;
+* mid-range eta keeps full coverage while shortening rounds.
+"""
+
+import pytest
+
+from repro.experiments.runner import build_environment, run_strategy
+from repro.experiments.settings import ExperimentSettings
+
+ETAS = (0.3, 0.9, 0.995)
+
+
+def run_eta_sweep():
+    results = {}
+    for eta in ETAS:
+        settings = ExperimentSettings.quick(seed=7, rounds=60, decay=eta)
+        env = build_environment(settings, iid=True)
+        history = run_strategy("helcfl", settings, iid=True, environment=env)
+        results[eta] = {
+            "best": history.best_accuracy,
+            "coverage": history.coverage(settings.num_users),
+            "mean_round_delay": history.total_time / len(history),
+        }
+    return results
+
+
+def test_eta_ablation(benchmark):
+    results = benchmark.pedantic(run_eta_sweep, rounds=1, iterations=1)
+    low, mid, high = (results[e] for e in ETAS)
+    # Slow decay (eta near 1) stays greedy: shortest rounds, worst coverage.
+    assert high["mean_round_delay"] <= mid["mean_round_delay"] + 1e-9
+    assert high["coverage"] <= low["coverage"]
+    # Fast decay rotates: best coverage.
+    assert low["coverage"] == pytest.approx(1.0)
+    print()
+    for eta in ETAS:
+        r = results[eta]
+        print(
+            f"  eta={eta}: best={r['best']:.3f} coverage={r['coverage']:.2f} "
+            f"mean round={r['mean_round_delay']:.2f}s"
+        )

@@ -1,0 +1,53 @@
+"""Ablation — the selection fraction ``C``.
+
+The paper fixes C = 0.1 [9]. This bench sweeps C at the quick profile
+and verifies the expected trade-off: larger fractions select more
+users per round (more data per round, heavier rounds), smaller
+fractions give short rounds but noisier progress.
+"""
+
+import pytest
+
+from repro.experiments.runner import build_environment, run_strategy
+from repro.experiments.settings import ExperimentSettings
+
+FRACTIONS = (0.1, 0.3, 0.6)
+
+
+def run_fraction_sweep():
+    results = {}
+    for fraction in FRACTIONS:
+        settings = ExperimentSettings.quick(seed=7, rounds=40, fraction=fraction)
+        env = build_environment(settings, iid=True)
+        history = run_strategy("helcfl", settings, iid=True, environment=env)
+        sizes = [len(r.selected_ids) for r in history.records]
+        results[fraction] = {
+            "best": history.best_accuracy,
+            "mean_selected": sum(sizes) / len(sizes),
+            "mean_round_delay": history.total_time / len(history),
+            "mean_round_energy": history.total_energy / len(history),
+        }
+    return results
+
+
+def test_fraction_ablation(benchmark):
+    results = benchmark.pedantic(run_fraction_sweep, rounds=1, iterations=1)
+    ordered = [results[c] for c in FRACTIONS]
+    # More users per round, strictly increasing.
+    selected = [r["mean_selected"] for r in ordered]
+    assert selected[0] < selected[1] < selected[2]
+    # Energy per round grows with participation.
+    energies = [r["mean_round_energy"] for r in ordered]
+    assert energies[0] < energies[1] < energies[2]
+    # Round delay does not shrink as more (slower) users join.
+    delays = [r["mean_round_delay"] for r in ordered]
+    assert delays[0] <= delays[1] + 1e-9 <= delays[2] + 2e-9
+    print()
+    for fraction in FRACTIONS:
+        r = results[fraction]
+        print(
+            f"  C={fraction}: best={r['best']:.3f} "
+            f"selected/round={r['mean_selected']:.1f} "
+            f"round delay={r['mean_round_delay']:.2f}s "
+            f"round energy={r['mean_round_energy']:.3f}J"
+        )

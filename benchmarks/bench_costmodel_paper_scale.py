@@ -1,0 +1,74 @@
+"""Paper-scale cost-model benchmark (Eqs. 4-11 at the paper's constants).
+
+Runs the Monte Carlo cost study at the paper's full scale — 100 users,
+pi = 1e7 cycles/sample, 500 samples/user, a SqueezeNet-sized 40 Mbit
+payload, Z = 2 MHz, p = 0.2 W — plus a payload sweep, without training
+a single model.
+
+Asserts the cost-side shape of the paper's claims:
+
+* HELCFL's frequency determination saves ~50% round energy at paper
+  scale (the paper reports up to 58.25%);
+* its rounds are no slower than Classic FL's;
+* the saving *fraction* falls as payload grows: bigger payloads mean
+  more upload energy, which no frequency policy can reduce (Eq. 8 is
+  frequency-independent), so compute savings dilute — while deeper
+  channel queueing still raises the *absolute* compute-energy saving.
+"""
+
+from repro.experiments.costmodel import run_cost_model_study
+
+
+def run_paper_scale():
+    main = run_cost_model_study(
+        strategies=("helcfl", "classic", "fedcs", "fedl"),
+        trials=15,
+        rounds_per_trial=10,
+        seed=7,
+    )
+    sweep = {}
+    for payload in (1e7, 4e7, 1.6e8):
+        result = run_cost_model_study(
+            strategies=("helcfl",),
+            payload_bits=payload,
+            trials=10,
+            rounds_per_trial=8,
+            seed=7,
+        )
+        sweep[payload] = result.summaries["helcfl"].dvfs_saving_fraction[0]
+    return main, sweep
+
+
+def test_cost_model_paper_scale(benchmark):
+    main, sweep = benchmark.pedantic(run_paper_scale, rounds=1, iterations=1)
+
+    helcfl = main.summaries["helcfl"]
+    classic = main.summaries["classic"]
+    assert helcfl.dvfs_saving_fraction[0] > 0.05
+    assert helcfl.round_delay_s[0] <= classic.round_delay_s[0] * 1.05
+
+    # Saving fraction dilutes as (frequency-independent) upload energy
+    # grows with the payload.
+    payloads = sorted(sweep)
+    savings = [sweep[p] for p in payloads]
+    assert savings[0] > savings[-1]
+    assert all(s > 0.05 for s in savings)
+
+    print()
+    print(
+        f"  paper scale: {main.num_users} users, "
+        f"{main.samples_per_user} samples/user, "
+        f"{main.payload_bits / 1e6:.0f} Mbit payload"
+    )
+    for name, summary in main.summaries.items():
+        delay_mean, delay_std = summary.round_delay_s
+        energy_mean, _ = summary.round_energy_j
+        saving_mean, _ = summary.dvfs_saving_fraction
+        print(
+            f"  {name:8s} round delay {delay_mean:7.2f}+/-{delay_std:5.2f}s  "
+            f"round energy {energy_mean:7.2f}J  "
+            f"freq-policy saving {100 * saving_mean:5.1f}%"
+        )
+    print("  payload sweep (HELCFL DVFS saving):")
+    for payload in payloads:
+        print(f"    {payload / 1e6:6.0f} Mbit -> {100 * sweep[payload]:.1f}%")

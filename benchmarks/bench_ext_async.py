@@ -1,0 +1,72 @@
+"""Extension — synchronous (paper) vs semi-asynchronous aggregation.
+
+The paper's synchronous rule waits for the slowest selected user every
+round; FedAsync-style aggregation applies each update the moment it
+arrives, weighted down by staleness. This bench runs both on the same
+population and compares time-to-accuracy and energy.
+
+Expected shape: the asynchronous server applies updates at the
+channel's full rate (no straggler barrier), so early accuracy rises
+quickly in wall-clock time, but each update carries one device's
+(possibly stale) view, so the plateau is noisier; energy per unit time
+is higher because every device trains continuously.
+"""
+
+from repro.experiments.runner import build_environment, run_strategy
+from repro.experiments.settings import ExperimentSettings
+from repro.extensions.async_fl import SemiAsyncConfig, SemiAsyncTrainer
+from repro.fl.server import FederatedServer
+
+
+def run_async_study():
+    settings = ExperimentSettings.quick(seed=7, rounds=80)
+    environment = build_environment(settings, iid=True)
+
+    sync_history = run_strategy(
+        "helcfl", settings, iid=True, environment=environment
+    )
+
+    model = settings.build_model(flattened=True)
+    server = FederatedServer(
+        model,
+        test_dataset=environment.test,
+        payload_bits=settings.payload_bits,
+    )
+    async_config = SemiAsyncConfig(
+        # Generous cap: the simulated-time deadline is the real stop.
+        max_updates=settings.rounds * settings.num_users,
+        bandwidth_hz=settings.bandwidth_hz,
+        learning_rate=settings.learning_rate,
+        eval_every=5,
+        deadline_s=sync_history.total_time,
+    )
+    async_history = SemiAsyncTrainer(
+        server, environment.devices, async_config
+    ).run()
+    return sync_history, async_history
+
+
+def test_async_extension(benchmark):
+    sync_history, async_history = benchmark.pedantic(
+        run_async_study, rounds=1, iterations=1
+    )
+    # Matched simulated-time budget.
+    assert async_history.total_time <= sync_history.total_time * 1.05
+    # Both learn above chance.
+    assert sync_history.best_accuracy > 0.15
+    assert async_history.best_accuracy > 0.15
+    # Continuous training on every device costs more energy per unit
+    # simulated time than selective synchronous rounds.
+    sync_power = sync_history.total_energy / sync_history.total_time
+    async_power = async_history.total_energy / async_history.total_time
+    assert async_power > sync_power
+
+    print()
+    for name, history in (("sync HELCFL", sync_history),
+                          ("semi-async", async_history)):
+        print(
+            f"  {name:12s} best={100 * history.best_accuracy:6.2f}%  "
+            f"time={history.total_time / 60:6.2f}min  "
+            f"energy={history.total_energy:8.2f}J  "
+            f"aggregations={len(history)}"
+        )

@@ -1,0 +1,85 @@
+"""Extension — who pays for training? Energy-fairness across schemes.
+
+The paper optimizes *total* energy; a complementary systems question
+is how the burden distributes across devices. HELCFL's greedy-decay
+rotation spreads participation; FedCS concentrates it on the fast set
+forever. This bench runs both (plus Classic FL as the uniform
+reference) with the trainer's energy ledger and compares the Gini
+coefficient of per-device total energy.
+
+Expected shape: FedCS is the most unequal (a minority of devices pays
+everything), Classic FL the most equal (uniform random participation),
+HELCFL in between — it front-loads fast users but the decay
+re-distributes over time.
+"""
+
+from repro.baselines.registry import build_strategy
+from repro.experiments.runner import build_environment
+from repro.experiments.settings import ExperimentSettings
+from repro.fl.server import FederatedServer
+from repro.fl.trainer import FederatedTrainer
+
+
+def run_fairness_study():
+    settings = ExperimentSettings.quick(seed=7, rounds=80)
+    environment = build_environment(settings, iid=True)
+
+    ledgers = {}
+    for name in ("helcfl", "classic", "fedcs"):
+        model = settings.build_model(flattened=True)
+        server = FederatedServer(
+            model,
+            test_dataset=environment.test,
+            payload_bits=settings.payload_bits,
+        )
+        selection, policy = build_strategy(
+            name,
+            devices=environment.devices,
+            fraction=settings.fraction,
+            payload_bits=settings.payload_bits,
+            bandwidth_hz=settings.bandwidth_hz,
+            decay=settings.decay,
+            seed=settings.seed,
+            fedcs_candidate_fraction=settings.fedcs_candidate_fraction,
+        )
+        trainer = FederatedTrainer(
+            server=server,
+            devices=environment.devices,
+            selection=selection,
+            frequency_policy=policy,
+            config=settings.trainer_config(),
+            label=name,
+        )
+        trainer.run()
+        ledgers[name] = trainer.ledger
+    return settings, ledgers
+
+
+def test_energy_fairness(benchmark):
+    settings, ledgers = benchmark.pedantic(
+        run_fairness_study, rounds=1, iterations=1
+    )
+    ginis = {name: ledger.fairness_gini() for name, ledger in ledgers.items()}
+    participation = {
+        name: len(ledger.devices) for name, ledger in ledgers.items()
+    }
+
+    # FedCS concentrates the burden on its fast subset.
+    assert ginis["fedcs"] > ginis["classic"]
+    assert participation["fedcs"] < settings.num_users
+    # HELCFL touches everyone eventually.
+    assert participation["helcfl"] >= participation["fedcs"]
+    # All Ginis are valid.
+    assert all(0.0 <= g <= 1.0 for g in ginis.values())
+
+    print()
+    for name in ("helcfl", "classic", "fedcs"):
+        ledger = ledgers[name]
+        heaviest = ledger.heaviest_devices(1)[0]
+        print(
+            f"  {name:8s} gini={ginis[name]:.3f}  "
+            f"devices billed={participation[name]:3d}/"
+            f"{settings.num_users}  "
+            f"heaviest device pays {heaviest.total_joules:7.2f}J "
+            f"over {heaviest.rounds} rounds"
+        )

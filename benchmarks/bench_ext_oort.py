@@ -1,0 +1,71 @@
+"""Extension — HELCFL vs an Oort-style joint-utility selector.
+
+The calibration literature places HELCFL next to Oort-like client
+selection: Oort optimizes statistical utility (loss-weighted data)
+tempered by a system-speed penalty, HELCFL optimizes system delay
+tempered by participation decay. This bench runs both on identical
+environments (non-IID, where statistical utility matters most) and
+compares ceilings, time-to-accuracy, and energy.
+
+Expected shape: comparable ceilings (both eventually cover the data);
+HELCFL shorter rounds early (it is delay-first); Oort competitive on
+rounds-to-accuracy (it chases informative data).
+"""
+
+from repro.experiments.runner import build_environment, run_strategy
+from repro.experiments.settings import ExperimentSettings
+from repro.extensions.oort import OortSelection
+from repro.fl.server import FederatedServer
+from repro.fl.trainer import FederatedTrainer
+
+
+def run_oort_study():
+    settings = ExperimentSettings.quick(seed=7, rounds=80)
+    environment = build_environment(settings, iid=False)
+
+    helcfl = run_strategy(
+        "helcfl", settings, iid=False, environment=environment
+    )
+
+    model = settings.build_model(flattened=True)
+    server = FederatedServer(
+        model,
+        test_dataset=environment.test,
+        payload_bits=settings.payload_bits,
+    )
+    oort = FederatedTrainer(
+        server=server,
+        devices=environment.devices,
+        selection=OortSelection(
+            fraction=settings.fraction,
+            payload_bits=settings.payload_bits,
+            bandwidth_hz=settings.bandwidth_hz,
+            seed=settings.seed,
+        ),
+        config=settings.trainer_config(),
+        label="Oort-style",
+    ).run()
+    return helcfl, oort
+
+
+def test_oort_extension(benchmark):
+    helcfl, oort = benchmark.pedantic(run_oort_study, rounds=1, iterations=1)
+    # Both learn far above chance and land in the same ceiling range.
+    assert helcfl.best_accuracy > 0.2
+    assert oort.best_accuracy > 0.2
+    assert abs(helcfl.best_accuracy - oort.best_accuracy) < 0.15
+    # HELCFL is the delay-first scheme: its total simulated time for
+    # the same number of rounds should not exceed Oort's by much.
+    assert helcfl.total_time <= oort.total_time * 1.2
+
+    print()
+    for name, history in (("HELCFL", helcfl), ("Oort-style", oort)):
+        target = 0.75 * helcfl.best_accuracy
+        reach = history.time_to_accuracy(target)
+        print(
+            f"  {name:10s} best={100 * history.best_accuracy:6.2f}%  "
+            f"time={history.total_time / 60:6.2f}min  "
+            f"energy={history.total_energy:8.2f}J  "
+            f"t@{100 * target:.0f}%="
+            f"{'x' if reach is None else f'{reach / 60:.2f}min'}"
+        )

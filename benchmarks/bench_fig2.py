@@ -1,0 +1,40 @@
+"""Fig. 2 — accuracy comparison of HELCFL and the four baselines.
+
+Regenerates both panels of the paper's Fig. 2 (accuracy-versus-round
+curves for HELCFL, Classic FL, FedCS, FEDL, SL under IID and non-IID
+partitions) and asserts the paper's qualitative shape:
+
+* HELCFL's ceiling matches or beats Classic FL / FEDL;
+* FedCS plateaus clearly below HELCFL (its excluded slow users' data
+  is never incorporated — Section V-A);
+* SL trails everything by a wide margin.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_sweep
+from repro.experiments.reporting import format_fig2_table
+
+
+def _check_shape(result):
+    best = result.best_accuracies()
+    # Paper: HELCFL >= Classic/FEDL (small gaps), >> FedCS, >> SL.
+    assert best["helcfl"] >= best["classic"] - 0.03
+    assert best["helcfl"] >= best["fedl"] - 0.03
+    assert best["helcfl"] > best["fedcs"] + 0.05
+    assert best["helcfl"] > best["sl"] + 0.3
+    # Every federated scheme learns something.
+    for name in ("helcfl", "classic", "fedcs", "fedl"):
+        assert best[name] > 0.15
+
+
+@pytest.mark.parametrize("iid", [True, False], ids=["iid", "noniid"])
+def test_fig2_accuracy_comparison(benchmark, full_settings, sweep_cache, iid):
+    result = benchmark.pedantic(
+        lambda: run_sweep(full_settings, iid, sweep_cache),
+        rounds=1,
+        iterations=1,
+    )
+    _check_shape(result)
+    print()
+    print(format_fig2_table(result))

@@ -1,0 +1,80 @@
+"""Scalability study — cost-model scaling with population and fraction.
+
+Sweeps the population size ``Q`` and the selection fraction ``C``
+through the paper-scale cost-model Monte Carlo (no training) and
+checks the scaling laws the TDMA model implies:
+
+* round delay grows with ``Q * C`` (more uploads serialize on the
+  channel, and the selected max compute delay creeps up);
+* round energy grows roughly linearly in the selected count;
+* Algorithm 3's relative saving stays positive across the sweep
+  (the mechanism does not wash out at scale).
+"""
+
+from repro.experiments.costmodel import run_cost_model_study
+
+
+def run_scaling_study():
+    population_sweep = {}
+    for num_users in (50, 100, 200):
+        result = run_cost_model_study(
+            strategies=("helcfl",),
+            num_users=num_users,
+            trials=8,
+            rounds_per_trial=6,
+            seed=7,
+        )
+        population_sweep[num_users] = result.summaries["helcfl"]
+
+    fraction_sweep = {}
+    for fraction in (0.05, 0.1, 0.2):
+        result = run_cost_model_study(
+            strategies=("helcfl",),
+            fraction=fraction,
+            trials=8,
+            rounds_per_trial=6,
+            seed=7,
+        )
+        fraction_sweep[fraction] = result.summaries["helcfl"]
+    return population_sweep, fraction_sweep
+
+
+def test_cost_scaling(benchmark):
+    population_sweep, fraction_sweep = benchmark.pedantic(
+        run_scaling_study, rounds=1, iterations=1
+    )
+
+    # Fixed C: more users -> more selected -> longer, costlier rounds.
+    delays = [population_sweep[q].round_delay_s[0] for q in (50, 100, 200)]
+    energies = [population_sweep[q].round_energy_j[0] for q in (50, 100, 200)]
+    assert delays[0] < delays[1] < delays[2]
+    assert energies[0] < energies[1] < energies[2]
+
+    # Fixed Q: larger fraction scales the same way.
+    f_delays = [fraction_sweep[c].round_delay_s[0] for c in (0.05, 0.1, 0.2)]
+    f_energies = [fraction_sweep[c].round_energy_j[0] for c in (0.05, 0.1, 0.2)]
+    assert f_delays[0] < f_delays[1] < f_delays[2]
+    assert f_energies[0] < f_energies[1] < f_energies[2]
+
+    # Algorithm 3 keeps saving throughout.
+    for sweep in (population_sweep, fraction_sweep):
+        for summary in sweep.values():
+            assert summary.dvfs_saving_fraction[0] > 0.05
+
+    print()
+    print("  population sweep (C=0.1):")
+    for q in (50, 100, 200):
+        s = population_sweep[q]
+        print(
+            f"    Q={q:3d}: round {s.round_delay_s[0]:7.2f}s  "
+            f"energy {s.round_energy_j[0]:7.2f}J  "
+            f"saving {100 * s.dvfs_saving_fraction[0]:5.1f}%"
+        )
+    print("  fraction sweep (Q=100):")
+    for c in (0.05, 0.1, 0.2):
+        s = fraction_sweep[c]
+        print(
+            f"    C={c:4.2f}: round {s.round_delay_s[0]:7.2f}s  "
+            f"energy {s.round_energy_j[0]:7.2f}J  "
+            f"saving {100 * s.dvfs_saving_fraction[0]:5.1f}%"
+        )

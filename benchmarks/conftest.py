@@ -1,0 +1,45 @@
+"""Shared fixtures for the benchmark harness.
+
+The experiment benches (Fig. 2 / Table I / Fig. 3) share one full-scale
+training sweep per partition regime via a session-scoped cache, so the
+expensive runs happen exactly once per pytest session regardless of
+which benches are selected.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.fig2 import run_fig2
+from repro.experiments.settings import ExperimentSettings
+
+# Strategies needed across all three experiment benches: the Fig. 2 set
+# plus the no-DVFS ablation pair required by Fig. 3.
+SWEEP_STRATEGIES = (
+    "helcfl",
+    "helcfl-nodvfs",
+    "classic",
+    "fedcs",
+    "fedl",
+    "sl",
+)
+
+
+@pytest.fixture(scope="session")
+def full_settings() -> ExperimentSettings:
+    """The paper-default (scaled-profile) settings used by every bench."""
+    return ExperimentSettings(seed=7)
+
+
+@pytest.fixture(scope="session")
+def sweep_cache():
+    """Session cache: regime -> Fig2Result over SWEEP_STRATEGIES."""
+    return {}
+
+
+def run_sweep(settings: ExperimentSettings, iid: bool, cache: dict):
+    """Run (or fetch) the full strategy sweep for one regime."""
+    key = ("iid" if iid else "noniid", settings.seed)
+    if key not in cache:
+        cache[key] = run_fig2(settings, iid=iid, strategies=SWEEP_STRATEGIES)
+    return cache[key]

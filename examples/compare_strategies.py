@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""Fig. 2 scenario: compare HELCFL against all four baselines.
+
+Runs HELCFL, Classic FL, FedCS, FEDL, and SL on identical data,
+partitions, devices, and model initialization — for both the IID and
+the paper's label-shard non-IID regime — then prints the paper-style
+accuracy comparison and an ASCII accuracy-versus-round chart.
+
+Usage::
+
+    python examples/compare_strategies.py            # quick profile
+    python examples/compare_strategies.py --full     # paper profile (slower)
+"""
+
+import argparse
+
+from repro.experiments import (
+    ExperimentSettings,
+    format_fig2_table,
+    run_fig2,
+)
+
+
+def ascii_chart(result, width=60, height=12) -> str:
+    """Render accuracy-vs-round curves as ASCII art."""
+    curves = result.curves()
+    max_round = max(
+        (series[-1][0] for series in curves.values() if series), default=1
+    )
+    symbols = {"helcfl": "H", "classic": "C", "fedcs": "F", "fedl": "E", "sl": "S"}
+    grid = [[" "] * width for _ in range(height)]
+    # Draw HELCFL last so its curve stays visible where lines overlap.
+    draw_order = sorted(curves, key=lambda n: n == "helcfl")
+    for name in draw_order:
+        series = curves[name]
+        symbol = symbols.get(name, "?")
+        for round_index, _, accuracy in series:
+            col = min(width - 1, int((round_index - 1) / max_round * width))
+            row = min(height - 1, int((1.0 - accuracy) * (height - 1)))
+            grid[row][col] = symbol
+    lines = ["  100% |" + "".join(grid[0])]
+    for row in range(1, height):
+        percent = round(100 * (1 - row / (height - 1)))
+        lines.append(f"  {percent:3d}% |" + "".join(grid[row]))
+    lines.append("       +" + "-" * width)
+    lines.append(f"        round 1 .. {max_round}")
+    legend = "  ".join(f"{s}={n}" for n, s in symbols.items())
+    lines.append(f"        {legend}")
+    return "\n".join(lines)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="run the paper-default scaled profile (100 users, 300 rounds)",
+    )
+    parser.add_argument("--seed", type=int, default=7)
+    args = parser.parse_args()
+
+    if args.full:
+        settings = ExperimentSettings(seed=args.seed)
+    else:
+        settings = ExperimentSettings.quick(seed=args.seed, rounds=60)
+
+    for iid in (True, False):
+        regime = "IID" if iid else "Non-IID"
+        print(f"\n=== {regime} setting ===")
+        result = run_fig2(settings, iid=iid)
+        print(format_fig2_table(result))
+        print()
+        print(ascii_chart(result))
+
+
+if __name__ == "__main__":
+    main()

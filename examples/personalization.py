@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""Extension scenario: personalizing the global model per user.
+
+Trains HELCFL on the paper's non-IID shards, then fine-tunes the
+resulting global model on each user's local data for a few steps and
+compares per-user accuracy before and after — a dimension the global
+Fig. 2 metric hides: on 3-4-label shards, a handful of local steps
+nudges the global model toward each user's own label distribution.
+
+Usage::
+
+    python examples/personalization.py
+"""
+
+from repro.core.framework import build_helcfl_trainer
+from repro.experiments import ExperimentSettings, build_environment
+from repro.extensions import evaluate_personalization
+from repro.fl.server import FederatedServer
+from repro.viz import ascii_bars
+
+
+def main() -> None:
+    settings = ExperimentSettings.quick(seed=11, rounds=60)
+    environment = build_environment(settings, iid=False)
+
+    model = settings.build_model(flattened=True)
+    server = FederatedServer(
+        model,
+        test_dataset=environment.test,
+        payload_bits=settings.payload_bits,
+    )
+    history = build_helcfl_trainer(
+        server,
+        environment.devices,
+        fraction=settings.fraction,
+        decay=settings.decay,
+        config=settings.trainer_config(),
+    ).run()
+    print(
+        f"Global model after {len(history)} HELCFL rounds: "
+        f"{100 * history.final_accuracy:.2f}% global test accuracy"
+    )
+
+    # A gentler fine-tuning rate than the FL training rate: with only
+    # ~30 adaptation samples per user, large steps overshoot.
+    report = evaluate_personalization(
+        server.model,
+        environment.devices,
+        fine_tune_steps=10,
+        learning_rate=0.1,
+        seed=settings.seed,
+    )
+    print(
+        f"\nPer-user accuracy on local held-out data "
+        f"({len(report.device_ids)} users):"
+    )
+    print(
+        ascii_bars(
+            [
+                ("global model ", report.mean_global),
+                ("fine-tuned   ", report.mean_personalized),
+            ],
+            unit="",
+        )
+    )
+    print(
+        f"\nMean gain: {100 * report.mean_gain:+.2f} pp; personalization "
+        f"helped {100 * report.win_fraction():.0f}% of users."
+    )
+    print(
+        "Each user only holds a few labels (the paper's non-IID shards), "
+        "so concentrating the model on those labels lifts accuracy on "
+        "that user's own distribution - modestly here, because the "
+        "global model already covers the frequent local labels well."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Setup shim enabling legacy editable installs (offline environment)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,116 @@
+"""Accuracy-curve crossover detection.
+
+The paper's Table I discussion hinges on a crossover: FedCS leads at
+low accuracy targets but HELCFL overtakes it and keeps climbing. This
+module finds such crossovers between two accuracy-versus-time curves —
+the point after which one run dominates the other — so experiment
+narratives can cite them programmatically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.fl.history import TrainingHistory
+
+__all__ = ["Crossover", "find_crossovers", "history_crossovers"]
+
+
+@dataclass(frozen=True)
+class Crossover:
+    """One lead change between two curves.
+
+    Attributes:
+        x: the x-coordinate (e.g. simulated time) of the lead change.
+        leader_after: which curve ("a" or "b") leads after ``x``.
+    """
+
+    x: float
+    leader_after: str
+
+
+def _interp(points: Sequence[Tuple[float, float]], x: float) -> float:
+    """Piecewise-linear interpolation, clamped at the ends."""
+    if x <= points[0][0]:
+        return points[0][1]
+    for (x0, y0), (x1, y1) in zip(points, points[1:]):
+        if x <= x1:
+            if x1 == x0:
+                return y1
+            t = (x - x0) / (x1 - x0)
+            return y0 + t * (y1 - y0)
+    return points[-1][1]
+
+
+def find_crossovers(
+    curve_a: Sequence[Tuple[float, float]],
+    curve_b: Sequence[Tuple[float, float]],
+    tolerance: float = 1e-9,
+) -> List[Crossover]:
+    """Find lead changes between two ``(x, y)`` curves.
+
+    Both curves are linearly interpolated onto the union of their x
+    grids; a crossover is recorded wherever the sign of ``a - b``
+    flips (ties within ``tolerance`` carry the previous sign).
+
+    Args:
+        curve_a: first curve, x ascending.
+        curve_b: second curve, x ascending.
+        tolerance: |a - b| below this is treated as a tie.
+
+    Returns:
+        Crossovers in x order (possibly empty).
+
+    Raises:
+        ConfigurationError: for empty or unsorted curves.
+    """
+    for name, curve in (("a", curve_a), ("b", curve_b)):
+        if not curve:
+            raise ConfigurationError(f"curve {name} is empty")
+        xs = [p[0] for p in curve]
+        if any(x1 < x0 for x0, x1 in zip(xs, xs[1:])):
+            raise ConfigurationError(f"curve {name} x values must ascend")
+
+    grid = sorted({p[0] for p in curve_a} | {p[0] for p in curve_b})
+    crossovers: List[Crossover] = []
+    previous_sign = 0
+    for x in grid:
+        diff = _interp(curve_a, x) - _interp(curve_b, x)
+        if abs(diff) <= tolerance:
+            continue
+        sign = 1 if diff > 0 else -1
+        if previous_sign != 0 and sign != previous_sign:
+            crossovers.append(
+                Crossover(x=x, leader_after="a" if sign > 0 else "b")
+            )
+        previous_sign = sign
+    return crossovers
+
+
+def history_crossovers(
+    history_a: TrainingHistory,
+    history_b: TrainingHistory,
+    by: str = "time",
+    tolerance: float = 1e-9,
+) -> List[Crossover]:
+    """Crossovers between two runs' accuracy curves.
+
+    Args:
+        history_a: first run ("a").
+        history_b: second run ("b").
+        by: x axis — ``"time"`` (simulated seconds) or ``"round"``.
+        tolerance: tie tolerance on the accuracy difference.
+    """
+    if by not in ("time", "round"):
+        raise ConfigurationError(f"by must be 'time' or 'round', got {by!r}")
+    index = 1 if by == "time" else 0
+
+    def curve(history: TrainingHistory):
+        return [(p[index], p[2]) for p in history.accuracy_series()]
+
+    curve_a, curve_b = curve(history_a), curve(history_b)
+    if not curve_a or not curve_b:
+        raise ConfigurationError("both histories need evaluated rounds")
+    return find_crossovers(curve_a, curve_b, tolerance=tolerance)

@@ -1,0 +1,205 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``run`` — train one scheme and print its trajectory summary;
+* ``fig2`` — regenerate a Fig. 2 panel (accuracy comparison);
+* ``table1`` — regenerate a Table I half (delay to accuracy);
+* ``fig3`` — regenerate a Fig. 3 panel (DVFS energy reduction);
+* ``info`` — print the resolved experiment settings.
+
+Every command accepts ``--quick`` (20 users, fast) or ``--full``
+(paper scale, default), ``--seed``, ``--rounds``, and ``--noniid``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import sys
+from typing import List, Optional
+
+from repro.baselines.registry import strategy_labels
+from repro.experiments.fig2 import run_fig2
+from repro.experiments.fig3 import run_fig3
+from repro.experiments.reporting import (
+    format_fig2_table,
+    format_fig3_table,
+    format_table1,
+)
+from repro.experiments.runner import STRATEGY_NAMES, run_strategy
+from repro.experiments.settings import ExperimentSettings
+from repro.experiments.table1 import run_table1
+from repro.version import PAPER_TITLE, PAPER_VENUE, __version__
+
+__all__ = ["main", "build_parser"]
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small fast profile (20 users) instead of the paper scale",
+    )
+    parser.add_argument("--seed", type=int, default=7, help="master seed")
+    parser.add_argument(
+        "--rounds", type=int, default=None, help="override FL round count"
+    )
+    parser.add_argument(
+        "--noniid",
+        action="store_true",
+        help="use the paper's label-shard non-IID partition",
+    )
+    parser.add_argument(
+        "--output",
+        type=str,
+        default=None,
+        help="also save the artifact as a JSON document at this path",
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=f"{PAPER_TITLE} ({PAPER_VENUE}) - reproduction CLI",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = sub.add_parser("run", help="train one scheme")
+    run_parser.add_argument(
+        "strategy",
+        choices=STRATEGY_NAMES,
+        help="scheme to train",
+    )
+    _add_common(run_parser)
+
+    for name, help_text in (
+        ("fig2", "accuracy comparison of all schemes (paper Fig. 2)"),
+        ("table1", "training delay to desired accuracy (paper Table I)"),
+        ("fig3", "DVFS energy reduction (paper Fig. 3)"),
+    ):
+        artifact_parser = sub.add_parser(name, help=help_text)
+        _add_common(artifact_parser)
+
+    report_parser = sub.add_parser(
+        "report", help="run the full evaluation (both regimes) and print it"
+    )
+    _add_common(report_parser)
+
+    info_parser = sub.add_parser("info", help="print resolved settings")
+    _add_common(info_parser)
+    return parser
+
+
+def _settings_from(args: argparse.Namespace) -> ExperimentSettings:
+    overrides = {"seed": args.seed}
+    if args.rounds is not None:
+        overrides["rounds"] = args.rounds
+    if args.quick:
+        return ExperimentSettings.quick(**overrides)
+    return ExperimentSettings(**overrides)
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    settings = _settings_from(args)
+    label = strategy_labels().get(args.strategy, args.strategy)
+    print(f"Training {label} ({'non-IID' if args.noniid else 'IID'}) ...")
+    history = run_strategy(args.strategy, settings, iid=not args.noniid)
+    print(f"  rounds executed      {len(history)}")
+    print(f"  best accuracy        {100 * history.best_accuracy:.2f}%")
+    print(f"  final accuracy       {100 * history.final_accuracy:.2f}%")
+    print(f"  simulated time       {history.total_time / 60:.2f} min")
+    print(f"  training energy      {history.total_energy:.3f} J")
+    print(
+        f"  population coverage  "
+        f"{100 * history.coverage(settings.num_users):.0f}%"
+    )
+    if args.output:
+        from repro.experiments.export import save_history
+
+        save_history(history, args.output)
+        print(f"saved history to {args.output}")
+    return 0
+
+
+def _cmd_fig2(args: argparse.Namespace) -> int:
+    settings = _settings_from(args)
+    result = run_fig2(settings, iid=not args.noniid)
+    print(format_fig2_table(result))
+    if args.output:
+        from repro.experiments.export import save_fig2
+
+        save_fig2(result, args.output)
+        print(f"saved artifact to {args.output}")
+    return 0
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    settings = _settings_from(args)
+    table = run_table1(settings, iid=not args.noniid)
+    print(format_table1(table))
+    if args.output:
+        from repro.experiments.export import save_table1
+
+        save_table1(table, args.output)
+        print(f"saved artifact to {args.output}")
+    return 0
+
+
+def _cmd_fig3(args: argparse.Namespace) -> int:
+    settings = _settings_from(args)
+    result = run_fig3(settings, iid=not args.noniid)
+    print(format_fig3_table(result))
+    if args.output:
+        from repro.experiments.export import save_fig3
+
+        save_fig3(result, args.output)
+        print(f"saved artifact to {args.output}")
+    return 0
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    settings = _settings_from(args)
+    print(f"repro {__version__} - {PAPER_TITLE} ({PAPER_VENUE})")
+    print(f"partition: {'non-IID' if args.noniid else 'IID'}")
+    for field in dataclasses.fields(settings):
+        print(f"  {field.name:24s} {getattr(settings, field.name)}")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.experiments.report import generate_report
+
+    settings = _settings_from(args)
+    text = generate_report(settings)
+    print(text)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+        print(f"saved report to {args.output}")
+    return 0
+
+
+_COMMANDS = {
+    "run": _cmd_run,
+    "fig2": _cmd_fig2,
+    "table1": _cmd_table1,
+    "fig3": _cmd_fig3,
+    "report": _cmd_report,
+    "info": _cmd_info,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

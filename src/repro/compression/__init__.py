@@ -1,0 +1,32 @@
+"""Model-update compression (the paper's Section I alternatives).
+
+The paper's introduction surveys the competing line of work on
+communication reduction: *sparsification* [5] and *quantization* [6],
+noting they "inevitably sacrifice model accuracy or introduce
+additional compression costs". This package implements both schemes so
+that trade-off can be measured inside the same simulator:
+
+* :class:`~repro.compression.quantization.UniformQuantizer` — k-bit
+  uniform quantization of the update (parameter delta);
+* :class:`~repro.compression.sparsification.TopKSparsifier` — keep the
+  top-k magnitude entries, with optional error feedback;
+* :class:`~repro.compression.pipeline.CompressionPipeline` — composes
+  a compressor with the FL client/server path and reports the
+  compressed payload size in bits, which plugs straight into the
+  upload-delay model (Eq. 7).
+
+The extension bench ``benchmarks/bench_ext_compression.py`` compares
+compression-based communication savings against HELCFL's DVFS-based
+energy savings, reproducing the paper's qualitative argument.
+"""
+
+from repro.compression.pipeline import CompressedUpdate, CompressionPipeline
+from repro.compression.quantization import UniformQuantizer
+from repro.compression.sparsification import TopKSparsifier
+
+__all__ = [
+    "UniformQuantizer",
+    "TopKSparsifier",
+    "CompressionPipeline",
+    "CompressedUpdate",
+]

@@ -1,0 +1,69 @@
+"""Algorithm 1 — the assembled HELCFL framework.
+
+HELCFL is the composition of three pieces this package implements:
+
+1. greedy-decay user selection (Algorithm 2),
+2. DVFS frequency determination (Algorithm 3),
+3. the synchronous FedAvg round loop (Algorithm 1's lines 5-10,
+   provided by :class:`~repro.fl.trainer.FederatedTrainer`).
+
+:func:`build_helcfl_trainer` wires them together; calling ``run()`` on
+the result executes the full framework.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.core.frequency import HelcflDvfsPolicy
+from repro.core.selection import GreedyDecaySelection
+from repro.devices.device import UserDevice
+from repro.fl.server import FederatedServer
+from repro.fl.trainer import FederatedTrainer, TrainerConfig
+
+__all__ = ["build_helcfl_trainer"]
+
+
+def build_helcfl_trainer(
+    server: FederatedServer,
+    devices: Sequence[UserDevice],
+    fraction: float = 0.1,
+    decay: float = 0.7,
+    config: Optional[TrainerConfig] = None,
+    dvfs: bool = True,
+    quantize: bool = False,
+    label: str = "HELCFL",
+) -> FederatedTrainer:
+    """Assemble a ready-to-run HELCFL trainer (Algorithm 1).
+
+    Args:
+        server: the FLCC holding the global model and test set.
+        devices: the user population ``V``.
+        fraction: selection fraction ``C`` (paper: 0.1).
+        decay: utility decay coefficient ``eta`` in ``(0, 1)``.
+        config: trainer configuration (rounds, bandwidth, LR, ...).
+        dvfs: apply Algorithm 3 (True) or run all devices at max
+            frequency (False) — the ablation of Fig. 3.
+        quantize: snap Algorithm 3's frequencies onto discrete DVFS
+            ladders when devices define them.
+        label: history label.
+
+    Returns:
+        A configured :class:`~repro.fl.trainer.FederatedTrainer`.
+    """
+    config = config or TrainerConfig()
+    selection = GreedyDecaySelection(
+        fraction=fraction,
+        decay=decay,
+        payload_bits=server.payload_bits,
+        bandwidth_hz=config.bandwidth_hz,
+    )
+    policy = HelcflDvfsPolicy(quantize=quantize) if dvfs else None
+    return FederatedTrainer(
+        server=server,
+        devices=devices,
+        selection=selection,
+        frequency_policy=policy,
+        config=config,
+        label=label,
+    )

@@ -1,0 +1,130 @@
+"""Algorithm 3 — DVFS-enabled operating frequency determination.
+
+The selected users are sorted by their max-frequency compute delays.
+The first (fastest) user has no slack and runs at ``f_max``. Every
+subsequent user's frequency is lowered so its local update completes
+exactly when the previous user's upload completes::
+
+    f_{q+1} = pi * |D_{q+1}| / T_q,    T_q = T_q^cal(f_q) + T_q^com
+
+(the paper's line 9 with Eq. 9). By induction ``T_q`` equals user
+``q``'s upload-completion time measured from the round start, so each
+user's compute lands exactly at its channel-grant instant and the
+quadratic compute energy (Eq. 5) shrinks without delaying the round.
+
+Practical guards the paper leaves implicit:
+
+* the target frequency is clamped into ``[f_min, f_max]`` — a user that
+  cannot finish by the previous upload's end even at ``f_max`` simply
+  runs at ``f_max`` (it will wait less or queue), and a user with huge
+  slack is floored at ``f_min``;
+* on CPUs with discrete DVFS ladders the frequency is rounded *up* to
+  the next level so the schedule stays feasible.
+
+With clamping, the recursion tracks the *actual* upload-finish time
+(computed via the true queueing dynamics) rather than the idealized
+``T_q``, so the assignment stays optimal when clamps bind.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+from repro.devices.device import UserDevice
+from repro.errors import SelectionError
+from repro.fl.strategy import FrequencyPolicy
+
+__all__ = ["determine_frequencies", "HelcflDvfsPolicy"]
+
+
+def determine_frequencies(
+    selected: Sequence[UserDevice],
+    payload_bits: float,
+    bandwidth_hz: float,
+    clamp: bool = True,
+    quantize: bool = False,
+) -> Dict[int, float]:
+    """Run Algorithm 3 on the selected user set.
+
+    Args:
+        selected: the round's selected user set ``Gamma_j``.
+        payload_bits: model payload ``C_model`` in bits.
+        bandwidth_hz: uplink resource blocks ``Z`` in Hz.
+        clamp: clamp each derived frequency into the device's
+            ``[f_min, f_max]`` (True for real devices; False reproduces
+            the paper's idealized unclamped recursion and may return
+            out-of-range frequencies).
+        quantize: additionally snap frequencies up onto each device's
+            discrete DVFS ladder when it has one.
+
+    Returns:
+        Mapping from device id to its determined operating frequency.
+
+    Raises:
+        SelectionError: for an empty selection.
+    """
+    if not selected:
+        raise SelectionError("cannot determine frequencies for no devices")
+
+    # Line 1: ascending max-frequency compute delay (ties by id).
+    ordered = sorted(
+        selected,
+        key=lambda d: (d.compute_delay(d.cpu.f_max), d.device_id),
+    )
+
+    frequencies: Dict[int, float] = {}
+    previous_finish = 0.0
+    for position, device in enumerate(ordered):
+        if position == 0:
+            # Lines 3-4: the first user has no slack.
+            freq = device.cpu.f_max
+        else:
+            # Line 9: finish computing when the previous upload ends.
+            target = device.frequency_for_compute_delay(previous_finish)
+            if clamp:
+                freq = device.cpu.clamp(target)
+            else:
+                freq = target
+        if quantize and clamp:
+            freq = device.cpu.quantize(freq)
+        frequencies[device.device_id] = freq
+
+        # Line 8 generalized: the user's actual upload-finish time under
+        # FIFO channel queueing. Without clamping this reduces to the
+        # paper's T_q = T_q^cal + T_q^com exactly (compute lands at the
+        # previous finish, so upload_start == compute_end).
+        compute_end = device.cpu.cycles_for(device.num_samples) / freq
+        upload_start = max(compute_end, previous_finish)
+        previous_finish = upload_start + device.upload_delay(
+            payload_bits, bandwidth_hz
+        )
+    return frequencies
+
+
+class HelcflDvfsPolicy(FrequencyPolicy):
+    """Algorithm 3 packaged as a :class:`FrequencyPolicy`.
+
+    Args:
+        clamp: see :func:`determine_frequencies`; policies used inside
+            a real trainer must clamp (the TDMA simulator validates
+            frequencies against device ranges).
+        quantize: snap onto discrete DVFS ladders when present.
+    """
+
+    def __init__(self, clamp: bool = True, quantize: bool = False) -> None:
+        self.clamp = bool(clamp)
+        self.quantize = bool(quantize)
+
+    def assign(
+        self,
+        selected: Sequence[UserDevice],
+        payload_bits: float,
+        bandwidth_hz: float,
+    ) -> Dict[int, float]:
+        return determine_frequencies(
+            selected,
+            payload_bits,
+            bandwidth_hz,
+            clamp=self.clamp,
+            quantize=self.quantize,
+        )

@@ -1,0 +1,102 @@
+"""Algorithm 2 — utility-driven greedy-decay user selection.
+
+Each round, the strategy scores every user with Eq. (20) and greedily
+takes the top ``N = max(Q*C, 1)`` utilities. Selected users' appearance
+counters are incremented (Algorithm 2, line 18), decaying their utility
+for future rounds. Ties are broken deterministically by device id so
+runs are reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.core.utility import utility_scores
+from repro.devices.device import UserDevice
+from repro.errors import ConfigurationError
+from repro.fl.strategy import SelectionStrategy, selection_count
+
+__all__ = ["GreedyDecaySelection"]
+
+
+class GreedyDecaySelection(SelectionStrategy):
+    """HELCFL's utility-driven greedy-decay selection (Algorithm 2).
+
+    Args:
+        fraction: selection fraction ``C`` in ``(0, 1]`` (paper: 0.1).
+        decay: decay coefficient ``eta`` in ``(0, 1)``.
+        payload_bits: model payload ``C_model``, needed because the
+            utility depends on upload delay.
+        bandwidth_hz: uplink resource blocks ``Z``.
+
+    Attributes:
+        appearance_counts: the live ``alpha_q`` counters, exposed for
+            inspection and testing.
+    """
+
+    def __init__(
+        self,
+        fraction: float,
+        decay: float,
+        payload_bits: float,
+        bandwidth_hz: float,
+    ) -> None:
+        if not 0.0 < fraction <= 1.0:
+            raise ConfigurationError(f"fraction must be in (0, 1], got {fraction}")
+        if not 0.0 < decay < 1.0:
+            raise ConfigurationError(f"decay must be in (0, 1), got {decay}")
+        if payload_bits <= 0 or bandwidth_hz <= 0:
+            raise ConfigurationError(
+                "payload_bits and bandwidth_hz must be positive, got "
+                f"{payload_bits} and {bandwidth_hz}"
+            )
+        self.fraction = float(fraction)
+        self.decay = float(decay)
+        self.payload_bits = float(payload_bits)
+        self.bandwidth_hz = float(bandwidth_hz)
+        self.appearance_counts: Dict[int, int] = {}
+
+    def reset(self) -> None:
+        """Zero every appearance counter (Algorithm 2, line 5)."""
+        self.appearance_counts.clear()
+
+    def scores(self, devices: Sequence[UserDevice]) -> Dict[int, float]:
+        """Current Eq. (20) utilities for ``devices`` (no side effects)."""
+        return utility_scores(
+            devices,
+            self.appearance_counts,
+            self.payload_bits,
+            self.bandwidth_hz,
+            self.decay,
+        )
+
+    def select(
+        self, round_index: int, devices: Sequence[UserDevice]
+    ) -> List[UserDevice]:
+        """Select the top-``N`` users by utility and decay them.
+
+        Note: because a user's utility does not change *within* a
+        round's selection loop (its counter is bumped only once it is
+        selected, and each user can be selected at most once), taking
+        the top-``N`` scores in one pass is exactly equivalent to
+        Algorithm 2's iterative argmax-and-remove loop (lines 14-19).
+        """
+        del round_index
+        self._check_population(devices)
+        scores = self.scores(devices)
+        count = selection_count(len(devices), self.fraction)
+        # Sort by descending utility, ties by ascending device id.
+        ranked = sorted(
+            devices, key=lambda d: (-scores[d.device_id], d.device_id)
+        )
+        selected = ranked[:count]
+        for device in selected:
+            self.appearance_counts[device.device_id] = (
+                self.appearance_counts.get(device.device_id, 0) + 1
+            )
+        return selected
+
+    def __repr__(self) -> str:
+        return (
+            f"GreedyDecaySelection(C={self.fraction}, eta={self.decay})"
+        )

@@ -1,0 +1,92 @@
+"""The HELCFL utility function (Eq. 20).
+
+For user ``v_q`` with appearance counter ``alpha_q`` and round delay
+``T_q = T_q^cal + T_q^com`` (computed at the device's maximum CPU
+frequency), the utility is::
+
+    u_q = eta^alpha_q * 1 / (T_q^cal + T_q^com),     0 < eta < 1.
+
+Fast devices start with high utility (short delays), but every
+selection increments ``alpha_q`` and multiplies future utility by
+``eta`` — so slow devices' data is eventually incorporated, which
+Section V-A shows is what lets FL reach high accuracy (the FedAvg
+round is equivalent to a centralized mini-batch step on the *union* of
+selected users' data, Eq. 19).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Sequence
+
+from repro.devices.device import UserDevice
+from repro.errors import ConfigurationError
+
+__all__ = ["decayed_utility", "utility_scores"]
+
+
+def decayed_utility(
+    appearance_count: int,
+    compute_delay: float,
+    upload_delay: float,
+    decay: float,
+) -> float:
+    """Evaluate Eq. (20) for one user.
+
+    Args:
+        appearance_count: ``alpha_q``, times the user has been selected.
+        compute_delay: ``T_q^cal`` at the device's max frequency.
+        upload_delay: ``T_q^com``.
+        decay: the decay coefficient ``eta`` in ``(0, 1)``.
+
+    Returns:
+        The utility ``eta^alpha / (T_cal + T_com)``.
+
+    Raises:
+        ConfigurationError: for parameters outside their domains.
+    """
+    if not 0.0 < decay < 1.0:
+        raise ConfigurationError(f"decay eta must be in (0, 1), got {decay}")
+    if appearance_count < 0:
+        raise ConfigurationError(
+            f"appearance_count must be non-negative, got {appearance_count}"
+        )
+    total_delay = compute_delay + upload_delay
+    if total_delay <= 0:
+        raise ConfigurationError(
+            f"total delay must be positive, got {total_delay}"
+        )
+    return decay**appearance_count / total_delay
+
+
+def utility_scores(
+    devices: Sequence[UserDevice],
+    appearance_counts: Mapping[int, int],
+    payload_bits: float,
+    bandwidth_hz: float,
+    decay: float,
+) -> Dict[int, float]:
+    """Evaluate Eq. (20) for every device (Algorithm 2, lines 8-10).
+
+    Delays are computed at each device's maximum CPU frequency, as
+    Algorithm 2 lines 3-4 prescribe.
+
+    Args:
+        devices: the population ``V``.
+        appearance_counts: ``alpha_q`` per device id (missing ids
+            count as 0).
+        payload_bits: model payload ``C_model``.
+        bandwidth_hz: uplink resource blocks ``Z``.
+        decay: the decay coefficient ``eta``.
+
+    Returns:
+        Mapping from device id to utility.
+    """
+    scores: Dict[int, float] = {}
+    for device in devices:
+        scores[device.device_id] = decayed_utility(
+            appearance_count=int(appearance_counts.get(device.device_id, 0)),
+            compute_delay=device.compute_delay(device.cpu.f_max),
+            upload_delay=device.upload_delay(payload_bits, bandwidth_hz),
+            decay=decay,
+        )
+    return scores

@@ -1,0 +1,109 @@
+"""Image augmentation for CHW batches (extension).
+
+Standard CIFAR-style augmentations — horizontal flips, shifted crops
+with zero padding, and additive pixel noise — implemented on numpy so
+clients can regularize local training on small shards. Each augmenter
+is a callable object with its own seeded generator, composable via
+:class:`Compose`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError, ShapeError
+from repro.rng import SeedLike, ensure_generator
+
+__all__ = ["RandomHorizontalFlip", "RandomShift", "GaussianNoise", "Compose"]
+
+
+def _check_nchw(images: np.ndarray) -> np.ndarray:
+    images = np.asarray(images)
+    if images.ndim != 4:
+        raise ShapeError(f"augmenters expect NCHW batches, got {images.shape}")
+    return images
+
+
+class RandomHorizontalFlip:
+    """Flip each image left-right with probability ``probability``."""
+
+    def __init__(self, probability: float = 0.5, seed: SeedLike = None) -> None:
+        if not 0.0 <= probability <= 1.0:
+            raise ConfigurationError(
+                f"probability must be in [0, 1], got {probability}"
+            )
+        self.probability = float(probability)
+        self._rng = ensure_generator(seed)
+
+    def __call__(self, images: np.ndarray) -> np.ndarray:
+        images = _check_nchw(images)
+        out = images.copy()
+        flip = self._rng.random(images.shape[0]) < self.probability
+        out[flip] = out[flip, :, :, ::-1]
+        return out
+
+
+class RandomShift:
+    """Shift each image by up to ``max_shift`` pixels, zero-filled.
+
+    The numpy analogue of pad-and-random-crop augmentation.
+    """
+
+    def __init__(self, max_shift: int = 1, seed: SeedLike = None) -> None:
+        if max_shift < 0:
+            raise ConfigurationError(
+                f"max_shift must be non-negative, got {max_shift}"
+            )
+        self.max_shift = int(max_shift)
+        self._rng = ensure_generator(seed)
+
+    def __call__(self, images: np.ndarray) -> np.ndarray:
+        images = _check_nchw(images)
+        if self.max_shift == 0:
+            return images.copy()
+        n, _, h, w = images.shape
+        out = np.zeros_like(images)
+        shifts = self._rng.integers(
+            -self.max_shift, self.max_shift + 1, size=(n, 2)
+        )
+        for idx in range(n):
+            dy, dx = int(shifts[idx, 0]), int(shifts[idx, 1])
+            src_y = slice(max(0, -dy), min(h, h - dy))
+            src_x = slice(max(0, -dx), min(w, w - dx))
+            dst_y = slice(max(0, dy), min(h, h + dy))
+            dst_x = slice(max(0, dx), min(w, w + dx))
+            out[idx, :, dst_y, dst_x] = images[idx, :, src_y, src_x]
+        return out
+
+
+class GaussianNoise:
+    """Add i.i.d. gaussian pixel noise of scale ``std``."""
+
+    def __init__(self, std: float = 0.05, seed: SeedLike = None) -> None:
+        if std < 0:
+            raise ConfigurationError(f"std must be non-negative, got {std}")
+        self.std = float(std)
+        self._rng = ensure_generator(seed)
+
+    def __call__(self, images: np.ndarray) -> np.ndarray:
+        images = _check_nchw(images)
+        if self.std == 0:
+            return images.copy()
+        return images + self._rng.normal(0.0, self.std, size=images.shape)
+
+
+class Compose:
+    """Apply augmenters in sequence."""
+
+    def __init__(self, augmenters: Sequence[Callable]) -> None:
+        if not augmenters:
+            raise ConfigurationError("Compose needs at least one augmenter")
+        self.augmenters = list(augmenters)
+
+    def __call__(self, images: np.ndarray) -> np.ndarray:
+        out = _check_nchw(images)
+        for augmenter in self.augmenters:
+            out = augmenter(out)
+        return out

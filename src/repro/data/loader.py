@@ -1,0 +1,65 @@
+"""Mini-batch loader."""
+
+from __future__ import annotations
+
+from typing import Iterator, Tuple
+
+import numpy as np
+
+from repro.data.dataset import ArrayDataset
+from repro.errors import DataError
+from repro.rng import SeedLike, ensure_generator
+
+__all__ = ["BatchLoader"]
+
+
+class BatchLoader:
+    """Re-iterable mini-batch loader over an :class:`ArrayDataset`.
+
+    Each iteration covers the dataset exactly once; with
+    ``shuffle=True`` a fresh permutation is drawn per epoch from the
+    loader's private generator, so epochs are reproducible given the
+    seed.
+
+    Args:
+        dataset: source dataset.
+        batch_size: samples per batch (last batch may be smaller
+            unless ``drop_last``).
+        shuffle: reshuffle sample order each epoch.
+        drop_last: drop a trailing partial batch.
+        seed: seed for the shuffle generator.
+    """
+
+    def __init__(
+        self,
+        dataset: ArrayDataset,
+        batch_size: int,
+        shuffle: bool = False,
+        drop_last: bool = False,
+        seed: SeedLike = None,
+    ) -> None:
+        if batch_size <= 0:
+            raise DataError(f"batch_size must be positive, got {batch_size}")
+        self.dataset = dataset
+        self.batch_size = int(batch_size)
+        self.shuffle = bool(shuffle)
+        self.drop_last = bool(drop_last)
+        self._rng = ensure_generator(seed)
+
+    def __len__(self) -> int:
+        """Number of batches per epoch."""
+        n = len(self.dataset)
+        if self.drop_last:
+            return n // self.batch_size
+        return (n + self.batch_size - 1) // self.batch_size
+
+    def __iter__(self) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        order = np.arange(len(self.dataset))
+        if self.shuffle:
+            self._rng.shuffle(order)
+        limit = len(self) * self.batch_size if self.drop_last else len(order)
+        for start in range(0, limit, self.batch_size):
+            batch = order[start : start + self.batch_size]
+            if self.drop_last and batch.size < self.batch_size:
+                break
+            yield self.dataset.inputs[batch], self.dataset.labels[batch]

@@ -1,0 +1,22 @@
+"""Device models: DVFS CPUs, radios, batteries, and user devices.
+
+Implements the paper's local-user calculation model (Eqs. 4–5), the
+communication model (Eqs. 6–8), and a heterogeneous fleet generator
+matching the experimental settings of Section VII-A (100 users,
+``f_max ~ U(0.3, 2.0) GHz``, ``f_min = 0.3 GHz``).
+"""
+
+from repro.devices.battery import Battery
+from repro.devices.cpu import DvfsCpu
+from repro.devices.device import UserDevice
+from repro.devices.fleet import FleetSpec, make_fleet
+from repro.devices.radio import Radio
+
+__all__ = [
+    "DvfsCpu",
+    "Radio",
+    "Battery",
+    "UserDevice",
+    "FleetSpec",
+    "make_fleet",
+]

@@ -1,0 +1,99 @@
+"""The composite user device ``v_q``.
+
+A :class:`UserDevice` binds together everything the paper attributes to
+one user: its local dataset ``D_q``, its DVFS CPU, its uplink radio,
+and (optionally) a battery. It exposes the per-round cost quantities
+the schedulers consume: compute delay/energy at a chosen frequency
+(Eqs. 4–5), upload delay/energy (Eqs. 7–8), and the total round delay
+``T_q = T_q^cal + T_q^com`` (Eq. 9).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.data.dataset import ArrayDataset
+from repro.devices.battery import Battery
+from repro.devices.cpu import DvfsCpu
+from repro.devices.radio import Radio
+from repro.errors import DeviceError
+
+__all__ = ["UserDevice"]
+
+
+class UserDevice:
+    """One heterogeneous FL user: data + CPU + radio (+ battery).
+
+    Args:
+        device_id: unique integer id (the paper's subscript ``q``).
+        cpu: the device's DVFS CPU model.
+        radio: the device's uplink radio model.
+        dataset: the local dataset ``D_q``; its length drives both the
+            FedAvg weight and the compute cost.
+        battery: optional finite energy budget (extension).
+    """
+
+    def __init__(
+        self,
+        device_id: int,
+        cpu: DvfsCpu,
+        radio: Radio,
+        dataset: ArrayDataset,
+        battery: Optional[Battery] = None,
+    ) -> None:
+        if device_id < 0:
+            raise DeviceError(f"device_id must be non-negative, got {device_id}")
+        self.device_id = int(device_id)
+        self.cpu = cpu
+        self.radio = radio
+        self.dataset = dataset
+        self.battery = battery
+
+    @property
+    def num_samples(self) -> int:
+        """Local dataset size ``|D_q|``."""
+        return len(self.dataset)
+
+    # ------------------------------------------------------------------
+    # Cost model (paper Eqs. 4, 5, 7, 8, 9)
+    # ------------------------------------------------------------------
+    def compute_delay(self, frequency: Optional[float] = None) -> float:
+        """Eq. (4) at ``frequency`` (default ``f_max``)."""
+        return self.cpu.compute_delay(self.num_samples, frequency)
+
+    def compute_energy(self, frequency: Optional[float] = None) -> float:
+        """Eq. (5) at ``frequency`` (default ``f_max``)."""
+        return self.cpu.compute_energy(self.num_samples, frequency)
+
+    def upload_delay(self, payload_bits: float, bandwidth_hz: float) -> float:
+        """Eq. (7) for this device's radio."""
+        return self.radio.upload_delay(payload_bits, bandwidth_hz)
+
+    def upload_energy(self, payload_bits: float, bandwidth_hz: float) -> float:
+        """Eq. (8) for this device's radio."""
+        return self.radio.upload_energy(payload_bits, bandwidth_hz)
+
+    def total_delay(
+        self,
+        payload_bits: float,
+        bandwidth_hz: float,
+        frequency: Optional[float] = None,
+    ) -> float:
+        """Eq. (9): ``T_q = T_q^cal + T_q^com``."""
+        return self.compute_delay(frequency) + self.upload_delay(
+            payload_bits, bandwidth_hz
+        )
+
+    def frequency_for_compute_delay(self, target_delay: float) -> float:
+        """Frequency making the local update take ``target_delay`` seconds.
+
+        Unclamped inversion of Eq. (4); see
+        :meth:`repro.devices.cpu.DvfsCpu.frequency_for_delay`.
+        """
+        return self.cpu.frequency_for_delay(self.num_samples, target_delay)
+
+    def __repr__(self) -> str:
+        return (
+            f"UserDevice(id={self.device_id}, samples={self.num_samples}, "
+            f"f_max={self.cpu.f_max / 1e9:.2f}GHz)"
+        )

@@ -1,0 +1,22 @@
+"""Energy accounting and frequency policies.
+
+:mod:`repro.energy.accounting` tracks per-device and per-round energy
+across a training run; :mod:`repro.energy.policies` collects every
+frequency policy in one import location (the traditional max-frequency
+baseline, HELCFL's Algorithm 3, and FEDL's closed form).
+"""
+
+from repro.energy.accounting import DeviceEnergy, EnergyLedger
+from repro.energy.policies import (
+    FedlClosedFormPolicy,
+    HelcflDvfsPolicy,
+    MaxFrequencyPolicy,
+)
+
+__all__ = [
+    "DeviceEnergy",
+    "EnergyLedger",
+    "MaxFrequencyPolicy",
+    "HelcflDvfsPolicy",
+    "FedlClosedFormPolicy",
+]

@@ -1,0 +1,112 @@
+"""Per-device energy ledger.
+
+Aggregates the per-round TDMA timelines of a training run into
+per-device compute/communication energy totals — useful for fairness
+analyses ("which devices pay for training?") and for battery studies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable
+
+from repro.errors import TrainingError
+from repro.network.tdma import RoundTimeline
+
+__all__ = ["DeviceEnergy", "EnergyLedger"]
+
+
+@dataclass
+class DeviceEnergy:
+    """Accumulated energy of one device across a run.
+
+    Attributes:
+        device_id: the device.
+        compute_joules: total Eq. (5) energy.
+        upload_joules: total Eq. (8) energy.
+        rounds: number of rounds the device participated in.
+        slack_seconds: total idle wait accumulated.
+    """
+
+    device_id: int
+    compute_joules: float = 0.0
+    upload_joules: float = 0.0
+    rounds: int = 0
+    slack_seconds: float = 0.0
+
+    @property
+    def total_joules(self) -> float:
+        """Compute plus upload energy."""
+        return self.compute_joules + self.upload_joules
+
+
+@dataclass
+class EnergyLedger:
+    """Run-level energy accounting across all devices.
+
+    Feed it every round's :class:`~repro.network.tdma.RoundTimeline`
+    via :meth:`record_round`.
+    """
+
+    devices: Dict[int, DeviceEnergy] = field(default_factory=dict)
+    rounds_recorded: int = 0
+
+    def record_round(self, timeline: RoundTimeline) -> None:
+        """Accumulate one round's per-user energies."""
+        for entry in timeline.users:
+            device = self.devices.setdefault(
+                entry.device_id, DeviceEnergy(entry.device_id)
+            )
+            device.compute_joules += entry.compute_energy
+            device.upload_joules += entry.upload_energy
+            device.slack_seconds += entry.slack
+            device.rounds += 1
+        self.rounds_recorded += 1
+
+    def record_rounds(self, timelines: Iterable[RoundTimeline]) -> None:
+        """Accumulate a sequence of rounds."""
+        for timeline in timelines:
+            self.record_round(timeline)
+
+    @property
+    def total_joules(self) -> float:
+        """Total energy across every device."""
+        return sum(d.total_joules for d in self.devices.values())
+
+    @property
+    def total_compute_joules(self) -> float:
+        """Total compute energy across every device."""
+        return sum(d.compute_joules for d in self.devices.values())
+
+    @property
+    def total_upload_joules(self) -> float:
+        """Total upload energy across every device."""
+        return sum(d.upload_joules for d in self.devices.values())
+
+    def heaviest_devices(self, count: int = 5) -> list:
+        """The ``count`` devices with the highest total energy."""
+        if count <= 0:
+            raise TrainingError(f"count must be positive, got {count}")
+        ranked = sorted(
+            self.devices.values(), key=lambda d: -d.total_joules
+        )
+        return ranked[:count]
+
+    def fairness_gini(self) -> float:
+        """Gini coefficient of per-device total energy (0 = equal).
+
+        Returns 0 for fewer than two devices.
+        """
+        values = sorted(d.total_joules for d in self.devices.values())
+        n = len(values)
+        if n < 2:
+            return 0.0
+        total = sum(values)
+        if total == 0:
+            return 0.0
+        cumulative = 0.0
+        weighted = 0.0
+        for rank, value in enumerate(values, start=1):
+            weighted += rank * value
+            cumulative += value
+        return (2.0 * weighted) / (n * total) - (n + 1.0) / n

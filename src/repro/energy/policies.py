@@ -1,0 +1,13 @@
+"""All frequency policies, re-exported in one place.
+
+* :class:`MaxFrequencyPolicy` — traditional TDMA FL (no DVFS), the
+  "before" side of the paper's Fig. 3.
+* :class:`HelcflDvfsPolicy` — the paper's Algorithm 3.
+* :class:`FedlClosedFormPolicy` — FEDL's [12] closed-form balance.
+"""
+
+from repro.baselines.fedl import FedlClosedFormPolicy
+from repro.core.frequency import HelcflDvfsPolicy
+from repro.fl.strategy import MaxFrequencyPolicy
+
+__all__ = ["MaxFrequencyPolicy", "HelcflDvfsPolicy", "FedlClosedFormPolicy"]

@@ -1,0 +1,85 @@
+"""Exception hierarchy for the HELCFL reproduction library.
+
+Every error raised by :mod:`repro` derives from :class:`ReproError` so
+that callers can catch library failures with a single ``except`` clause
+while still being able to discriminate between configuration problems,
+model problems, and simulation problems.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "ShapeError",
+    "DataError",
+    "PartitionError",
+    "DeviceError",
+    "FrequencyRangeError",
+    "NetworkError",
+    "SelectionError",
+    "TrainingError",
+    "SerializationError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by the :mod:`repro` library."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """An experiment or component configuration value is invalid.
+
+    Raised when a user-supplied parameter is outside its documented
+    domain (for example a negative learning rate, a selection fraction
+    outside ``(0, 1]``, or a decay coefficient outside ``(0, 1)``).
+    """
+
+
+class ShapeError(ReproError, ValueError):
+    """An array argument has an incompatible shape.
+
+    Raised by :mod:`repro.nn` layers and losses when the input rank or
+    dimensions do not match what the layer was constructed for.
+    """
+
+
+class DataError(ReproError, ValueError):
+    """A dataset is malformed (mismatched lengths, bad labels, empty)."""
+
+
+class PartitionError(DataError):
+    """A dataset partition request cannot be satisfied.
+
+    Raised for example when the paper's shard partitioner is asked for
+    more shards than there are samples, or when the number of shards is
+    not divisible by the number of users.
+    """
+
+
+class DeviceError(ReproError, ValueError):
+    """A device model (CPU, radio, battery) received invalid parameters."""
+
+
+class FrequencyRangeError(DeviceError):
+    """A requested CPU operating frequency lies outside ``[f_min, f_max]``."""
+
+
+class NetworkError(ReproError, ValueError):
+    """A wireless-network model (channel, TDMA schedule) is invalid."""
+
+
+class SelectionError(ReproError, ValueError):
+    """A user-selection strategy cannot produce a valid selection.
+
+    Raised for example when a strategy is asked to select from an empty
+    population, or when FedCS's per-round deadline excludes every user.
+    """
+
+
+class TrainingError(ReproError, RuntimeError):
+    """The federated training loop entered an invalid state."""
+
+
+class SerializationError(ReproError, ValueError):
+    """A model or history payload could not be encoded or decoded."""

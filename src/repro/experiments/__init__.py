@@ -1,0 +1,43 @@
+"""Experiment harness reproducing the paper's evaluation (Section VII).
+
+* :mod:`repro.experiments.settings` — the paper's simulation settings
+  and the scaled profile this offline reproduction runs at.
+* :mod:`repro.experiments.runner` — builds and runs any scheme
+  (HELCFL + the four baselines) on IID or non-IID partitions.
+* :mod:`repro.experiments.fig2` — accuracy curves (Fig. 2).
+* :mod:`repro.experiments.table1` — training delay to desired accuracy
+  (Table I).
+* :mod:`repro.experiments.fig3` — DVFS energy reduction (Fig. 3).
+* :mod:`repro.experiments.reporting` — text tables mirroring the
+  paper's presentation.
+"""
+
+from repro.experiments.fig1 import Fig1Result, run_fig1
+from repro.experiments.fig2 import Fig2Result, run_fig2
+from repro.experiments.fig3 import Fig3Result, run_fig3
+from repro.experiments.reporting import (
+    format_fig2_table,
+    format_fig3_table,
+    format_table1,
+)
+from repro.experiments.runner import STRATEGY_NAMES, build_environment, run_strategy
+from repro.experiments.settings import ExperimentSettings
+from repro.experiments.table1 import Table1Result, run_table1
+
+__all__ = [
+    "ExperimentSettings",
+    "STRATEGY_NAMES",
+    "build_environment",
+    "run_strategy",
+    "Fig1Result",
+    "run_fig1",
+    "Fig2Result",
+    "run_fig2",
+    "Table1Result",
+    "run_table1",
+    "Fig3Result",
+    "run_fig3",
+    "format_fig2_table",
+    "format_table1",
+    "format_fig3_table",
+]

@@ -1,0 +1,100 @@
+"""One-command reproduction report.
+
+:func:`generate_report` runs the paper's complete evaluation — Fig. 2,
+Table I, and Fig. 3 for both partition regimes — on one shared
+environment per regime and renders everything as a single text
+document, the programmatic equivalent of EXPERIMENTS.md's measured
+sections. Exposed on the CLI as ``python -m repro report``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.experiments.fig2 import run_fig2
+from repro.experiments.fig3 import run_fig3
+from repro.experiments.reporting import (
+    format_fig2_table,
+    format_fig3_table,
+    format_table1,
+)
+from repro.experiments.settings import ExperimentSettings
+from repro.experiments.table1 import run_table1
+from repro.version import PAPER_TITLE, PAPER_VENUE, __version__
+
+__all__ = ["generate_report"]
+
+_REPORT_STRATEGIES = (
+    "helcfl",
+    "helcfl-nodvfs",
+    "classic",
+    "fedcs",
+    "fedl",
+    "sl",
+)
+
+
+def generate_report(
+    settings: Optional[ExperimentSettings] = None,
+    regimes: Sequence[bool] = (True, False),
+) -> str:
+    """Run the full evaluation and return the text report.
+
+    Args:
+        settings: experiment settings (paper-scale defaults when None).
+        regimes: partition regimes to include (True = IID).
+
+    Returns:
+        A multi-line report containing every artifact, speedup lines,
+        and the run's configuration header.
+    """
+    settings = settings or ExperimentSettings()
+    lines: List[str] = [
+        f"{PAPER_TITLE} ({PAPER_VENUE})",
+        f"reproduction report - repro {__version__}",
+        (
+            f"settings: Q={settings.num_users}, C={settings.fraction}, "
+            f"eta={settings.decay}, rounds={settings.rounds}, "
+            f"seed={settings.seed}, model={settings.model}"
+        ),
+        "=" * 72,
+    ]
+    for iid in regimes:
+        regime = "IID" if iid else "Non-IID"
+        lines.append("")
+        lines.append(f"--- {regime} setting ---")
+
+        sweep = run_fig2(settings, iid=iid, strategies=_REPORT_STRATEGIES)
+        lines.append("")
+        lines.append(format_fig2_table(sweep))
+
+        table = run_table1(settings, iid=iid, fig2=sweep)
+        lines.append("")
+        lines.append(format_table1(table))
+        for target in table.targets:
+            speedups = []
+            for versus in ("classic", "fedcs", "fedl"):
+                value = table.speedup(target, versus=versus)
+                speedups.append(
+                    f"{versus}: "
+                    + (f"{value:.0f}%" if value is not None else "x")
+                )
+            lines.append(
+                f"  HELCFL speedup @ {100 * target:.1f}%  "
+                + "  ".join(speedups)
+            )
+
+        fig3 = run_fig3(
+            settings,
+            iid=iid,
+            histories={
+                "helcfl": sweep.histories["helcfl"],
+                "helcfl-nodvfs": sweep.histories["helcfl-nodvfs"],
+            },
+        )
+        lines.append("")
+        lines.append(format_fig3_table(fig3))
+    lines.append("")
+    lines.append("=" * 72)
+    lines.append("see EXPERIMENTS.md for the paper-vs-measured reading guide")
+    return "\n".join(lines)

@@ -1,0 +1,172 @@
+"""Build-and-run plumbing shared by every experiment.
+
+:func:`build_environment` generates the synthetic task, partitions it
+(IID or the paper's non-IID shards), flattens inputs when the model
+needs it, and builds the heterogeneous device fleet — all seeded from
+the settings so every strategy sees the *identical* data, partition,
+and hardware population.
+
+:func:`run_strategy` then runs one named scheme to completion and
+returns its :class:`~repro.fl.history.TrainingHistory`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.baselines.registry import build_strategy, strategy_labels
+from repro.baselines.sl import SeparatedLearningRunner
+from repro.data.dataset import ArrayDataset
+from repro.data.synthetic import SyntheticImageTask
+from repro.data.transforms import flatten_images
+from repro.devices.device import UserDevice
+from repro.devices.fleet import make_fleet
+from repro.errors import ConfigurationError
+from repro.experiments.settings import ExperimentSettings
+from repro.fl.history import TrainingHistory
+from repro.fl.server import FederatedServer
+from repro.fl.trainer import FederatedTrainer
+from repro.rng import derive_seed
+
+__all__ = ["STRATEGY_NAMES", "Environment", "build_environment", "run_strategy"]
+
+STRATEGY_NAMES = (
+    "helcfl",
+    "helcfl-nodvfs",
+    "classic",
+    "fedcs",
+    "fedl",
+    "full",
+    "sl",
+)
+
+
+@dataclass
+class Environment:
+    """Everything shared across strategies for one experimental setting.
+
+    Attributes:
+        settings: the generating settings.
+        iid: whether partitions are IID.
+        task: the synthetic dataset.
+        test: the evaluation split (flattened if the model needs it).
+        partitions: per-user local datasets.
+        devices: the heterogeneous fleet (one device per partition).
+    """
+
+    settings: ExperimentSettings
+    iid: bool
+    task: SyntheticImageTask
+    test: ArrayDataset
+    partitions: List[ArrayDataset]
+    devices: List[UserDevice]
+
+
+def build_environment(settings: ExperimentSettings, iid: bool) -> Environment:
+    """Create the shared data + fleet environment for ``settings``.
+
+    Args:
+        settings: experiment settings.
+        iid: True for the IID partition, False for the paper's
+            label-shard non-IID partition.
+    """
+    task = settings.build_task()
+    train = task.train
+    test = task.test
+    if settings.uses_flat_inputs:
+        train = ArrayDataset(flatten_images(train.inputs), train.labels)
+        test = ArrayDataset(flatten_images(test.inputs), test.labels)
+    partitions = settings.build_partitions(train, iid=iid)
+    devices = make_fleet(
+        partitions,
+        settings.fleet_spec(),
+        seed=derive_seed(settings.seed, "fleet"),
+    )
+    return Environment(
+        settings=settings,
+        iid=iid,
+        task=task,
+        test=test,
+        partitions=partitions,
+        devices=devices,
+    )
+
+
+def _make_server(settings: ExperimentSettings, env: Environment) -> FederatedServer:
+    model = settings.build_model(flattened=settings.uses_flat_inputs)
+    return FederatedServer(
+        model,
+        test_dataset=env.test,
+        payload_bits=settings.payload_bits,
+    )
+
+
+def run_strategy(
+    name: str,
+    settings: ExperimentSettings,
+    iid: bool,
+    environment: Optional[Environment] = None,
+    config_overrides: Optional[Dict] = None,
+) -> TrainingHistory:
+    """Run one named scheme end to end.
+
+    Every call builds a fresh server/model (same seed, hence the same
+    initialization for every strategy) but reuses the environment when
+    one is supplied, so all strategies compare on identical data and
+    hardware.
+
+    Args:
+        name: one of :data:`STRATEGY_NAMES`.
+        settings: experiment settings.
+        iid: partition regime.
+        environment: pre-built environment to reuse across strategies.
+        config_overrides: keyword overrides for the trainer config
+            (e.g. ``{"deadline_s": 600.0}``).
+
+    Returns:
+        The run's :class:`~repro.fl.history.TrainingHistory`, labelled
+        with the scheme's display name.
+    """
+    key = name.strip().lower()
+    if key not in STRATEGY_NAMES:
+        raise ConfigurationError(
+            f"unknown strategy {name!r}; expected one of {STRATEGY_NAMES}"
+        )
+    env = environment or build_environment(settings, iid)
+    server = _make_server(settings, env)
+    config = settings.trainer_config(**(config_overrides or {}))
+    label = strategy_labels()[key]
+
+    if key == "sl":
+        runner = SeparatedLearningRunner(
+            server,
+            env.devices,
+            config=config,
+            eval_users=min(10, settings.num_users),
+            seed=derive_seed(settings.seed, "sl-eval"),
+            label=label,
+        )
+        return runner.run()
+
+    selection, policy = build_strategy(
+        key,
+        devices=env.devices,
+        fraction=settings.fraction,
+        payload_bits=settings.payload_bits,
+        bandwidth_hz=settings.bandwidth_hz,
+        decay=settings.decay,
+        seed=derive_seed(settings.seed, "selection", key),
+        fedcs_target_count=settings.fedcs_target_count,
+        fedcs_candidate_fraction=settings.fedcs_candidate_fraction,
+        fedl_kappa=settings.fedl_kappa,
+    )
+    trainer = FederatedTrainer(
+        server=server,
+        devices=env.devices,
+        selection=selection,
+        frequency_policy=policy,
+        config=config,
+        label=label,
+    )
+    return trainer.run()

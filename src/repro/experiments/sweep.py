@@ -1,0 +1,151 @@
+"""Generic parameter sweeps over :class:`ExperimentSettings`.
+
+The ablation benches each hand-roll a loop over one knob; this utility
+generalizes that: declare a grid over any settings fields, run a
+strategy at every grid point, and collect a tidy results table. Used
+for exploratory studies ("how does the eta/fraction plane look?")
+without writing a new runner each time.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+from dataclasses import dataclass, replace
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.experiments.runner import build_environment, run_strategy
+from repro.experiments.settings import ExperimentSettings
+from repro.fl.history import TrainingHistory
+
+__all__ = ["SweepPoint", "SweepResult", "run_sweep"]
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One grid point's outcome.
+
+    Attributes:
+        overrides: the settings fields that define this point.
+        history: the training run at this point.
+    """
+
+    overrides: Tuple[Tuple[str, object], ...]
+    history: TrainingHistory
+
+    def override_dict(self) -> Dict[str, object]:
+        """The overrides as a plain dict."""
+        return dict(self.overrides)
+
+
+@dataclass
+class SweepResult:
+    """All grid points of one sweep, with tabulation helpers."""
+
+    strategy: str
+    iid: bool
+    points: List[SweepPoint]
+
+    def table(
+        self, metrics: Sequence[str] = ("best_accuracy", "total_time", "total_energy")
+    ) -> List[Dict[str, object]]:
+        """Rows of ``{knob: value, ..., metric: value, ...}``."""
+        rows = []
+        for point in self.points:
+            row: Dict[str, object] = dict(point.overrides)
+            for metric in metrics:
+                row[metric] = getattr(point.history, metric)
+            rows.append(row)
+        return rows
+
+    def best_point(self, metric: str = "best_accuracy") -> SweepPoint:
+        """The grid point maximizing ``metric``."""
+        if not self.points:
+            raise ConfigurationError("sweep produced no points")
+        return max(self.points, key=lambda p: getattr(p.history, metric))
+
+
+def run_sweep(
+    grid: Mapping[str, Iterable],
+    strategy: str = "helcfl",
+    base: Optional[ExperimentSettings] = None,
+    iid: bool = True,
+    reuse_environment: bool = True,
+) -> SweepResult:
+    """Run ``strategy`` at every point of a settings grid.
+
+    Args:
+        grid: mapping from :class:`ExperimentSettings` field names to
+            the values to sweep; the cartesian product is evaluated.
+        strategy: the scheme to run at every point.
+        base: base settings (quick profile recommended).
+        iid: partition regime.
+        reuse_environment: when True and no swept field affects the
+            environment (data, partition, fleet), build it once. Fields
+            affecting the environment force a rebuild per point.
+
+    Returns:
+        The assembled :class:`SweepResult` in grid order.
+
+    Raises:
+        ConfigurationError: for an empty grid or unknown field names.
+    """
+    if not grid:
+        raise ConfigurationError("grid must name at least one field")
+    base = base or ExperimentSettings.quick()
+    valid_fields = {f.name for f in dataclasses.fields(ExperimentSettings)}
+    for name in grid:
+        if name not in valid_fields:
+            raise ConfigurationError(
+                f"unknown settings field {name!r}; valid fields: "
+                f"{sorted(valid_fields)}"
+            )
+
+    # Fields that change the generated environment.
+    environment_fields = {
+        "num_users",
+        "train_size",
+        "test_size",
+        "num_classes",
+        "image_shape",
+        "class_separation",
+        "within_class_std",
+        "noise_std",
+        "shards_per_user",
+        "seed",
+        "f_min_hz",
+        "f_max_low_hz",
+        "f_max_high_hz",
+        "cycles_per_sample",
+        "switched_capacitance",
+        "transmit_power_w",
+        "channel_gain",
+        "noise_power_w",
+        "model",
+    }
+    environment_static = reuse_environment and not (
+        set(grid) & environment_fields
+    )
+    shared_environment = (
+        build_environment(base, iid=iid) if environment_static else None
+    )
+
+    names = list(grid)
+    points: List[SweepPoint] = []
+    for combination in itertools.product(*(list(grid[n]) for n in names)):
+        overrides = dict(zip(names, combination))
+        settings = replace(base, **overrides)
+        environment = shared_environment
+        if environment is None:
+            environment = build_environment(settings, iid=iid)
+        history = run_strategy(
+            strategy, settings, iid=iid, environment=environment
+        )
+        points.append(
+            SweepPoint(
+                overrides=tuple(sorted(overrides.items())),
+                history=history,
+            )
+        )
+    return SweepResult(strategy=strategy, iid=iid, points=points)

@@ -1,0 +1,111 @@
+"""Table I — training delay to obtain desired accuracy.
+
+For each desired accuracy level, reports each scheme's simulated
+training delay until its test accuracy first reached the level, with
+``None`` standing for the paper's "✗" (never reached). Accuracy levels
+default to fractions of HELCFL's achieved ceiling, because the
+synthetic task's absolute accuracy scale differs from CIFAR-10 (see
+EXPERIMENTS.md); explicit absolute targets can be passed instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.experiments.fig2 import DEFAULT_FIG2_STRATEGIES, Fig2Result, run_fig2
+from repro.experiments.settings import ExperimentSettings
+
+__all__ = ["Table1Result", "run_table1", "DEFAULT_TARGET_FRACTIONS"]
+
+# Fractions of the reference (HELCFL) ceiling standing in for the
+# paper's absolute levels (60/70/80% IID; 40/50/60% non-IID).
+DEFAULT_TARGET_FRACTIONS: Tuple[float, ...] = (0.75, 0.85, 0.95)
+
+
+@dataclass
+class Table1Result:
+    """Delay-to-accuracy table for one partition regime.
+
+    Attributes:
+        iid: partition regime.
+        targets: absolute accuracy levels of the columns.
+        delays: ``delays[strategy][target]`` — simulated seconds to
+            first reach ``target``, or ``None`` for the paper's "✗".
+    """
+
+    iid: bool
+    targets: Tuple[float, ...]
+    delays: Dict[str, Dict[float, Optional[float]]]
+
+    def speedup(
+        self, target: float, reference: str = "helcfl", versus: str = "classic"
+    ) -> Optional[float]:
+        """Paper-style speedup of ``reference`` versus ``versus``.
+
+        The paper reports speedup as ``T_baseline / T_helcfl`` expressed
+        in percent (e.g. 275.03%). Returns ``None`` when either scheme
+        never reached the target.
+        """
+        if target not in self.targets:
+            raise ConfigurationError(
+                f"target {target} not among computed targets {self.targets}"
+            )
+        ref = self.delays.get(reference, {}).get(target)
+        base = self.delays.get(versus, {}).get(target)
+        if ref is None or base is None or ref <= 0:
+            return None
+        return 100.0 * base / ref
+
+    def rows(self) -> List[Tuple[str, List[Optional[float]]]]:
+        """Table rows: ``(strategy, [delay per target])``."""
+        return [
+            (name, [self.delays[name][t] for t in self.targets])
+            for name in self.delays
+        ]
+
+
+def run_table1(
+    settings: Optional[ExperimentSettings] = None,
+    iid: bool = True,
+    targets: Optional[Sequence[float]] = None,
+    target_fractions: Sequence[float] = DEFAULT_TARGET_FRACTIONS,
+    fig2: Optional[Fig2Result] = None,
+    strategies: Sequence[str] = DEFAULT_FIG2_STRATEGIES,
+) -> Table1Result:
+    """Reproduce one half of Table I.
+
+    Args:
+        settings: experiment settings (paper defaults when None).
+        iid: IID (top half) or non-IID (bottom half).
+        targets: explicit absolute accuracy levels; when None they are
+            derived as ``target_fractions`` of HELCFL's best accuracy.
+        target_fractions: ceiling fractions used when ``targets`` is
+            None.
+        fig2: an existing Fig. 2 result to reuse (the table needs the
+            same runs; passing it avoids retraining).
+        strategies: schemes to include when running fresh.
+
+    Returns:
+        The :class:`Table1Result` for this regime.
+    """
+    settings = settings or ExperimentSettings()
+    if fig2 is None:
+        fig2 = run_fig2(settings, iid=iid, strategies=strategies)
+    histories = fig2.histories
+    if "helcfl" not in histories:
+        raise ConfigurationError("table 1 requires a 'helcfl' run as reference")
+
+    if targets is None:
+        ceiling = histories["helcfl"].best_accuracy
+        targets = tuple(round(f * ceiling, 4) for f in target_fractions)
+    else:
+        targets = tuple(float(t) for t in targets)
+
+    delays: Dict[str, Dict[float, Optional[float]]] = {}
+    for name, history in histories.items():
+        delays[name] = {
+            target: history.time_to_accuracy(target) for target in targets
+        }
+    return Table1Result(iid=iid, targets=targets, delays=delays)

@@ -1,0 +1,180 @@
+"""Oort-style joint statistical + system utility selection (extension).
+
+HELCFL's utility (Eq. 20) is purely *system*-side: it scores users by
+training delay, decayed by participation. The closest published
+relative, Oort (Lai et al., OSDI 2021), additionally folds in
+*statistical* utility — how informative a user's data currently is,
+estimated from its recent training loss — and explores unseen users.
+
+This extension implements the Oort scoring shape on this repository's
+substrates::
+
+    U_q = StatUtil_q * (T_pref / T_q)^alpha_penalty   if T_q > T_pref
+    U_q = StatUtil_q                                   otherwise
+
+where ``StatUtil_q`` is ``|D_q| * last_loss_q`` (loss-weighted data
+volume), ``T_q`` the user's round delay, and ``T_pref`` a preferred
+round duration (the system-speed developer knob). Users never selected
+get an exploration bonus so the scheme keeps discovering data.
+
+It is a drop-in :class:`~repro.fl.strategy.SelectionStrategy`; the
+trainer feeds observed client losses back via :meth:`observe_losses`
+(wired automatically when used through
+:func:`build_oort_trainer`-style manual assembly — see
+``benchmarks/bench_ext_oort.py``).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence
+
+from repro.devices.device import UserDevice
+from repro.errors import ConfigurationError
+from repro.fl.strategy import SelectionStrategy, selection_count
+from repro.rng import SeedLike, ensure_generator
+
+__all__ = ["OortSelection"]
+
+
+class OortSelection(SelectionStrategy):
+    """Joint statistical/system utility selection with exploration.
+
+    Args:
+        fraction: selection fraction ``C``.
+        payload_bits: model payload (for the delay estimate).
+        bandwidth_hz: uplink resource blocks.
+        preferred_round_s: the "preferred" round duration ``T_pref``;
+            users slower than this are penalized. ``None`` uses the
+            population's median total delay, computed lazily.
+        penalty_exponent: the system-penalty exponent ``alpha``.
+        exploration_fraction: fraction of each round's slots given to
+            never-selected users (sampled uniformly), while any remain.
+        seed: exploration-sampling seed.
+    """
+
+    def __init__(
+        self,
+        fraction: float,
+        payload_bits: float,
+        bandwidth_hz: float,
+        preferred_round_s: float | None = None,
+        penalty_exponent: float = 1.0,
+        exploration_fraction: float = 0.2,
+        seed: SeedLike = None,
+    ) -> None:
+        if not 0.0 < fraction <= 1.0:
+            raise ConfigurationError(f"fraction must be in (0, 1], got {fraction}")
+        if payload_bits <= 0 or bandwidth_hz <= 0:
+            raise ConfigurationError(
+                "payload_bits and bandwidth_hz must be positive, got "
+                f"{payload_bits} and {bandwidth_hz}"
+            )
+        if preferred_round_s is not None and preferred_round_s <= 0:
+            raise ConfigurationError(
+                f"preferred_round_s must be positive, got {preferred_round_s}"
+            )
+        if penalty_exponent < 0:
+            raise ConfigurationError(
+                f"penalty_exponent must be >= 0, got {penalty_exponent}"
+            )
+        if not 0.0 <= exploration_fraction <= 1.0:
+            raise ConfigurationError(
+                f"exploration_fraction must be in [0, 1], got "
+                f"{exploration_fraction}"
+            )
+        self.fraction = float(fraction)
+        self.payload_bits = float(payload_bits)
+        self.bandwidth_hz = float(bandwidth_hz)
+        self.preferred_round_s = preferred_round_s
+        self.penalty_exponent = float(penalty_exponent)
+        self.exploration_fraction = float(exploration_fraction)
+        self._seed = seed
+        self._rng = ensure_generator(seed)
+        self.last_losses: Dict[int, float] = {}
+        self.ever_selected: set = set()
+
+    def reset(self) -> None:
+        """Forget loss observations and exploration state."""
+        self.last_losses.clear()
+        self.ever_selected.clear()
+        self._rng = ensure_generator(self._seed)
+
+    # ------------------------------------------------------------------
+    def observe_losses(self, losses: Dict[int, float]) -> None:
+        """Feed back observed client training losses.
+
+        Args:
+            losses: mapping from device id to the loss measured in its
+                most recent participation.
+        """
+        for device_id, loss in losses.items():
+            if loss < 0:
+                raise ConfigurationError(
+                    f"loss must be non-negative, got {loss} for {device_id}"
+                )
+            self.last_losses[int(device_id)] = float(loss)
+
+    def _preferred_duration(self, devices: Sequence[UserDevice]) -> float:
+        if self.preferred_round_s is not None:
+            return self.preferred_round_s
+        delays = sorted(
+            d.total_delay(self.payload_bits, self.bandwidth_hz) for d in devices
+        )
+        return delays[len(delays) // 2]
+
+    def utility(self, device: UserDevice, preferred: float) -> float:
+        """The Oort score of one (previously seen) device."""
+        last_loss = self.last_losses.get(device.device_id)
+        # Unseen devices handled by exploration; give a neutral prior
+        # here so utility() is total.
+        stat = device.num_samples * (last_loss if last_loss is not None else 1.0)
+        delay = device.total_delay(self.payload_bits, self.bandwidth_hz)
+        if delay > preferred and self.penalty_exponent > 0:
+            stat *= math.pow(preferred / delay, self.penalty_exponent)
+        return stat
+
+    def select(
+        self, round_index: int, devices: Sequence[UserDevice]
+    ) -> List[UserDevice]:
+        del round_index
+        self._check_population(devices)
+        count = selection_count(len(devices), self.fraction)
+        preferred = self._preferred_duration(devices)
+
+        unexplored = [
+            d for d in devices if d.device_id not in self.ever_selected
+        ]
+        explore_slots = min(
+            len(unexplored), max(0, int(round(self.exploration_fraction * count)))
+        )
+        # While nothing has been observed yet, explore with every slot.
+        if not self.last_losses:
+            explore_slots = min(len(unexplored), count)
+
+        chosen: List[UserDevice] = []
+        if explore_slots:
+            picks = self._rng.choice(
+                len(unexplored), size=explore_slots, replace=False
+            )
+            chosen.extend(unexplored[int(i)] for i in sorted(picks))
+
+        remaining = count - len(chosen)
+        if remaining > 0:
+            chosen_ids = {d.device_id for d in chosen}
+            candidates = [d for d in devices if d.device_id not in chosen_ids]
+            ranked = sorted(
+                candidates,
+                key=lambda d: (-self.utility(d, preferred), d.device_id),
+            )
+            chosen.extend(ranked[:remaining])
+
+        for device in chosen:
+            self.ever_selected.add(device.device_id)
+        return chosen
+
+    def __repr__(self) -> str:
+        return (
+            f"OortSelection(C={self.fraction}, "
+            f"explore={self.exploration_fraction})"
+        )

@@ -1,0 +1,119 @@
+"""Local client training (the paper's Eq. 3).
+
+Each selected user updates the broadcast model on its own data with
+gradient descent. The paper's local update is a single full-batch GD
+step per round (Eq. 3) — this is what makes the FedAvg round exactly
+equivalent to a centralized step on the selected users' pooled data
+(Eq. 19). The trainer also supports multiple local steps and
+mini-batching as FedAvg-style extensions.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.data.dataset import ArrayDataset
+from repro.errors import ConfigurationError, TrainingError
+from repro.nn.losses import SoftmaxCrossEntropy
+from repro.nn.model import Sequential
+from repro.nn.optimizers import Sgd
+from repro.rng import SeedLike, ensure_generator
+
+__all__ = ["LocalTrainer"]
+
+
+class LocalTrainer:
+    """Runs a user's local model update.
+
+    Args:
+        learning_rate: GD learning rate ``tau``.
+        local_steps: gradient steps per round (paper: 1).
+        batch_size: mini-batch size; ``None`` (paper setting) uses the
+            full local dataset every step, i.e. exact Eq. (3).
+        loss: loss object exposing ``loss_and_grad``; defaults to
+            softmax cross-entropy.
+        max_grad_norm: optional global-norm gradient clipping applied
+            before each update (stabilizes training on pathological
+            non-IID shards); ``None`` (paper setting) disables it.
+        seed: seed for mini-batch sampling (unused in full-batch mode).
+    """
+
+    def __init__(
+        self,
+        learning_rate: float = 0.1,
+        local_steps: int = 1,
+        batch_size: Optional[int] = None,
+        loss=None,
+        max_grad_norm: Optional[float] = None,
+        seed: SeedLike = None,
+    ) -> None:
+        if learning_rate <= 0:
+            raise ConfigurationError(
+                f"learning_rate must be positive, got {learning_rate}"
+            )
+        if local_steps <= 0:
+            raise ConfigurationError(
+                f"local_steps must be positive, got {local_steps}"
+            )
+        if batch_size is not None and batch_size <= 0:
+            raise ConfigurationError(
+                f"batch_size must be positive when given, got {batch_size}"
+            )
+        if max_grad_norm is not None and max_grad_norm <= 0:
+            raise ConfigurationError(
+                f"max_grad_norm must be positive when given, got {max_grad_norm}"
+            )
+        self.learning_rate = float(learning_rate)
+        self.local_steps = int(local_steps)
+        self.batch_size = batch_size
+        self.loss = loss if loss is not None else SoftmaxCrossEntropy()
+        self.max_grad_norm = max_grad_norm
+        self._rng = ensure_generator(seed)
+
+    def _clip_gradients(self, model: Sequential) -> None:
+        """Scale all gradient buffers so their global norm fits."""
+        if self.max_grad_norm is None:
+            return
+        total = 0.0
+        for layer in model.layers:
+            for grad in layer.grads.values():
+                total += float((grad**2).sum())
+        norm = total**0.5
+        if norm > self.max_grad_norm and norm > 0:
+            scale = self.max_grad_norm / norm
+            for layer in model.layers:
+                for grad in layer.grads.values():
+                    grad *= scale
+
+    def train(self, model: Sequential, dataset: ArrayDataset) -> float:
+        """Update ``model`` in place on ``dataset``; return the last loss.
+
+        Args:
+            model: the model holding the freshly broadcast global
+                parameters; mutated in place.
+            dataset: the user's local dataset ``D_q``.
+
+        Returns:
+            The training loss of the final gradient step (before that
+            step's update is applied).
+
+        Raises:
+            TrainingError: if the dataset is empty.
+        """
+        if len(dataset) == 0:
+            raise TrainingError("cannot run a local update on an empty dataset")
+        optimizer = Sgd(self.learning_rate)
+        last_loss = 0.0
+        for _ in range(self.local_steps):
+            if self.batch_size is None:
+                inputs, labels = dataset.inputs, dataset.labels
+            else:
+                take = min(self.batch_size, len(dataset))
+                batch = self._rng.choice(len(dataset), size=take, replace=False)
+                inputs, labels = dataset.inputs[batch], dataset.labels[batch]
+            outputs = model.forward(inputs, training=True)
+            last_loss, grad = self.loss.loss_and_grad(outputs, labels)
+            model.backward(grad)
+            self._clip_gradients(model)
+            optimizer.step(model)
+        return float(last_loss)

@@ -1,0 +1,233 @@
+"""Training history: the measurement record behind every experiment.
+
+Each FL round appends a :class:`RoundRecord` carrying the selection,
+frequencies, simulated delay/energy (from the TDMA timeline), and the
+evaluation results. :class:`TrainingHistory` then answers the questions
+the paper's evaluation asks:
+
+* Fig. 2 — the accuracy-versus-round curve (:meth:`accuracy_series`);
+* Table I — simulated training delay to reach a desired accuracy
+  (:meth:`time_to_accuracy`);
+* Fig. 3 — training energy spent to reach a desired accuracy
+  (:meth:`energy_to_accuracy`).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import TrainingError
+
+__all__ = ["RoundRecord", "TrainingHistory"]
+
+
+@dataclass(frozen=True)
+class RoundRecord:
+    """Everything measured in one FL round.
+
+    Attributes:
+        round_index: 1-based round number ``j``.
+        selected_ids: device ids of ``Gamma_j`` (selection order).
+        frequencies: assigned CPU frequency per selected device id.
+        round_delay: Eq. (10) for this round, seconds.
+        round_energy: Eq. (11) for this round, joules.
+        compute_energy: compute share of ``round_energy``.
+        upload_energy: upload share of ``round_energy``.
+        slack: total idle wait across selected users, seconds.
+        cumulative_time: simulated clock after this round, seconds.
+        cumulative_energy: total energy after this round, joules.
+        train_loss: dataset-size-weighted mean of client losses.
+        test_accuracy: global-model test accuracy (None on rounds
+            without evaluation).
+        test_loss: global-model test loss (None without evaluation).
+        dropped_ids: devices whose update was lost this round (battery
+            depletion injection), empty otherwise.
+    """
+
+    round_index: int
+    selected_ids: Tuple[int, ...]
+    frequencies: Dict[int, float]
+    round_delay: float
+    round_energy: float
+    compute_energy: float
+    upload_energy: float
+    slack: float
+    cumulative_time: float
+    cumulative_energy: float
+    train_loss: float
+    test_accuracy: Optional[float] = None
+    test_loss: Optional[float] = None
+    dropped_ids: Tuple[int, ...] = ()
+
+
+@dataclass
+class TrainingHistory:
+    """The ordered round records of one training run.
+
+    Attributes:
+        records: per-round measurements, in round order.
+        label: free-form run label (e.g. the strategy name).
+    """
+
+    records: List[RoundRecord] = field(default_factory=list)
+    label: str = ""
+
+    def append(self, record: RoundRecord) -> None:
+        """Append the next round's record (indices must increase)."""
+        if self.records and record.round_index <= self.records[-1].round_index:
+            raise TrainingError(
+                f"round {record.round_index} does not follow "
+                f"{self.records[-1].round_index}"
+            )
+        self.records.append(record)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    # ------------------------------------------------------------------
+    # Totals
+    # ------------------------------------------------------------------
+    @property
+    def total_time(self) -> float:
+        """Simulated seconds of the whole run."""
+        return self.records[-1].cumulative_time if self.records else 0.0
+
+    @property
+    def total_energy(self) -> float:
+        """Total joules of the whole run."""
+        return self.records[-1].cumulative_energy if self.records else 0.0
+
+    # ------------------------------------------------------------------
+    # Accuracy queries (Fig. 2 / Table I / Fig. 3)
+    # ------------------------------------------------------------------
+    def accuracy_series(self) -> List[Tuple[int, float, float]]:
+        """Evaluated rounds as ``(round, cumulative_time, accuracy)``."""
+        return [
+            (r.round_index, r.cumulative_time, r.test_accuracy)
+            for r in self.records
+            if r.test_accuracy is not None
+        ]
+
+    @property
+    def best_accuracy(self) -> float:
+        """Highest test accuracy observed (0.0 if never evaluated)."""
+        values = [
+            r.test_accuracy for r in self.records if r.test_accuracy is not None
+        ]
+        return max(values) if values else 0.0
+
+    @property
+    def final_accuracy(self) -> float:
+        """Last evaluated test accuracy (0.0 if never evaluated)."""
+        for record in reversed(self.records):
+            if record.test_accuracy is not None:
+                return record.test_accuracy
+        return 0.0
+
+    def _first_record_reaching(self, target: float) -> Optional[RoundRecord]:
+        for record in self.records:
+            if record.test_accuracy is not None and record.test_accuracy >= target:
+                return record
+        return None
+
+    def time_to_accuracy(self, target: float) -> Optional[float]:
+        """Simulated seconds until accuracy first reached ``target``.
+
+        Returns ``None`` when the run never reached the target — the
+        paper's "✗" entries in Table I.
+        """
+        record = self._first_record_reaching(target)
+        return record.cumulative_time if record else None
+
+    def energy_to_accuracy(self, target: float) -> Optional[float]:
+        """Joules spent until accuracy first reached ``target`` (or None)."""
+        record = self._first_record_reaching(target)
+        return record.cumulative_energy if record else None
+
+    def rounds_to_accuracy(self, target: float) -> Optional[int]:
+        """Rounds until accuracy first reached ``target`` (or None)."""
+        record = self._first_record_reaching(target)
+        return record.round_index if record else None
+
+    # ------------------------------------------------------------------
+    # Participation statistics
+    # ------------------------------------------------------------------
+    def participation_counts(self) -> Dict[int, int]:
+        """How many rounds each device id participated in."""
+        counts: Dict[int, int] = {}
+        for record in self.records:
+            for device_id in record.selected_ids:
+                counts[device_id] = counts.get(device_id, 0) + 1
+        return counts
+
+    def coverage(self, num_users: int) -> float:
+        """Fraction of the population selected at least once."""
+        if num_users <= 0:
+            raise TrainingError(f"num_users must be positive, got {num_users}")
+        return len(self.participation_counts()) / num_users
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """Plain-dict form suitable for ``json.dump``."""
+        return {
+            "label": self.label,
+            "records": [
+                {
+                    "round_index": r.round_index,
+                    "selected_ids": list(r.selected_ids),
+                    "frequencies": {str(k): v for k, v in r.frequencies.items()},
+                    "round_delay": r.round_delay,
+                    "round_energy": r.round_energy,
+                    "compute_energy": r.compute_energy,
+                    "upload_energy": r.upload_energy,
+                    "slack": r.slack,
+                    "cumulative_time": r.cumulative_time,
+                    "cumulative_energy": r.cumulative_energy,
+                    "train_loss": r.train_loss,
+                    "test_accuracy": r.test_accuracy,
+                    "test_loss": r.test_loss,
+                    "dropped_ids": list(r.dropped_ids),
+                }
+                for r in self.records
+            ],
+        }
+
+    def to_json(self) -> str:
+        """JSON text form of :meth:`to_dict`."""
+        return json.dumps(self.to_dict())
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "TrainingHistory":
+        """Rebuild a history from :meth:`to_dict` output."""
+        history = cls(label=payload.get("label", ""))
+        for raw in payload.get("records", []):
+            history.append(
+                RoundRecord(
+                    round_index=int(raw["round_index"]),
+                    selected_ids=tuple(raw["selected_ids"]),
+                    frequencies={
+                        int(k): float(v) for k, v in raw["frequencies"].items()
+                    },
+                    round_delay=float(raw["round_delay"]),
+                    round_energy=float(raw["round_energy"]),
+                    compute_energy=float(raw["compute_energy"]),
+                    upload_energy=float(raw["upload_energy"]),
+                    slack=float(raw["slack"]),
+                    cumulative_time=float(raw["cumulative_time"]),
+                    cumulative_energy=float(raw["cumulative_energy"]),
+                    train_loss=float(raw["train_loss"]),
+                    test_accuracy=raw.get("test_accuracy"),
+                    test_loss=raw.get("test_loss"),
+                    dropped_ids=tuple(raw.get("dropped_ids", ())),
+                )
+            )
+        return history
+
+    @classmethod
+    def from_json(cls, text: str) -> "TrainingHistory":
+        """Rebuild a history from :meth:`to_json` output."""
+        return cls.from_dict(json.loads(text))

@@ -1,0 +1,120 @@
+"""Strategy interfaces: user selection and frequency assignment.
+
+Every scheme the paper evaluates decomposes into two pluggable pieces:
+
+* a :class:`SelectionStrategy` choosing the user set ``Gamma_j`` for
+  round ``j`` (Algorithm 1, line 4 — first half);
+* a :class:`FrequencyPolicy` assigning each selected device a CPU
+  operating frequency (line 4 — second half).
+
+HELCFL pairs greedy-decay selection with the DVFS policy; Classic FL
+pairs random selection with max frequency; FEDL pairs random selection
+with its closed-form frequency; FedCS pairs deadline-greedy selection
+with max frequency.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.devices.device import UserDevice
+from repro.errors import SelectionError
+
+__all__ = [
+    "SelectionStrategy",
+    "FrequencyPolicy",
+    "FullParticipation",
+    "MaxFrequencyPolicy",
+    "selection_count",
+]
+
+
+def selection_count(num_users: int, fraction: float) -> int:
+    """The paper's ``N = max(Q * C, 1)`` (Algorithm 2, line 11).
+
+    Args:
+        num_users: population size ``Q``.
+        fraction: selection fraction ``C`` in ``(0, 1]``.
+
+    Returns:
+        Number of users to select, at least 1 and at most ``Q``.
+    """
+    if num_users <= 0:
+        raise SelectionError(f"num_users must be positive, got {num_users}")
+    if not 0.0 < fraction <= 1.0:
+        raise SelectionError(f"fraction must be in (0, 1], got {fraction}")
+    return min(num_users, max(int(num_users * fraction), 1))
+
+
+class SelectionStrategy:
+    """Base class for per-round user selection.
+
+    Subclasses implement :meth:`select`; stateful strategies (HELCFL's
+    appearance counters) should also override :meth:`reset`.
+    """
+
+    def select(
+        self, round_index: int, devices: Sequence[UserDevice]
+    ) -> List[UserDevice]:
+        """Return the selected user set ``Gamma_j`` for this round.
+
+        Args:
+            round_index: 1-based FL round index ``j``.
+            devices: the full population ``V``.
+        """
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        """Clear any cross-round state before a fresh training run."""
+
+    def _check_population(self, devices: Sequence[UserDevice]) -> None:
+        if not devices:
+            raise SelectionError("cannot select from an empty population")
+
+
+class FrequencyPolicy:
+    """Base class for assigning CPU frequencies to selected devices."""
+
+    def assign(
+        self,
+        selected: Sequence[UserDevice],
+        payload_bits: float,
+        bandwidth_hz: float,
+    ) -> Dict[int, float]:
+        """Return a mapping from device id to operating frequency.
+
+        Args:
+            selected: the round's selected user set.
+            payload_bits: model payload ``C_model`` in bits.
+            bandwidth_hz: the uplink resource blocks ``Z`` in Hz.
+        """
+        raise NotImplementedError
+
+
+class FullParticipation(SelectionStrategy):
+    """Select every user every round (ideal unconstrained FL)."""
+
+    def select(
+        self, round_index: int, devices: Sequence[UserDevice]
+    ) -> List[UserDevice]:
+        del round_index
+        self._check_population(devices)
+        return list(devices)
+
+
+class MaxFrequencyPolicy(FrequencyPolicy):
+    """Run every selected device at its maximum CPU frequency.
+
+    This is the traditional TDMA FL behaviour whose energy waste
+    Section VI-A illustrates (Fig. 1); it is the "without DVFS"
+    baseline of Fig. 3.
+    """
+
+    def assign(
+        self,
+        selected: Sequence[UserDevice],
+        payload_bits: float,
+        bandwidth_hz: float,
+    ) -> Dict[int, float]:
+        del payload_bits, bandwidth_hz
+        return {device.device_id: device.cpu.f_max for device in selected}

@@ -1,0 +1,373 @@
+"""The synchronous FL training loop (the paper's Algorithm 1).
+
+Each round: a :class:`~repro.fl.strategy.SelectionStrategy` picks
+``Gamma_j``, a :class:`~repro.fl.strategy.FrequencyPolicy` assigns CPU
+frequencies, the TDMA simulator produces the round's delay/energy
+timeline (Eqs. 4–11), selected clients run their local updates
+(Eq. 3), and the server FedAvg-integrates the results (Eq. 18). The
+loop honours the total-training deadline (constraint 14) and optional
+convergence exits, and records everything into a
+:class:`~repro.fl.history.TrainingHistory`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.devices.device import UserDevice
+from repro.errors import ConfigurationError, TrainingError
+from repro.fl.client import LocalTrainer
+from repro.fl.history import RoundRecord, TrainingHistory
+from repro.fl.server import FederatedServer
+from repro.fl.strategy import FrequencyPolicy, MaxFrequencyPolicy, SelectionStrategy
+from repro.network.tdma import simulate_tdma_round
+
+__all__ = ["TrainerConfig", "FederatedTrainer"]
+
+
+@dataclass
+class TrainerConfig:
+    """Knobs of one federated training run.
+
+    Attributes:
+        rounds: maximum number of FL iterations ``J``.
+        bandwidth_hz: the MEC uplink resource blocks ``Z`` (paper:
+            2 MHz).
+        learning_rate: local GD learning rate ``tau``.
+        local_steps: local gradient steps per round (paper: 1).
+        batch_size: local mini-batch size; ``None`` = full batch
+            (exact Eq. 3).
+        eval_every: evaluate the global model every this many rounds
+            (always also on the final round).
+        deadline_s: total-training deadline (constraint 14); the run
+            stops once the simulated clock passes it. ``None`` = no
+            deadline.
+        target_accuracy: optional convergence exit — stop once test
+            accuracy reaches this value.
+        convergence_patience: optional plateau exit (Algorithm 1's
+            "checks whether this newly created global ML model
+            converges") — stop after this many consecutive evaluations
+            without the test loss improving by at least
+            ``convergence_min_delta``. ``None`` disables the check.
+        convergence_min_delta: minimum test-loss improvement that
+            resets the plateau counter.
+        lr_decay: multiplicative learning-rate decay applied every
+            ``lr_decay_period`` rounds (server-controlled, broadcast
+            with the model); 1.0 (the paper's setting) disables decay.
+        lr_decay_period: rounds between decay applications.
+        keep_best_model: snapshot the global parameters at every new
+            best test accuracy; the run's best model is then available
+            as ``trainer.best_model_params`` (the final global model
+            can sit below the best with noisy evaluation).
+        enforce_battery: when True, devices with batteries drain them
+            each round; a device that cannot afford its round energy
+            shuts down and its update is dropped from aggregation.
+    """
+
+    rounds: int = 300
+    bandwidth_hz: float = 2e6
+    learning_rate: float = 0.1
+    local_steps: int = 1
+    batch_size: Optional[int] = None
+    eval_every: int = 1
+    deadline_s: Optional[float] = None
+    target_accuracy: Optional[float] = None
+    convergence_patience: Optional[int] = None
+    convergence_min_delta: float = 1e-4
+    lr_decay: float = 1.0
+    lr_decay_period: int = 100
+    keep_best_model: bool = False
+    enforce_battery: bool = False
+
+    def __post_init__(self) -> None:
+        if self.rounds <= 0:
+            raise ConfigurationError(f"rounds must be positive, got {self.rounds}")
+        if self.bandwidth_hz <= 0:
+            raise ConfigurationError(
+                f"bandwidth_hz must be positive, got {self.bandwidth_hz}"
+            )
+        if self.eval_every <= 0:
+            raise ConfigurationError(
+                f"eval_every must be positive, got {self.eval_every}"
+            )
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise ConfigurationError(
+                f"deadline_s must be positive when set, got {self.deadline_s}"
+            )
+        if self.target_accuracy is not None and not 0.0 < self.target_accuracy <= 1.0:
+            raise ConfigurationError(
+                f"target_accuracy must be in (0, 1], got {self.target_accuracy}"
+            )
+        if self.convergence_patience is not None and self.convergence_patience <= 0:
+            raise ConfigurationError(
+                "convergence_patience must be positive when set, got "
+                f"{self.convergence_patience}"
+            )
+        if self.convergence_min_delta < 0:
+            raise ConfigurationError(
+                "convergence_min_delta must be non-negative, got "
+                f"{self.convergence_min_delta}"
+            )
+        if not 0.0 < self.lr_decay <= 1.0:
+            raise ConfigurationError(
+                f"lr_decay must be in (0, 1], got {self.lr_decay}"
+            )
+        if self.lr_decay_period <= 0:
+            raise ConfigurationError(
+                f"lr_decay_period must be positive, got {self.lr_decay_period}"
+            )
+
+    def learning_rate_at(self, round_index: int) -> float:
+        """The broadcast learning rate for 1-based round ``round_index``."""
+        if round_index <= 0:
+            raise ConfigurationError(
+                f"round_index must be positive, got {round_index}"
+            )
+        applications = (round_index - 1) // self.lr_decay_period
+        return self.learning_rate * self.lr_decay**applications
+
+
+class FederatedTrainer:
+    """Runs Algorithm 1 for a given selection strategy and policy.
+
+    Args:
+        server: the FLCC holding the global model and test set.
+        devices: the full user population ``V``.
+        selection: per-round user selection strategy.
+        frequency_policy: per-round CPU frequency assignment; defaults
+            to max frequency (traditional TDMA FL).
+        config: run configuration.
+        label: history label (e.g. ``"HELCFL"``).
+        compression: optional
+            :class:`repro.compression.CompressionPipeline`; when set,
+            each client's update delta is compressed, the *actual*
+            compressed payload drives that client's upload delay and
+            energy, and the server aggregates the lossy reconstruction.
+            The frequency policy still plans with the nominal
+            ``server.payload_bits`` (the FLCC cannot know compressed
+            sizes before training happens).
+        channel_models: optional mapping from device id to a channel
+            model exposing ``sample_gain()`` (e.g.
+            :class:`repro.network.RayleighFadingChannel`); when set,
+            every mapped device's channel gain is re-drawn at the start
+            of each round, modelling per-round fading. Selection and
+            frequency policies see the fresh gains (the FLCC polls
+            resource information each round, Algorithm 1 line 1).
+
+    Attributes:
+        ledger: an :class:`repro.energy.EnergyLedger` accumulating
+            per-device energy across the run (reset by :meth:`run`).
+    """
+
+    def __init__(
+        self,
+        server: FederatedServer,
+        devices: Sequence[UserDevice],
+        selection: SelectionStrategy,
+        frequency_policy: Optional[FrequencyPolicy] = None,
+        config: Optional[TrainerConfig] = None,
+        label: str = "",
+        compression=None,
+        channel_models=None,
+    ) -> None:
+        if not devices:
+            raise TrainingError("cannot train with an empty device population")
+        self.server = server
+        self.devices = list(devices)
+        self.selection = selection
+        self.frequency_policy = frequency_policy or MaxFrequencyPolicy()
+        self.config = config or TrainerConfig()
+        self.label = label
+        self.compression = compression
+        self.channel_models = dict(channel_models or {})
+        from repro.energy.accounting import EnergyLedger
+
+        self.ledger = EnergyLedger()
+        self.local_trainer = LocalTrainer(
+            learning_rate=self.config.learning_rate,
+            local_steps=self.config.local_steps,
+            batch_size=self.config.batch_size,
+        )
+        # One scratch model reused by every client avoids reallocating
+        # layer buffers Q times per round.
+        self._scratch = server.model.clone()
+        self.best_model_params = None
+        self.best_model_accuracy = 0.0
+
+    # ------------------------------------------------------------------
+    def _run_clients(self, selected: Sequence[UserDevice]):
+        """Run local updates.
+
+        Returns ``(updates, weights, losses, ids, payloads)`` where
+        ``payloads`` maps device id to the transmitted bits (empty when
+        no compression pipeline is configured — the uniform nominal
+        payload applies).
+        """
+        global_params = self.server.broadcast()
+        updates: List = []
+        weights: List[float] = []
+        losses: List[float] = []
+        ids: List[int] = []
+        payloads: dict = {}
+        for device in selected:
+            self._scratch.set_flat_params(global_params)
+            loss_value = self.local_trainer.train(self._scratch, device.dataset)
+            trained = self._scratch.get_flat_params().copy()
+            if self.compression is not None:
+                received = self.compression.process(
+                    device.device_id, global_params, trained
+                )
+                updates.append(received.params)
+                payloads[device.device_id] = received.payload_bits
+            else:
+                updates.append(trained)
+            weights.append(float(device.num_samples))
+            losses.append(loss_value)
+            ids.append(device.device_id)
+        return updates, weights, losses, ids, payloads
+
+    def _apply_battery(self, selected, timeline, updates, weights, ids):
+        """Drop updates from devices whose battery cannot pay the round."""
+        if not self.config.enforce_battery:
+            return updates, weights, ()
+        per_device = timeline.by_device()
+        kept_updates: List = []
+        kept_weights: List[float] = []
+        dropped: List[int] = []
+        for device, update, weight in zip(selected, updates, weights):
+            entry = per_device[device.device_id]
+            battery = device.battery
+            if battery is not None and not battery.drain(entry.total_energy):
+                dropped.append(device.device_id)
+                continue
+            kept_updates.append(update)
+            kept_weights.append(weight)
+        del ids
+        return kept_updates, kept_weights, tuple(dropped)
+
+    def run(self) -> TrainingHistory:
+        """Execute the full training loop and return its history."""
+        config = self.config
+        history = TrainingHistory(label=self.label)
+        self.selection.reset()
+        if self.compression is not None:
+            self.compression.reset()
+        plateau = None
+        if config.convergence_patience is not None:
+            from repro.analysis.convergence import PlateauDetector
+
+            plateau = PlateauDetector(
+                patience=config.convergence_patience,
+                min_delta=config.convergence_min_delta,
+                mode="min",
+            )
+        cumulative_time = 0.0
+        cumulative_energy = 0.0
+
+        from repro.energy.accounting import EnergyLedger
+
+        self.ledger = EnergyLedger()
+        device_index = {d.device_id: d for d in self.devices}
+
+        for round_index in range(1, config.rounds + 1):
+            # Per-round fading: refresh mapped devices' channel gains
+            # before selection so the FLCC plans with current info.
+            for device_id, model in self.channel_models.items():
+                device = device_index.get(device_id)
+                if device is not None:
+                    device.radio.channel_gain = float(model.sample_gain())
+
+            selected = self.selection.select(round_index, self.devices)
+            if not selected:
+                raise TrainingError(
+                    f"selection produced no users in round {round_index}"
+                )
+            self.local_trainer.learning_rate = config.learning_rate_at(
+                round_index
+            )
+            frequencies = self.frequency_policy.assign(
+                selected, self.server.payload_bits, config.bandwidth_hz
+            )
+            updates, weights, losses, ids, payloads = self._run_clients(
+                selected
+            )
+            # Feedback hook for statistical-utility strategies (e.g.
+            # the Oort extension): report each client's observed loss.
+            if hasattr(self.selection, "observe_losses"):
+                self.selection.observe_losses(
+                    {device_id: loss for device_id, loss in zip(ids, losses)}
+                )
+            timeline = simulate_tdma_round(
+                selected,
+                self.server.payload_bits,
+                config.bandwidth_hz,
+                frequencies,
+                payloads=payloads or None,
+            )
+            updates, weights, dropped = self._apply_battery(
+                selected, timeline, updates, weights, ids
+            )
+            self.ledger.record_round(timeline)
+            if updates:
+                self.server.aggregate(updates, weights)
+
+            cumulative_time += timeline.round_delay
+            cumulative_energy += timeline.total_energy
+
+            total_weight = sum(d.num_samples for d in selected)
+            train_loss = (
+                sum(l * d.num_samples for l, d in zip(losses, selected))
+                / total_weight
+                if total_weight
+                else 0.0
+            )
+
+            should_eval = (
+                round_index % config.eval_every == 0
+                or round_index == config.rounds
+            )
+            test_loss = test_accuracy = None
+            if should_eval and self.server.test_dataset is not None:
+                test_loss, test_accuracy = self.server.evaluate()
+                if config.keep_best_model and (
+                    self.best_model_params is None
+                    or test_accuracy > self.best_model_accuracy
+                ):
+                    self.best_model_params = self.server.broadcast()
+                    self.best_model_accuracy = test_accuracy
+
+            history.append(
+                RoundRecord(
+                    round_index=round_index,
+                    selected_ids=tuple(d.device_id for d in selected),
+                    frequencies=dict(frequencies),
+                    round_delay=timeline.round_delay,
+                    round_energy=timeline.total_energy,
+                    compute_energy=timeline.total_compute_energy,
+                    upload_energy=timeline.total_upload_energy,
+                    slack=timeline.total_slack,
+                    cumulative_time=cumulative_time,
+                    cumulative_energy=cumulative_energy,
+                    train_loss=train_loss,
+                    test_accuracy=test_accuracy,
+                    test_loss=test_loss,
+                    dropped_ids=dropped,
+                )
+            )
+
+            if config.deadline_s is not None and cumulative_time >= config.deadline_s:
+                break
+            if (
+                config.target_accuracy is not None
+                and test_accuracy is not None
+                and test_accuracy >= config.target_accuracy
+            ):
+                break
+            if (
+                plateau is not None
+                and test_loss is not None
+                and plateau.update(test_loss)
+            ):
+                break
+        return history

@@ -1,0 +1,173 @@
+"""TDMA round-timeline simulation.
+
+In the paper's TDMA FL (Fig. 1), all selected users compute their local
+updates in parallel, but the MEC uplink serves one uploader at a time:
+when a user finishes computing it must wait for the channel to free up
+before uploading. The waiting interval is that user's *slack time* —
+the quantity HELCFL's Algorithm 3 converts into energy savings by
+slowing the CPU so the update finishes exactly when the channel frees.
+
+:func:`simulate_tdma_round` reproduces this timeline exactly for any
+assignment of operating frequencies, yielding per-user compute/upload
+windows, slack, and energies, plus the synchronized round delay
+(Eq. 10) and round energy (Eq. 11). It is both the execution engine of
+the FL trainer and the independent oracle the tests use to verify
+Algorithm 3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.devices.device import UserDevice
+from repro.errors import NetworkError
+
+__all__ = ["UserTimeline", "RoundTimeline", "simulate_tdma_round"]
+
+
+@dataclass(frozen=True)
+class UserTimeline:
+    """One user's schedule within a TDMA round (all times from round start).
+
+    Attributes:
+        device_id: the user's id.
+        frequency: CPU operating frequency used for the local update.
+        compute_delay: Eq. (4) at ``frequency``.
+        compute_end: when the local update finishes (= compute_delay).
+        upload_start: when the channel is granted to this user.
+        upload_end: when the model upload completes.
+        upload_delay: Eq. (7).
+        slack: idle wait between compute end and upload start.
+        compute_energy: Eq. (5) at ``frequency``.
+        upload_energy: Eq. (8).
+    """
+
+    device_id: int
+    frequency: float
+    compute_delay: float
+    compute_end: float
+    upload_start: float
+    upload_end: float
+    upload_delay: float
+    slack: float
+    compute_energy: float
+    upload_energy: float
+
+    @property
+    def total_energy(self) -> float:
+        """Per-user round energy ``E_cal + E_com``."""
+        return self.compute_energy + self.upload_energy
+
+    @property
+    def total_delay(self) -> float:
+        """Eq. (9) including queueing: time until this user is done."""
+        return self.upload_end
+
+
+@dataclass(frozen=True)
+class RoundTimeline:
+    """The complete schedule of one TDMA FL round.
+
+    Attributes:
+        users: per-user timelines, in upload (channel-grant) order.
+        round_delay: Eq. (10) — when the last upload completes.
+        total_energy: Eq. (11) — sum of all users' energies.
+        total_compute_energy: compute share of ``total_energy``.
+        total_upload_energy: upload share of ``total_energy``.
+        total_slack: summed idle wait across users.
+    """
+
+    users: Tuple[UserTimeline, ...]
+    round_delay: float
+    total_energy: float
+    total_compute_energy: float
+    total_upload_energy: float
+    total_slack: float
+
+    def by_device(self) -> Dict[int, UserTimeline]:
+        """Index the per-user timelines by device id."""
+        return {entry.device_id: entry for entry in self.users}
+
+
+def simulate_tdma_round(
+    devices: Sequence[UserDevice],
+    payload_bits: float,
+    bandwidth_hz: float,
+    frequencies: Optional[Dict[int, float]] = None,
+    payloads: Optional[Dict[int, float]] = None,
+) -> RoundTimeline:
+    """Simulate one synchronous TDMA round.
+
+    Users compute in parallel at their assigned frequencies, then
+    upload one at a time in the order their computations finish (ties
+    broken by device id, matching a FIFO channel queue). A user whose
+    computation finishes while the channel is busy waits (slack).
+
+    Args:
+        devices: the selected user set ``Gamma_j``.
+        payload_bits: model payload ``C_model`` in bits.
+        bandwidth_hz: the MEC system's resource blocks ``Z`` in Hz.
+        frequencies: mapping from device id to operating frequency;
+            missing devices run at their ``f_max``. Frequencies are
+            validated against each device's range.
+        payloads: optional per-device payload override in bits (e.g.
+            compressed updates); missing devices use ``payload_bits``.
+
+    Returns:
+        The full :class:`RoundTimeline`.
+
+    Raises:
+        NetworkError: for an empty selection.
+        FrequencyRangeError: if an assigned frequency is out of range.
+    """
+    if not devices:
+        raise NetworkError("cannot simulate a round with no selected devices")
+    frequencies = frequencies or {}
+    payloads = payloads or {}
+
+    staged: List[Tuple[float, int, UserDevice, float]] = []
+    for device in devices:
+        freq = frequencies.get(device.device_id, device.cpu.f_max)
+        freq = device.cpu.validate_frequency(freq)
+        compute_delay = device.compute_delay(freq)
+        staged.append((compute_delay, device.device_id, device, freq))
+
+    # Channel-grant order: first-come first-served on compute finish.
+    staged.sort(key=lambda item: (item[0], item[1]))
+
+    entries: List[UserTimeline] = []
+    channel_free_at = 0.0
+    for compute_delay, device_id, device, freq in staged:
+        device_payload = payloads.get(device_id, payload_bits)
+        upload_delay = device.upload_delay(device_payload, bandwidth_hz)
+        upload_start = max(compute_delay, channel_free_at)
+        upload_end = upload_start + upload_delay
+        channel_free_at = upload_end
+        entries.append(
+            UserTimeline(
+                device_id=device_id,
+                frequency=freq,
+                compute_delay=compute_delay,
+                compute_end=compute_delay,
+                upload_start=upload_start,
+                upload_end=upload_end,
+                upload_delay=upload_delay,
+                slack=upload_start - compute_delay,
+                compute_energy=device.compute_energy(freq),
+                upload_energy=device.upload_energy(
+                    device_payload, bandwidth_hz
+                ),
+            )
+        )
+
+    total_compute = sum(e.compute_energy for e in entries)
+    total_upload = sum(e.upload_energy for e in entries)
+    return RoundTimeline(
+        users=tuple(entries),
+        round_delay=max(e.upload_end for e in entries),
+        total_energy=total_compute + total_upload,
+        total_compute_energy=total_compute,
+        total_upload_energy=total_upload,
+        total_slack=sum(e.slack for e in entries),
+    )

@@ -1,0 +1,14 @@
+"""Reference model architectures.
+
+The paper trains SqueezeNet [19]; :func:`build_mini_squeezenet` provides
+a faithful scaled-down SqueezeNet (Fire modules, 1x1 classifier conv,
+global average pooling) sized for the synthetic dataset, while
+:func:`build_mlp` and :func:`build_cnn` provide cheaper substrates for
+tests and fast experiments.
+"""
+
+from repro.nn.architectures.builders import build_cnn, build_mlp
+from repro.nn.architectures.fire import Fire
+from repro.nn.architectures.squeezenet import build_mini_squeezenet
+
+__all__ = ["Fire", "build_mlp", "build_cnn", "build_mini_squeezenet"]

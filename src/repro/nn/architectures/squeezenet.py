@@ -1,0 +1,97 @@
+"""Mini-SqueezeNet, a scaled-down SqueezeNet built from Fire modules.
+
+The paper trains SqueezeNet [19] on CIFAR-10. This reproduction's
+synthetic dataset uses smaller images, so the architecture here keeps
+SqueezeNet's structural signature — a stem convolution, a stack of Fire
+modules with occasional max pooling, a 1x1 classifier convolution, and
+global average pooling instead of dense classifier layers — at a width
+and depth appropriate for the input size.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import ConfigurationError
+from repro.nn.activations import ReLU
+from repro.nn.architectures.fire import Fire
+from repro.nn.conv import Conv2D
+from repro.nn.model import Sequential
+from repro.nn.pooling import GlobalAvgPool2D, MaxPool2D
+from repro.rng import SeedLike, spawn_generators
+
+__all__ = ["build_mini_squeezenet"]
+
+
+def build_mini_squeezenet(
+    input_shape: Sequence[int] = (3, 8, 8),
+    num_classes: int = 10,
+    width_multiplier: float = 1.0,
+    seed: SeedLike = None,
+) -> Sequential:
+    """Build a Mini-SqueezeNet classifier.
+
+    Architecture (for the default 8x8 input)::
+
+        Conv 3x3 (16w) -> ReLU -> MaxPool 2
+        Fire(squeeze 8w, expand 16w)      # out 32w channels
+        Fire(squeeze 8w, expand 16w)
+        MaxPool 2
+        Fire(squeeze 12w, expand 24w)     # out 48w channels
+        Conv 1x1 -> num_classes
+        GlobalAvgPool
+
+    where ``w`` scales with ``width_multiplier``.
+
+    Args:
+        input_shape: CHW input shape; height/width must be at least 4.
+        num_classes: output class count.
+        width_multiplier: scales every channel count (min width 4).
+        seed: seed or generator for all weights.
+
+    Returns:
+        A :class:`~repro.nn.model.Sequential` emitting raw logits of
+        shape ``(batch, num_classes)``.
+    """
+    if len(input_shape) != 3:
+        raise ConfigurationError(
+            f"input_shape must be (channels, height, width), got {input_shape}"
+        )
+    c, h, w = (int(v) for v in input_shape)
+    if h < 4 or w < 4:
+        raise ConfigurationError(
+            f"Mini-SqueezeNet needs spatial size >= 4, got {h}x{w}"
+        )
+    if num_classes <= 0:
+        raise ConfigurationError(f"num_classes must be positive, got {num_classes}")
+    if width_multiplier <= 0:
+        raise ConfigurationError(
+            f"width_multiplier must be positive, got {width_multiplier}"
+        )
+
+    def scaled(base: int) -> int:
+        return max(4, int(round(base * width_multiplier)))
+
+    stem = scaled(16)
+    fire_a_squeeze, fire_a_expand = scaled(8), scaled(16)
+    fire_b_squeeze, fire_b_expand = scaled(12), scaled(24)
+
+    rngs = spawn_generators(seed, 6)
+    layers = [
+        Conv2D(c, stem, 3, padding=1, seed=rngs[0]),
+        ReLU(),
+        MaxPool2D(2),
+        Fire(stem, fire_a_squeeze, fire_a_expand, seed=rngs[1]),
+        Fire(2 * fire_a_expand, fire_a_squeeze, fire_a_expand, seed=rngs[2]),
+    ]
+    spatial = min(h, w) // 2
+    if spatial >= 2:
+        layers.append(MaxPool2D(2))
+    layers.extend(
+        [
+            Fire(2 * fire_a_expand, fire_b_squeeze, fire_b_expand, seed=rngs[3]),
+            Conv2D(2 * fire_b_expand, num_classes, 1, seed=rngs[4]),
+            GlobalAvgPool2D(),
+        ]
+    )
+    return Sequential(layers)

@@ -1,0 +1,125 @@
+"""2-D convolution layer (NCHW, im2col-based)."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError, ShapeError
+from repro.nn.conv_utils import col2im, im2col
+from repro.nn.initializers import Initializer, he_normal, zeros_init
+from repro.nn.layer import Layer
+from repro.rng import SeedLike, ensure_generator
+
+__all__ = ["Conv2D"]
+
+
+class Conv2D(Layer):
+    """2-D convolution over NCHW inputs.
+
+    The kernel has shape ``(out_channels, in_channels, kh, kw)``.
+    Forward computes ``im2col(x) @ W_flat + b`` so both passes reduce to
+    dense matrix algebra.
+
+    Args:
+        in_channels: number of input channels.
+        out_channels: number of output channels (filters).
+        kernel_size: square kernel size, or ``(kh, kw)`` tuple.
+        stride: spatial stride.
+        padding: symmetric zero padding.
+        weight_init: kernel initializer (default He normal).
+        bias: include per-filter additive bias.
+        seed: seed or generator for the initializer.
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size,
+        stride: int = 1,
+        padding: int = 0,
+        weight_init: Initializer = he_normal,
+        bias: bool = True,
+        seed: SeedLike = None,
+    ) -> None:
+        super().__init__()
+        if isinstance(kernel_size, int):
+            kernel_size = (kernel_size, kernel_size)
+        kh, kw = (int(k) for k in kernel_size)
+        if in_channels <= 0 or out_channels <= 0 or kh <= 0 or kw <= 0:
+            raise ConfigurationError(
+                "channels and kernel dims must be positive, got "
+                f"in={in_channels}, out={out_channels}, kernel=({kh},{kw})"
+            )
+        if stride <= 0 or padding < 0:
+            raise ConfigurationError(
+                f"stride must be positive and padding non-negative, got "
+                f"stride={stride}, padding={padding}"
+            )
+        self.in_channels = int(in_channels)
+        self.out_channels = int(out_channels)
+        self.kernel_h = kh
+        self.kernel_w = kw
+        self.stride = int(stride)
+        self.padding = int(padding)
+        self.use_bias = bool(bias)
+        rng = ensure_generator(seed)
+        self._register(
+            "W", weight_init((self.out_channels, self.in_channels, kh, kw), rng)
+        )
+        if self.use_bias:
+            self._register("b", zeros_init((self.out_channels,), rng))
+        self._cols: Optional[np.ndarray] = None
+        self._input_shape: Optional[Tuple[int, int, int, int]] = None
+
+    def forward(self, inputs: np.ndarray, training: bool = False) -> np.ndarray:
+        if inputs.ndim != 4 or inputs.shape[1] != self.in_channels:
+            raise ShapeError(
+                f"Conv2D expected (batch, {self.in_channels}, h, w), got "
+                f"{inputs.shape}"
+            )
+        n = inputs.shape[0]
+        cols, out_h, out_w = im2col(
+            inputs, self.kernel_h, self.kernel_w, self.stride, self.padding
+        )
+        w_flat = self.params["W"].reshape(self.out_channels, -1)
+        out = cols @ w_flat.T
+        if self.use_bias:
+            out = out + self.params["b"]
+        out = out.reshape(n, out_h, out_w, self.out_channels).transpose(0, 3, 1, 2)
+        if training:
+            self._cols = cols
+            self._input_shape = inputs.shape
+        return np.ascontiguousarray(out)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cols is None or self._input_shape is None:
+            raise RuntimeError("backward called before forward(training=True)")
+        n, _, out_h, out_w = grad_output.shape
+        grad_flat = grad_output.transpose(0, 2, 3, 1).reshape(
+            n * out_h * out_w, self.out_channels
+        )
+        w_flat = self.params["W"].reshape(self.out_channels, -1)
+        self.grads["W"][...] = (grad_flat.T @ self._cols).reshape(
+            self.params["W"].shape
+        )
+        if self.use_bias:
+            self.grads["b"][...] = grad_flat.sum(axis=0)
+        grad_cols = grad_flat @ w_flat
+        return col2im(
+            grad_cols,
+            self._input_shape,
+            self.kernel_h,
+            self.kernel_w,
+            self.stride,
+            self.padding,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"Conv2D(in={self.in_channels}, out={self.out_channels}, "
+            f"kernel=({self.kernel_h},{self.kernel_w}), stride={self.stride}, "
+            f"padding={self.padding})"
+        )

@@ -1,0 +1,137 @@
+"""im2col / col2im kernels backing the convolution and pooling layers.
+
+Images use NCHW layout throughout: ``(batch, channels, height, width)``.
+``im2col`` unfolds every receptive field into a row so that convolution
+becomes a single matrix multiplication; ``col2im`` is its exact adjoint
+(scatter-add), which is what the backward pass needs.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import ShapeError
+
+__all__ = ["conv_output_size", "im2col", "col2im", "pad_input"]
+
+
+def conv_output_size(size: int, kernel: int, stride: int, padding: int) -> int:
+    """Return the output spatial size of a conv/pool along one axis.
+
+    Args:
+        size: input size along the axis.
+        kernel: kernel size along the axis.
+        stride: stride along the axis.
+        padding: symmetric zero padding along the axis.
+
+    Raises:
+        ShapeError: if the kernel (after padding) does not fit.
+    """
+    padded = size + 2 * padding
+    if kernel > padded:
+        raise ShapeError(
+            f"kernel {kernel} larger than padded input {padded} "
+            f"(size={size}, padding={padding})"
+        )
+    return (padded - kernel) // stride + 1
+
+
+def pad_input(images: np.ndarray, padding: int) -> np.ndarray:
+    """Zero-pad the two spatial axes of an NCHW batch symmetrically."""
+    if padding == 0:
+        return images
+    return np.pad(
+        images,
+        ((0, 0), (0, 0), (padding, padding), (padding, padding)),
+        mode="constant",
+    )
+
+
+def im2col(
+    images: np.ndarray,
+    kernel_h: int,
+    kernel_w: int,
+    stride: int,
+    padding: int,
+) -> Tuple[np.ndarray, int, int]:
+    """Unfold receptive fields of an NCHW batch into a 2-D matrix.
+
+    Args:
+        images: input of shape ``(n, c, h, w)``.
+        kernel_h: kernel height.
+        kernel_w: kernel width.
+        stride: spatial stride (same for both axes).
+        padding: symmetric zero padding (same for both axes).
+
+    Returns:
+        A tuple ``(cols, out_h, out_w)`` where ``cols`` has shape
+        ``(n * out_h * out_w, c * kernel_h * kernel_w)`` and each row is
+        one receptive field in channel-major order.
+    """
+    if images.ndim != 4:
+        raise ShapeError(f"im2col expects NCHW input, got shape {images.shape}")
+    n, c, h, w = images.shape
+    out_h = conv_output_size(h, kernel_h, stride, padding)
+    out_w = conv_output_size(w, kernel_w, stride, padding)
+    padded = pad_input(images, padding)
+
+    # Strided view of shape (n, c, out_h, out_w, kernel_h, kernel_w).
+    s_n, s_c, s_h, s_w = padded.strides
+    view = np.lib.stride_tricks.as_strided(
+        padded,
+        shape=(n, c, out_h, out_w, kernel_h, kernel_w),
+        strides=(s_n, s_c, s_h * stride, s_w * stride, s_h, s_w),
+        writeable=False,
+    )
+    cols = view.transpose(0, 2, 3, 1, 4, 5).reshape(
+        n * out_h * out_w, c * kernel_h * kernel_w
+    )
+    return np.ascontiguousarray(cols), out_h, out_w
+
+
+def col2im(
+    cols: np.ndarray,
+    input_shape: Tuple[int, int, int, int],
+    kernel_h: int,
+    kernel_w: int,
+    stride: int,
+    padding: int,
+) -> np.ndarray:
+    """Scatter-add column gradients back to image space (im2col adjoint).
+
+    Args:
+        cols: matrix of shape ``(n * out_h * out_w, c * kh * kw)`` as
+            produced by :func:`im2col` (typically a gradient).
+        input_shape: original NCHW input shape.
+        kernel_h: kernel height.
+        kernel_w: kernel width.
+        stride: spatial stride.
+        padding: symmetric zero padding.
+
+    Returns:
+        An array with ``input_shape`` holding the accumulated gradient.
+    """
+    n, c, h, w = input_shape
+    out_h = conv_output_size(h, kernel_h, stride, padding)
+    out_w = conv_output_size(w, kernel_w, stride, padding)
+    expected_rows = n * out_h * out_w
+    expected_cols = c * kernel_h * kernel_w
+    if cols.shape != (expected_rows, expected_cols):
+        raise ShapeError(
+            f"col2im expected cols of shape {(expected_rows, expected_cols)}, "
+            f"got {cols.shape}"
+        )
+    grads = cols.reshape(n, out_h, out_w, c, kernel_h, kernel_w).transpose(
+        0, 3, 4, 5, 1, 2
+    )  # (n, c, kh, kw, out_h, out_w)
+    padded = np.zeros((n, c, h + 2 * padding, w + 2 * padding), dtype=cols.dtype)
+    for i in range(kernel_h):
+        i_end = i + stride * out_h
+        for j in range(kernel_w):
+            j_end = j + stride * out_w
+            padded[:, :, i:i_end:stride, j:j_end:stride] += grads[:, :, i, j]
+    if padding == 0:
+        return padded
+    return padded[:, :, padding : padding + h, padding : padding + w]

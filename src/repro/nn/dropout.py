@@ -1,0 +1,51 @@
+"""Inverted dropout layer."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.nn.layer import Layer
+from repro.rng import SeedLike, ensure_generator
+
+__all__ = ["Dropout"]
+
+
+class Dropout(Layer):
+    """Inverted dropout: zero each activation with probability ``rate``.
+
+    Surviving activations are scaled by ``1 / (1 - rate)`` during
+    training so inference is a no-op (identity), the standard
+    "inverted" formulation.
+
+    Args:
+        rate: drop probability in ``[0, 1)``.
+        seed: seed or generator for the drop masks.
+    """
+
+    def __init__(self, rate: float = 0.5, seed: SeedLike = None) -> None:
+        super().__init__()
+        if not 0.0 <= rate < 1.0:
+            raise ConfigurationError(f"rate must be in [0, 1), got {rate}")
+        self.rate = float(rate)
+        self._rng = ensure_generator(seed)
+        self._mask: Optional[np.ndarray] = None
+
+    def forward(self, inputs: np.ndarray, training: bool = False) -> np.ndarray:
+        if not training or self.rate == 0.0:
+            self._mask = np.ones_like(inputs) if training else None
+            return inputs
+        keep = 1.0 - self.rate
+        mask = (self._rng.random(inputs.shape) < keep) / keep
+        self._mask = mask
+        return inputs * mask
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise RuntimeError("backward called before forward(training=True)")
+        return grad_output * self._mask
+
+    def __repr__(self) -> str:
+        return f"Dropout(rate={self.rate})"

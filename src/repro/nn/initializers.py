@@ -1,0 +1,91 @@
+"""Weight initializers for :mod:`repro.nn` layers.
+
+Each initializer is a plain function ``(shape, rng) -> ndarray`` so
+layers can accept them as first-class values. The fan-in / fan-out
+computation follows the usual convention: for a dense weight of shape
+``(in, out)`` fan-in is ``in``; for a convolution kernel of shape
+``(out_channels, in_channels, kh, kw)`` fan-in is
+``in_channels * kh * kw``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "Initializer",
+    "compute_fans",
+    "xavier_uniform",
+    "xavier_normal",
+    "he_uniform",
+    "he_normal",
+    "zeros_init",
+    "constant_init",
+]
+
+Initializer = Callable[[Sequence[int], np.random.Generator], np.ndarray]
+
+
+def compute_fans(shape: Sequence[int]) -> Tuple[int, int]:
+    """Return ``(fan_in, fan_out)`` for a weight tensor of ``shape``.
+
+    Supports dense weights ``(in, out)``, conv kernels
+    ``(out_c, in_c, kh, kw)``, and degenerate 1-D shapes (biases).
+    """
+    shape = tuple(int(s) for s in shape)
+    if len(shape) == 0:
+        return 1, 1
+    if len(shape) == 1:
+        return shape[0], shape[0]
+    if len(shape) == 2:
+        return shape[0], shape[1]
+    receptive = int(np.prod(shape[2:]))
+    fan_in = shape[1] * receptive
+    fan_out = shape[0] * receptive
+    return fan_in, fan_out
+
+
+def xavier_uniform(shape: Sequence[int], rng: np.random.Generator) -> np.ndarray:
+    """Glorot/Xavier uniform initialization, suited to tanh/sigmoid nets."""
+    fan_in, fan_out = compute_fans(shape)
+    limit = float(np.sqrt(6.0 / (fan_in + fan_out)))
+    return rng.uniform(-limit, limit, size=shape).astype(np.float64)
+
+
+def xavier_normal(shape: Sequence[int], rng: np.random.Generator) -> np.ndarray:
+    """Glorot/Xavier normal initialization."""
+    fan_in, fan_out = compute_fans(shape)
+    std = float(np.sqrt(2.0 / (fan_in + fan_out)))
+    return rng.normal(0.0, std, size=shape).astype(np.float64)
+
+
+def he_uniform(shape: Sequence[int], rng: np.random.Generator) -> np.ndarray:
+    """He/Kaiming uniform initialization, suited to ReLU nets."""
+    fan_in, _ = compute_fans(shape)
+    limit = float(np.sqrt(6.0 / fan_in))
+    return rng.uniform(-limit, limit, size=shape).astype(np.float64)
+
+
+def he_normal(shape: Sequence[int], rng: np.random.Generator) -> np.ndarray:
+    """He/Kaiming normal initialization."""
+    fan_in, _ = compute_fans(shape)
+    std = float(np.sqrt(2.0 / fan_in))
+    return rng.normal(0.0, std, size=shape).astype(np.float64)
+
+
+def zeros_init(shape: Sequence[int], rng: np.random.Generator) -> np.ndarray:
+    """All-zeros initialization (the default for biases)."""
+    del rng
+    return np.zeros(shape, dtype=np.float64)
+
+
+def constant_init(value: float) -> Initializer:
+    """Return an initializer filling the tensor with ``value``."""
+
+    def _init(shape: Sequence[int], rng: np.random.Generator) -> np.ndarray:
+        del rng
+        return np.full(shape, float(value), dtype=np.float64)
+
+    return _init

@@ -1,0 +1,91 @@
+"""Base class shared by every :mod:`repro.nn` layer.
+
+A layer owns a dictionary of named parameter arrays and a matching
+dictionary of gradient arrays. ``forward`` caches whatever the layer
+needs for the backward pass; ``backward`` consumes the upstream
+gradient, fills ``grads``, and returns the gradient with respect to the
+layer input. This explicit two-pass design (rather than a tape-based
+autograd) keeps every gradient analytic and unit-testable against
+numeric differentiation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Tuple
+
+import numpy as np
+
+__all__ = ["Layer"]
+
+
+class Layer:
+    """Abstract base class for neural-network layers.
+
+    Subclasses must implement :meth:`forward` and :meth:`backward` and
+    should register parameters in ``self.params`` (with matching zero
+    arrays in ``self.grads``) during construction.
+
+    Attributes:
+        params: mapping from parameter name to its numpy array.
+        grads: mapping from parameter name to the gradient accumulated
+            by the most recent :meth:`backward` call.
+    """
+
+    def __init__(self) -> None:
+        self.params: Dict[str, np.ndarray] = {}
+        self.grads: Dict[str, np.ndarray] = {}
+
+    # ------------------------------------------------------------------
+    # Interface
+    # ------------------------------------------------------------------
+    def forward(self, inputs: np.ndarray, training: bool = False) -> np.ndarray:
+        """Compute the layer output for ``inputs``.
+
+        Args:
+            inputs: input activation array.
+            training: ``True`` during training (enables dropout masks,
+                batch-norm batch statistics, and backward caching).
+
+        Returns:
+            The layer output array.
+        """
+        raise NotImplementedError
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        """Back-propagate ``grad_output`` through the layer.
+
+        Must be called after a ``forward(..., training=True)`` pass.
+
+        Args:
+            grad_output: gradient of the loss w.r.t. the layer output.
+
+        Returns:
+            Gradient of the loss w.r.t. the layer input.
+        """
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Parameter utilities
+    # ------------------------------------------------------------------
+    @property
+    def parameter_count(self) -> int:
+        """Total number of scalar parameters held by this layer."""
+        return int(sum(p.size for p in self.params.values()))
+
+    def named_parameters(self) -> Iterator[Tuple[str, np.ndarray]]:
+        """Yield ``(name, array)`` pairs in sorted-name order."""
+        for name in sorted(self.params):
+            yield name, self.params[name]
+
+    def zero_grads(self) -> None:
+        """Reset every gradient buffer to zero in place."""
+        for name, grad in self.grads.items():
+            grad[...] = 0.0
+
+    def _register(self, name: str, value: np.ndarray) -> None:
+        """Register a trainable parameter and its zero gradient buffer."""
+        self.params[name] = value
+        self.grads[name] = np.zeros_like(value)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(params={self.parameter_count})"

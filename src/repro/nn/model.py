@@ -1,0 +1,162 @@
+"""The :class:`Sequential` model container.
+
+Beyond chaining layers, the container exposes flat-vector parameter
+access (:meth:`Sequential.get_flat_params` /
+:meth:`Sequential.set_flat_params`), which is the interface the
+federated-averaging server uses: aggregation is a weighted average of
+flat vectors, exactly matching Eq. (18) of the paper.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Callable, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.nn.layer import Layer
+
+__all__ = ["Sequential"]
+
+
+class Sequential:
+    """A feed-forward stack of layers executed in order.
+
+    Args:
+        layers: layers in execution order.
+        seed: optional seed recorded for provenance (layers are seeded
+            at construction; this value is informational).
+    """
+
+    def __init__(self, layers: Sequence[Layer], seed: Optional[int] = None) -> None:
+        self.layers: List[Layer] = list(layers)
+        self.seed = seed
+        for layer in self.layers:
+            if not isinstance(layer, Layer):
+                raise TypeError(f"expected Layer instances, got {type(layer)!r}")
+
+    # ------------------------------------------------------------------
+    # Forward / backward
+    # ------------------------------------------------------------------
+    def forward(self, inputs: np.ndarray, training: bool = False) -> np.ndarray:
+        """Run the full forward pass and return the final activation."""
+        out = inputs
+        for layer in self.layers:
+            out = layer.forward(out, training=training)
+        return out
+
+    def __call__(self, inputs: np.ndarray, training: bool = False) -> np.ndarray:
+        return self.forward(inputs, training=training)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        """Back-propagate through every layer; returns the input gradient."""
+        grad = grad_output
+        for layer in reversed(self.layers):
+            grad = layer.backward(grad)
+        return grad
+
+    def zero_grads(self) -> None:
+        """Reset every layer's gradient buffers."""
+        for layer in self.layers:
+            layer.zero_grads()
+
+    # ------------------------------------------------------------------
+    # Parameter access
+    # ------------------------------------------------------------------
+    @property
+    def parameter_count(self) -> int:
+        """Total scalar parameter count across all layers."""
+        return sum(layer.parameter_count for layer in self.layers)
+
+    def parameter_bytes(self, bits_per_parameter: int = 32) -> int:
+        """Size of one model payload in bytes at the given precision.
+
+        Used to derive the communication payload ``C_model`` of Eq. (7)
+        from an actual model.
+        """
+        return self.parameter_count * bits_per_parameter // 8
+
+    def named_parameters(self) -> Iterable:
+        """Yield ``(layer_index, name, array)`` for every parameter."""
+        for idx, layer in enumerate(self.layers):
+            for name, param in layer.named_parameters():
+                yield idx, name, param
+
+    def get_flat_params(self) -> np.ndarray:
+        """Concatenate every parameter into a single 1-D float64 vector."""
+        chunks = [param.ravel() for _, _, param in self.named_parameters()]
+        if not chunks:
+            return np.zeros(0, dtype=np.float64)
+        return np.concatenate(chunks).astype(np.float64, copy=False)
+
+    def set_flat_params(self, flat: np.ndarray) -> None:
+        """Write a flat vector produced by :meth:`get_flat_params` back.
+
+        Arrays are updated in place so optimizer state and external
+        references stay valid.
+
+        Raises:
+            ShapeError: if ``flat`` has the wrong length.
+        """
+        flat = np.asarray(flat, dtype=np.float64).ravel()
+        expected = self.parameter_count
+        if flat.size != expected:
+            raise ShapeError(
+                f"flat parameter vector has {flat.size} entries, expected "
+                f"{expected}"
+            )
+        offset = 0
+        for _, _, param in self.named_parameters():
+            size = param.size
+            param[...] = flat[offset : offset + size].reshape(param.shape)
+            offset += size
+
+    def get_flat_grads(self) -> np.ndarray:
+        """Concatenate every gradient buffer into one flat vector."""
+        chunks = []
+        for idx, layer in enumerate(self.layers):
+            for name in sorted(layer.params):
+                chunks.append(layer.grads[name].ravel())
+        if not chunks:
+            return np.zeros(0, dtype=np.float64)
+        return np.concatenate(chunks).astype(np.float64, copy=False)
+
+    # ------------------------------------------------------------------
+    # Cloning / prediction helpers
+    # ------------------------------------------------------------------
+    def clone(self) -> "Sequential":
+        """Deep-copy the model (architecture, parameters, buffers)."""
+        return copy.deepcopy(self)
+
+    def predict(self, inputs: np.ndarray, batch_size: int = 256) -> np.ndarray:
+        """Inference-mode forward pass, batched to bound memory."""
+        outputs = []
+        for start in range(0, inputs.shape[0], batch_size):
+            outputs.append(
+                self.forward(inputs[start : start + batch_size], training=False)
+            )
+        return np.concatenate(outputs, axis=0) if outputs else np.zeros((0,))
+
+    def predict_classes(self, inputs: np.ndarray, batch_size: int = 256) -> np.ndarray:
+        """Return argmax class ids for ``inputs``."""
+        return self.predict(inputs, batch_size=batch_size).argmax(axis=1)
+
+    def apply(self, fn: Callable[[Layer], None]) -> None:
+        """Call ``fn`` on every layer (e.g. to tweak dropout rates)."""
+        for layer in self.layers:
+            fn(layer)
+
+    def summary(self) -> str:
+        """Return a human-readable multi-line architecture summary."""
+        lines = [f"Sequential({len(self.layers)} layers, "
+                 f"{self.parameter_count} parameters)"]
+        for idx, layer in enumerate(self.layers):
+            lines.append(f"  [{idx:2d}] {layer!r}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (
+            f"Sequential(layers={len(self.layers)}, "
+            f"params={self.parameter_count})"
+        )

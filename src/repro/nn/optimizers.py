@@ -1,0 +1,179 @@
+"""Gradient-descent optimizers.
+
+Each optimizer mutates a model's parameters in place from the gradients
+accumulated by the most recent backward pass. Per-parameter state
+(momentum buffers, Adam moments) is keyed by ``(layer index, parameter
+name)`` so optimizers survive parameter reassignment through
+``Sequential.set_flat_params`` (arrays are written in place there).
+
+The plain :class:`Sgd` with a single full-batch step per round is
+exactly the local update of HELCFL's Eq. (3).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple, Union
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.nn.schedules import ConstantSchedule
+
+__all__ = ["Optimizer", "Sgd", "Momentum", "Nesterov", "Adam"]
+
+_ScheduleLike = Union[float, "object"]
+
+
+def _as_schedule(learning_rate: _ScheduleLike):
+    """Wrap a float in a constant schedule; pass schedules through."""
+    if hasattr(learning_rate, "rate"):
+        return learning_rate
+    return ConstantSchedule(float(learning_rate))
+
+
+class Optimizer:
+    """Base optimizer: tracks the step counter and the LR schedule.
+
+    Args:
+        learning_rate: a positive float or a schedule object exposing
+            ``rate(step)``.
+        weight_decay: L2 penalty coefficient added to every gradient.
+    """
+
+    def __init__(
+        self, learning_rate: _ScheduleLike = 0.01, weight_decay: float = 0.0
+    ) -> None:
+        if weight_decay < 0:
+            raise ConfigurationError(
+                f"weight_decay must be non-negative, got {weight_decay}"
+            )
+        self.schedule = _as_schedule(learning_rate)
+        self.weight_decay = float(weight_decay)
+        self.step_count = 0
+
+    @property
+    def current_rate(self) -> float:
+        """Learning rate that the next :meth:`step` call will use."""
+        return self.schedule.rate(self.step_count)
+
+    def step(self, model) -> None:
+        """Apply one update to every parameter of ``model``.
+
+        Args:
+            model: a :class:`~repro.nn.model.Sequential` (anything with
+                a ``layers`` list of :class:`~repro.nn.layer.Layer`).
+        """
+        rate = self.schedule.rate(self.step_count)
+        for layer_idx, layer in enumerate(model.layers):
+            for name, param in layer.params.items():
+                grad = layer.grads[name]
+                if self.weight_decay > 0.0:
+                    grad = grad + self.weight_decay * param
+                self._update(param, grad, (layer_idx, name), rate)
+        self.step_count += 1
+
+    def _update(
+        self,
+        param: np.ndarray,
+        grad: np.ndarray,
+        key: Tuple[int, str],
+        rate: float,
+    ) -> None:
+        raise NotImplementedError
+
+    def reset_state(self) -> None:
+        """Forget all accumulated per-parameter state and the step count."""
+        self.step_count = 0
+
+
+class Sgd(Optimizer):
+    """Vanilla gradient descent: ``p -= lr * g`` (HELCFL Eq. 3)."""
+
+    def _update(self, param, grad, key, rate) -> None:
+        del key
+        param -= rate * grad
+
+
+class Momentum(Optimizer):
+    """SGD with classical (heavy-ball) momentum."""
+
+    def __init__(
+        self,
+        learning_rate: _ScheduleLike = 0.01,
+        momentum: float = 0.9,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(learning_rate, weight_decay)
+        if not 0.0 <= momentum < 1.0:
+            raise ConfigurationError(f"momentum must be in [0, 1), got {momentum}")
+        self.momentum = float(momentum)
+        self._velocity: Dict[Tuple[int, str], np.ndarray] = {}
+
+    def _update(self, param, grad, key, rate) -> None:
+        velocity = self._velocity.get(key)
+        if velocity is None or velocity.shape != param.shape:
+            velocity = np.zeros_like(param)
+        velocity = self.momentum * velocity - rate * grad
+        self._velocity[key] = velocity
+        param += velocity
+
+    def reset_state(self) -> None:
+        super().reset_state()
+        self._velocity.clear()
+
+
+class Nesterov(Momentum):
+    """SGD with Nesterov accelerated momentum."""
+
+    def _update(self, param, grad, key, rate) -> None:
+        velocity = self._velocity.get(key)
+        if velocity is None or velocity.shape != param.shape:
+            velocity = np.zeros_like(param)
+        velocity_new = self.momentum * velocity - rate * grad
+        self._velocity[key] = velocity_new
+        param += -self.momentum * velocity + (1.0 + self.momentum) * velocity_new
+
+
+class Adam(Optimizer):
+    """Adam optimizer with bias-corrected first and second moments."""
+
+    def __init__(
+        self,
+        learning_rate: _ScheduleLike = 0.001,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(learning_rate, weight_decay)
+        if not 0.0 <= beta1 < 1.0 or not 0.0 <= beta2 < 1.0:
+            raise ConfigurationError(
+                f"betas must be in [0, 1), got {beta1}, {beta2}"
+            )
+        if eps <= 0:
+            raise ConfigurationError(f"eps must be positive, got {eps}")
+        self.beta1 = float(beta1)
+        self.beta2 = float(beta2)
+        self.eps = float(eps)
+        self._m: Dict[Tuple[int, str], np.ndarray] = {}
+        self._v: Dict[Tuple[int, str], np.ndarray] = {}
+
+    def _update(self, param, grad, key, rate) -> None:
+        m = self._m.get(key)
+        v = self._v.get(key)
+        if m is None or m.shape != param.shape:
+            m = np.zeros_like(param)
+            v = np.zeros_like(param)
+        m = self.beta1 * m + (1.0 - self.beta1) * grad
+        v = self.beta2 * v + (1.0 - self.beta2) * grad**2
+        self._m[key] = m
+        self._v[key] = v
+        t = self.step_count + 1
+        m_hat = m / (1.0 - self.beta1**t)
+        v_hat = v / (1.0 - self.beta2**t)
+        param -= rate * m_hat / (np.sqrt(v_hat) + self.eps)
+
+    def reset_state(self) -> None:
+        super().reset_state()
+        self._m.clear()
+        self._v.clear()

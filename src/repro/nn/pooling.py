@@ -1,0 +1,156 @@
+"""Spatial pooling layers for NCHW inputs."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError, ShapeError
+from repro.nn.conv_utils import col2im, im2col
+from repro.nn.layer import Layer
+
+__all__ = ["MaxPool2D", "AvgPool2D", "GlobalAvgPool2D"]
+
+
+class _Pool2D(Layer):
+    """Shared plumbing for windowed pooling layers."""
+
+    def __init__(self, pool_size, stride: Optional[int] = None, padding: int = 0):
+        super().__init__()
+        if isinstance(pool_size, int):
+            pool_size = (pool_size, pool_size)
+        ph, pw = (int(p) for p in pool_size)
+        if ph <= 0 or pw <= 0:
+            raise ConfigurationError(f"pool_size must be positive, got ({ph},{pw})")
+        if stride is None:
+            stride = ph
+        if stride <= 0 or padding < 0:
+            raise ConfigurationError(
+                f"stride must be positive and padding non-negative, got "
+                f"stride={stride}, padding={padding}"
+            )
+        self.pool_h = ph
+        self.pool_w = pw
+        self.stride = int(stride)
+        self.padding = int(padding)
+
+    def _unfold(self, inputs: np.ndarray) -> Tuple[np.ndarray, int, int, int, int]:
+        """Return per-channel windows ``(rows, window)`` plus geometry."""
+        if inputs.ndim != 4:
+            raise ShapeError(f"pooling expects NCHW input, got {inputs.shape}")
+        n, c, h, w = inputs.shape
+        # Treat channels as independent single-channel images so each
+        # window row covers exactly one channel.
+        reshaped = inputs.reshape(n * c, 1, h, w)
+        cols, out_h, out_w = im2col(
+            reshaped, self.pool_h, self.pool_w, self.stride, self.padding
+        )
+        return cols, n, c, out_h, out_w
+
+
+class MaxPool2D(_Pool2D):
+    """Max pooling over spatial windows.
+
+    Args:
+        pool_size: window size (int or ``(h, w)``).
+        stride: window stride; defaults to the window height.
+        padding: symmetric zero padding (padded zeros participate in
+            the max, matching common framework semantics for
+            non-negative activations).
+    """
+
+    def __init__(self, pool_size, stride: Optional[int] = None, padding: int = 0):
+        super().__init__(pool_size, stride, padding)
+        self._argmax: Optional[np.ndarray] = None
+        self._geometry: Optional[Tuple[int, int, int, int, int, int]] = None
+
+    def forward(self, inputs: np.ndarray, training: bool = False) -> np.ndarray:
+        cols, n, c, out_h, out_w = self._unfold(inputs)
+        argmax = cols.argmax(axis=1)
+        out = cols[np.arange(cols.shape[0]), argmax]
+        if training:
+            self._argmax = argmax
+            self._geometry = (n, c, inputs.shape[2], inputs.shape[3], out_h, out_w)
+        return out.reshape(n, c, out_h, out_w)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._argmax is None or self._geometry is None:
+            raise RuntimeError("backward called before forward(training=True)")
+        n, c, h, w, out_h, out_w = self._geometry
+        rows = n * c * out_h * out_w
+        grad_cols = np.zeros((rows, self.pool_h * self.pool_w), dtype=np.float64)
+        grad_cols[np.arange(rows), self._argmax] = grad_output.reshape(rows)
+        grad_images = col2im(
+            grad_cols,
+            (n * c, 1, h, w),
+            self.pool_h,
+            self.pool_w,
+            self.stride,
+            self.padding,
+        )
+        return grad_images.reshape(n, c, h, w)
+
+
+class AvgPool2D(_Pool2D):
+    """Average pooling over spatial windows."""
+
+    def __init__(self, pool_size, stride: Optional[int] = None, padding: int = 0):
+        super().__init__(pool_size, stride, padding)
+        self._geometry: Optional[Tuple[int, int, int, int, int, int]] = None
+
+    def forward(self, inputs: np.ndarray, training: bool = False) -> np.ndarray:
+        cols, n, c, out_h, out_w = self._unfold(inputs)
+        out = cols.mean(axis=1)
+        if training:
+            self._geometry = (n, c, inputs.shape[2], inputs.shape[3], out_h, out_w)
+        return out.reshape(n, c, out_h, out_w)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._geometry is None:
+            raise RuntimeError("backward called before forward(training=True)")
+        n, c, h, w, out_h, out_w = self._geometry
+        rows = n * c * out_h * out_w
+        window = self.pool_h * self.pool_w
+        grad_cols = np.repeat(
+            grad_output.reshape(rows, 1) / float(window), window, axis=1
+        )
+        grad_images = col2im(
+            grad_cols,
+            (n * c, 1, h, w),
+            self.pool_h,
+            self.pool_w,
+            self.stride,
+            self.padding,
+        )
+        return grad_images.reshape(n, c, h, w)
+
+
+class GlobalAvgPool2D(Layer):
+    """Global average pooling: ``(n, c, h, w) -> (n, c)``.
+
+    SqueezeNet replaces its final dense classifier with a 1x1
+    convolution followed by this layer.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._input_shape: Optional[Tuple[int, int, int, int]] = None
+
+    def forward(self, inputs: np.ndarray, training: bool = False) -> np.ndarray:
+        if inputs.ndim != 4:
+            raise ShapeError(
+                f"GlobalAvgPool2D expects NCHW input, got {inputs.shape}"
+            )
+        if training:
+            self._input_shape = inputs.shape
+        return inputs.mean(axis=(2, 3))
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._input_shape is None:
+            raise RuntimeError("backward called before forward(training=True)")
+        n, c, h, w = self._input_shape
+        scale = 1.0 / float(h * w)
+        return np.broadcast_to(
+            grad_output.reshape(n, c, 1, 1) * scale, (n, c, h, w)
+        ).copy()

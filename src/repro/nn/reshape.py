@@ -1,0 +1,29 @@
+"""Shape-manipulation layers."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.nn.layer import Layer
+
+__all__ = ["Flatten"]
+
+
+class Flatten(Layer):
+    """Flatten all axes after the batch axis: ``(n, ...) -> (n, prod)``."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._input_shape: Optional[Tuple[int, ...]] = None
+
+    def forward(self, inputs: np.ndarray, training: bool = False) -> np.ndarray:
+        if training:
+            self._input_shape = inputs.shape
+        return inputs.reshape(inputs.shape[0], -1)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._input_shape is None:
+            raise RuntimeError("backward called before forward(training=True)")
+        return grad_output.reshape(self._input_shape)

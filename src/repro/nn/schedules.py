@@ -1,0 +1,80 @@
+"""Learning-rate schedules.
+
+A schedule maps a zero-based step index to a learning rate. Optimizers
+accept either a plain float (wrapped in :class:`ConstantSchedule`) or
+any object with a ``rate(step)`` method.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ConfigurationError
+
+__all__ = ["ConstantSchedule", "StepDecaySchedule", "CosineSchedule"]
+
+
+class ConstantSchedule:
+    """A fixed learning rate."""
+
+    def __init__(self, learning_rate: float) -> None:
+        if learning_rate <= 0:
+            raise ConfigurationError(
+                f"learning_rate must be positive, got {learning_rate}"
+            )
+        self.learning_rate = float(learning_rate)
+
+    def rate(self, step: int) -> float:
+        """Return the learning rate at ``step`` (always the same)."""
+        del step
+        return self.learning_rate
+
+
+class StepDecaySchedule:
+    """Multiply the rate by ``decay`` every ``period`` steps."""
+
+    def __init__(self, learning_rate: float, period: int, decay: float = 0.5) -> None:
+        if learning_rate <= 0:
+            raise ConfigurationError(
+                f"learning_rate must be positive, got {learning_rate}"
+            )
+        if period <= 0:
+            raise ConfigurationError(f"period must be positive, got {period}")
+        if not 0.0 < decay <= 1.0:
+            raise ConfigurationError(f"decay must be in (0, 1], got {decay}")
+        self.learning_rate = float(learning_rate)
+        self.period = int(period)
+        self.decay = float(decay)
+
+    def rate(self, step: int) -> float:
+        """Return the decayed learning rate at ``step``."""
+        return self.learning_rate * self.decay ** (step // self.period)
+
+
+class CosineSchedule:
+    """Cosine annealing from the initial rate to ``min_rate``."""
+
+    def __init__(
+        self, learning_rate: float, total_steps: int, min_rate: float = 0.0
+    ) -> None:
+        if learning_rate <= 0:
+            raise ConfigurationError(
+                f"learning_rate must be positive, got {learning_rate}"
+            )
+        if total_steps <= 0:
+            raise ConfigurationError(
+                f"total_steps must be positive, got {total_steps}"
+            )
+        if min_rate < 0 or min_rate > learning_rate:
+            raise ConfigurationError(
+                f"min_rate must be in [0, learning_rate], got {min_rate}"
+            )
+        self.learning_rate = float(learning_rate)
+        self.total_steps = int(total_steps)
+        self.min_rate = float(min_rate)
+
+    def rate(self, step: int) -> float:
+        """Return the annealed rate; clamps beyond ``total_steps``."""
+        progress = min(max(step, 0), self.total_steps) / self.total_steps
+        cosine = 0.5 * (1.0 + math.cos(math.pi * progress))
+        return self.min_rate + (self.learning_rate - self.min_rate) * cosine

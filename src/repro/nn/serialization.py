@@ -1,0 +1,76 @@
+"""Model parameter serialization.
+
+Parameters are stored as ``.npz`` archives keyed ``"{layer}.{name}"``
+plus batch-norm running buffers keyed ``"{layer}.buffer.{name}"``, so a
+saved payload restores both the trainable state and the inference
+statistics.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Union
+
+import numpy as np
+
+from repro.errors import SerializationError
+from repro.nn.model import Sequential
+from repro.nn.normalization import BatchNorm
+
+__all__ = ["save_model_params", "load_model_params"]
+
+
+def save_model_params(model: Sequential, path: Union[str, os.PathLike]) -> None:
+    """Write the model's parameters and buffers to ``path`` (``.npz``).
+
+    Args:
+        model: the model whose state to save.
+        path: destination file; ``.npz`` is appended by numpy if absent.
+    """
+    payload = {}
+    for idx, name, param in model.named_parameters():
+        payload[f"{idx}.{name}"] = param
+    for idx, layer in enumerate(model.layers):
+        if isinstance(layer, BatchNorm):
+            for bname, buf in layer.get_buffers().items():
+                payload[f"{idx}.buffer.{bname}"] = buf
+    np.savez(os.fspath(path), **payload)
+
+
+def load_model_params(model: Sequential, path: Union[str, os.PathLike]) -> None:
+    """Load parameters saved by :func:`save_model_params` into ``model``.
+
+    The model must have the identical architecture (same layers, same
+    parameter shapes).
+
+    Raises:
+        SerializationError: if a key is missing or a shape mismatches.
+    """
+    path = os.fspath(path)
+    if not path.endswith(".npz") and not os.path.exists(path):
+        path = path + ".npz"
+    try:
+        archive = np.load(path)
+    except (OSError, ValueError) as exc:
+        raise SerializationError(f"cannot read model archive {path!r}: {exc}")
+    with archive:
+        for idx, name, param in model.named_parameters():
+            key = f"{idx}.{name}"
+            if key not in archive:
+                raise SerializationError(f"archive missing parameter {key!r}")
+            stored = archive[key]
+            if stored.shape != param.shape:
+                raise SerializationError(
+                    f"parameter {key!r} has shape {stored.shape}, model "
+                    f"expects {param.shape}"
+                )
+            param[...] = stored
+        for idx, layer in enumerate(model.layers):
+            if isinstance(layer, BatchNorm):
+                buffers = {}
+                for bname in ("running_mean", "running_var"):
+                    key = f"{idx}.buffer.{bname}"
+                    if key in archive:
+                        buffers[bname] = archive[key]
+                if len(buffers) == 2:
+                    layer.set_buffers(buffers)

@@ -1,0 +1,13 @@
+"""Version metadata for the :mod:`repro` package."""
+
+from __future__ import annotations
+
+__all__ = ["__version__", "PAPER_TITLE", "PAPER_VENUE"]
+
+__version__ = "1.0.0"
+
+PAPER_TITLE = (
+    "HELCFL: High-Efficiency and Low-Cost Federated Learning in "
+    "Heterogeneous Mobile-Edge Computing"
+)
+PAPER_VENUE = "DATE 2022"

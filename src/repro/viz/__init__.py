@@ -1,0 +1,10 @@
+"""Terminal (ASCII) visualization of experiment artifacts.
+
+The offline counterpart of the paper's figures: multi-series accuracy
+curves (Fig. 2), horizontal bar charts (Fig. 3), and TDMA round
+timelines (Fig. 1), all rendered as plain text for terminals and logs.
+"""
+
+from repro.viz.ascii import ascii_bars, ascii_curves, ascii_timeline
+
+__all__ = ["ascii_curves", "ascii_bars", "ascii_timeline"]

@@ -1,0 +1,142 @@
+"""ASCII renderers for curves, bars, and TDMA timelines."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.network.tdma import RoundTimeline
+
+__all__ = ["ascii_curves", "ascii_bars", "ascii_timeline"]
+
+_DEFAULT_SYMBOLS = "HCFESABDGIJKLMNOPQRTUVWXYZ"
+
+
+def ascii_curves(
+    series: Mapping[str, Sequence[Tuple[float, float]]],
+    width: int = 60,
+    height: int = 12,
+    y_max: float = 1.0,
+    symbols: Optional[Dict[str, str]] = None,
+    y_label: str = "",
+) -> str:
+    """Render named ``(x, y)`` series as an ASCII chart.
+
+    Later-listed series are drawn on top where cells collide; the
+    y-axis spans ``[0, y_max]``.
+
+    Args:
+        series: mapping from series name to its points.
+        width: chart width in characters.
+        height: chart height in rows.
+        y_max: top of the y-axis.
+        symbols: plotting character per series; defaults to the first
+            letter of each name (disambiguated in listing order).
+        y_label: optional axis label printed above the chart.
+
+    Returns:
+        The chart as a multi-line string (includes a legend).
+    """
+    if width <= 0 or height <= 1:
+        raise ConfigurationError(
+            f"width must be positive and height >= 2, got {width}x{height}"
+        )
+    if y_max <= 0:
+        raise ConfigurationError(f"y_max must be positive, got {y_max}")
+    if not series:
+        raise ConfigurationError("need at least one series")
+
+    x_max = max(
+        (point[0] for points in series.values() for point in points),
+        default=1.0,
+    )
+    x_max = max(x_max, 1e-12)
+
+    if symbols is None:
+        symbols = {}
+        used = set()
+        for index, name in enumerate(series):
+            candidate = name[:1].upper() or "?"
+            if candidate in used:
+                candidate = _DEFAULT_SYMBOLS[index % len(_DEFAULT_SYMBOLS)]
+            symbols[name] = candidate
+            used.add(candidate)
+
+    grid = [[" "] * width for _ in range(height)]
+    for name, points in series.items():
+        symbol = symbols.get(name, "?")
+        for x, y in points:
+            col = min(width - 1, max(0, int(x / x_max * (width - 1))))
+            clamped = min(max(y, 0.0), y_max)
+            row = min(
+                height - 1, max(0, int((1.0 - clamped / y_max) * (height - 1)))
+            )
+            grid[row][col] = symbol
+
+    lines: List[str] = []
+    if y_label:
+        lines.append(f"  {y_label}")
+    for row in range(height):
+        value = y_max * (1.0 - row / (height - 1))
+        lines.append(f"  {value:7.2f} |" + "".join(grid[row]))
+    lines.append("          +" + "-" * width)
+    lines.append(f"           x: 0 .. {x_max:g}")
+    legend = "  ".join(f"{symbols[name]}={name}" for name in series)
+    lines.append(f"           {legend}")
+    return "\n".join(lines)
+
+
+def ascii_bars(
+    entries: Sequence[Tuple[str, float]],
+    width: int = 50,
+    unit: str = "",
+) -> str:
+    """Render labelled values as horizontal bars scaled to the maximum.
+
+    Args:
+        entries: ``(label, value)`` pairs; values must be non-negative.
+        width: bar width of the largest value.
+        unit: unit suffix printed after each value.
+
+    Returns:
+        The chart as a multi-line string.
+    """
+    if not entries:
+        raise ConfigurationError("need at least one bar")
+    if width <= 0:
+        raise ConfigurationError(f"width must be positive, got {width}")
+    if any(value < 0 for _, value in entries):
+        raise ConfigurationError("bar values must be non-negative")
+    peak = max(value for _, value in entries)
+    label_width = max(len(label) for label, _ in entries)
+    lines = []
+    for label, value in entries:
+        length = 0 if peak == 0 else int(round(value / peak * width))
+        bar = "#" * length
+        lines.append(f"  {label:<{label_width}} |{bar:<{width}}| {value:g}{unit}")
+    return "\n".join(lines)
+
+
+def ascii_timeline(timeline: RoundTimeline, width: int = 72) -> str:
+    """Render a TDMA round as per-user compute/slack/upload bars.
+
+    ``#`` marks compute, ``.`` slack (waiting for the channel), ``U``
+    upload; one row per user in channel-grant order.
+    """
+    if width <= 0:
+        raise ConfigurationError(f"width must be positive, got {width}")
+    if timeline.round_delay <= 0:
+        raise ConfigurationError("timeline has non-positive round delay")
+    scale = width / timeline.round_delay
+    lines = []
+    for entry in timeline.users:
+        compute = int(round(entry.compute_end * scale))
+        slack = int(round(entry.slack * scale))
+        upload = max(1, int(round(entry.upload_delay * scale)))
+        bar = ("#" * compute + "." * slack + "U" * upload)[:width]
+        lines.append(
+            f"  user {entry.device_id:3d} |{bar:<{width}}| "
+            f"f={entry.frequency / 1e9:.2f}GHz slack={entry.slack:.2f}s"
+        )
+    lines.append(f"  {'':10}('#' compute, '.' slack/wait, 'U' upload)")
+    return "\n".join(lines)

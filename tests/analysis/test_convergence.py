@@ -1,0 +1,97 @@
+"""Tests for the plateau convergence detector and its trainer hookup."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.convergence import PlateauDetector
+from repro.baselines.classic import RandomSelection
+from repro.data.dataset import ArrayDataset
+from repro.errors import ConfigurationError
+from repro.fl.server import FederatedServer
+from repro.fl.trainer import FederatedTrainer, TrainerConfig
+from repro.nn.architectures import build_mlp
+from tests.conftest import make_heterogeneous_devices
+
+
+class TestPlateauDetector:
+    def test_converges_after_patience_stale_steps(self):
+        detector = PlateauDetector(patience=3, min_delta=0.01)
+        assert not detector.update(1.0)
+        assert not detector.update(1.0)  # stale 1
+        assert not detector.update(0.999)  # stale 2 (< min_delta)
+        assert detector.update(1.0)  # stale 3 -> converged
+
+    def test_improvement_resets_counter(self):
+        detector = PlateauDetector(patience=2, min_delta=0.01)
+        detector.update(1.0)
+        detector.update(1.0)  # stale 1
+        detector.update(0.5)  # improvement resets
+        assert not detector.update(0.5)  # stale 1 again
+        assert detector.update(0.5)  # stale 2 -> converged
+
+    def test_max_mode_tracks_increases(self):
+        detector = PlateauDetector(patience=2, min_delta=0.01, mode="max")
+        detector.update(0.1)
+        detector.update(0.5)  # improvement
+        assert not detector.update(0.5)
+        assert detector.update(0.5)
+
+    def test_sticky_after_convergence(self):
+        detector = PlateauDetector(patience=1)
+        detector.update(1.0)
+        detector.update(1.0)
+        assert detector.converged
+        assert detector.update(0.0)  # still reports converged
+
+    def test_reset(self):
+        detector = PlateauDetector(patience=1)
+        detector.update(1.0)
+        detector.update(1.0)
+        detector.reset()
+        assert not detector.converged
+        assert detector.best is None
+
+    def test_strictly_decreasing_never_converges(self):
+        detector = PlateauDetector(patience=3, min_delta=0.0)
+        for value in np.linspace(1.0, 0.0, 50):
+            assert not detector.update(float(value) - 1e-9 * 0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            PlateauDetector(patience=0)
+        with pytest.raises(ConfigurationError):
+            PlateauDetector(min_delta=-1.0)
+        with pytest.raises(ConfigurationError):
+            PlateauDetector(mode="avg")
+
+
+class TestTrainerConvergenceExit:
+    def _trainer(self, patience):
+        devices = make_heterogeneous_devices(4, seed=1)
+        rng = np.random.default_rng(9)
+        test = ArrayDataset(rng.normal(size=(30, 4)), rng.integers(0, 3, size=30))
+        model = build_mlp(4, 3, hidden_sizes=(6,), seed=1)
+        server = FederatedServer(model, test_dataset=test, payload_bits=1e6)
+        return FederatedTrainer(
+            server=server,
+            devices=devices,
+            selection=RandomSelection(0.5, seed=0),
+            config=TrainerConfig(
+                rounds=200,
+                bandwidth_hz=2e6,
+                # Tiny LR: loss flatlines almost immediately.
+                learning_rate=1e-6,
+                convergence_patience=patience,
+                convergence_min_delta=1e-3,
+            ),
+        )
+
+    def test_plateau_stops_training_early(self):
+        history = self._trainer(patience=5).run()
+        assert len(history) < 200
+
+    def test_invalid_patience_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TrainerConfig(convergence_patience=0)
+        with pytest.raises(ConfigurationError):
+            TrainerConfig(convergence_min_delta=-1.0)

@@ -1,0 +1,96 @@
+"""Tests for crossover detection."""
+
+import pytest
+
+from repro.analysis.crossover import find_crossovers, history_crossovers
+from repro.errors import ConfigurationError
+from repro.fl.history import RoundRecord, TrainingHistory
+
+
+def make_history(accuracies, label=""):
+    history = TrainingHistory(label=label)
+    for idx, accuracy in enumerate(accuracies, start=1):
+        history.append(
+            RoundRecord(
+                round_index=idx,
+                selected_ids=(0,),
+                frequencies={0: 1e9},
+                round_delay=1.0,
+                round_energy=1.0,
+                compute_energy=0.5,
+                upload_energy=0.5,
+                slack=0.0,
+                cumulative_time=float(idx),
+                cumulative_energy=float(idx),
+                train_loss=1.0,
+                test_accuracy=accuracy,
+            )
+        )
+    return history
+
+
+class TestFindCrossovers:
+    def test_no_crossover_when_dominated(self):
+        a = [(0.0, 0.5), (1.0, 0.6), (2.0, 0.7)]
+        b = [(0.0, 0.1), (1.0, 0.2), (2.0, 0.3)]
+        assert find_crossovers(a, b) == []
+
+    def test_single_crossover(self):
+        a = [(0.0, 0.0), (1.0, 0.5), (2.0, 1.0)]  # rises fast later
+        b = [(0.0, 0.3), (1.0, 0.4), (2.0, 0.5)]  # early lead
+        crossings = find_crossovers(a, b)
+        assert len(crossings) == 1
+        assert crossings[0].leader_after == "a"
+        assert 0.0 < crossings[0].x <= 2.0
+
+    def test_multiple_crossovers(self):
+        a = [(0.0, 0.0), (1.0, 1.0), (2.0, 0.0), (3.0, 1.0)]
+        b = [(0.0, 0.5), (1.0, 0.5), (2.0, 0.5), (3.0, 0.5)]
+        crossings = find_crossovers(a, b)
+        assert len(crossings) == 3
+        assert [c.leader_after for c in crossings] == ["a", "b", "a"]
+
+    def test_ties_do_not_count(self):
+        a = [(0.0, 0.5), (1.0, 0.5)]
+        b = [(0.0, 0.5), (1.0, 0.5)]
+        assert find_crossovers(a, b) == []
+
+    def test_mismatched_grids_interpolated(self):
+        a = [(0.0, 0.0), (4.0, 1.0)]
+        b = [(1.0, 0.6), (2.0, 0.6), (3.0, 0.6)]
+        crossings = find_crossovers(a, b)
+        assert len(crossings) == 1
+        assert crossings[0].leader_after == "a"
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            find_crossovers([], [(0.0, 1.0)])
+        with pytest.raises(ConfigurationError):
+            find_crossovers([(1.0, 0.0), (0.0, 1.0)], [(0.0, 1.0)])
+
+
+class TestHistoryCrossovers:
+    def test_fedcs_like_crossover_detected(self):
+        """A fast-start-low-ceiling curve vs slow-start-high-ceiling."""
+        fedcs_like = make_history([0.3, 0.35, 0.38, 0.39, 0.40])
+        helcfl_like = make_history([0.1, 0.25, 0.37, 0.45, 0.55])
+        crossings = history_crossovers(helcfl_like, fedcs_like, by="round")
+        assert len(crossings) == 1
+        assert crossings[0].leader_after == "a"
+
+    def test_by_time_axis(self):
+        a = make_history([0.1, 0.6])
+        b = make_history([0.5, 0.5])
+        crossings = history_crossovers(a, b, by="time")
+        assert len(crossings) == 1
+
+    def test_invalid_axis(self):
+        a = make_history([0.1])
+        with pytest.raises(ConfigurationError):
+            history_crossovers(a, a, by="energy")
+
+    def test_unevaluated_histories_rejected(self):
+        empty = TrainingHistory()
+        full = make_history([0.5])
+        with pytest.raises(ConfigurationError):
+            history_crossovers(empty, full)

@@ -1,0 +1,92 @@
+"""Property-based tests for the compression substrate."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.compression.pipeline import CompressionPipeline
+from repro.compression.quantization import UniformQuantizer
+from repro.compression.sparsification import TopKSparsifier
+
+finite = st.floats(min_value=-50.0, max_value=50.0, allow_nan=False)
+vectors = arrays(np.float64, st.integers(2, 100), elements=finite)
+
+
+class TestQuantizerProperties:
+    @given(vectors, st.integers(2, 12))
+    @settings(max_examples=60, deadline=None)
+    def test_error_bounded_by_half_step(self, vector, bits):
+        quantizer = UniformQuantizer(bits=bits)
+        payload = quantizer.compress(vector)
+        restored = quantizer.decompress(payload)
+        bound = quantizer.max_error(payload)
+        assert np.max(np.abs(restored - vector)) <= bound + 1e-12
+
+    @given(vectors, st.integers(1, 12))
+    @settings(max_examples=60, deadline=None)
+    def test_payload_smaller_than_float32(self, vector, bits):
+        if bits >= 32:
+            return
+        quantizer = UniformQuantizer(bits=bits)
+        payload = quantizer.compress(vector)
+        # Header amortizes away for all but tiny vectors; compare raw.
+        assert payload.payload_bits <= 32 * vector.size + 128
+
+    @given(vectors)
+    @settings(max_examples=60, deadline=None)
+    def test_idempotent_on_grid(self, vector):
+        """Quantizing an already-quantized vector is lossless."""
+        quantizer = UniformQuantizer(bits=6)
+        once = quantizer.decompress(quantizer.compress(vector))
+        twice = quantizer.decompress(quantizer.compress(once))
+        assert np.allclose(once, twice, atol=1e-9)
+
+
+class TestSparsifierProperties:
+    @given(vectors, st.floats(min_value=0.05, max_value=1.0))
+    @settings(max_examples=60, deadline=None)
+    def test_reconstruction_error_bounded_by_dropped_mass(self, vector, frac):
+        sparsifier = TopKSparsifier(fraction=frac, error_feedback=False)
+        payload = sparsifier.compress(vector)
+        dense = TopKSparsifier.decompress(payload)
+        error = np.abs(dense - vector)
+        kept_mask = np.zeros(vector.size, dtype=bool)
+        kept_mask[payload.indices] = True
+        assert np.all(error[kept_mask] < 1e-12)
+        assert np.allclose(error[~kept_mask], np.abs(vector[~kept_mask]))
+
+    @given(vectors, st.integers(1, 8))
+    @settings(max_examples=40, deadline=None)
+    def test_error_feedback_conserves_mass(self, vector, rounds):
+        """Transmitted totals plus the residual equal the summed input."""
+        sparsifier = TopKSparsifier(fraction=0.3, error_feedback=True)
+        transmitted = np.zeros_like(vector)
+        for _ in range(rounds):
+            payload = sparsifier.compress(vector)
+            transmitted += TopKSparsifier.decompress(payload)
+        residual = sparsifier._residual
+        assert np.allclose(
+            transmitted + residual, vector * rounds, atol=1e-9
+        )
+
+
+class TestPipelineProperties:
+    @given(vectors, st.integers(4, 12))
+    @settings(max_examples=40, deadline=None)
+    def test_quantized_pipeline_bounded_distortion(self, delta, bits):
+        pipeline = CompressionPipeline.quantized(bits=bits)
+        base = np.zeros_like(delta)
+        update = pipeline.process(0, base, delta)
+        span = delta.max() - delta.min()
+        step = span / (2**bits - 1) if span > 0 else 0.0
+        assert np.max(np.abs(update.params - delta)) <= step / 2 + 1e-12
+
+    @given(vectors)
+    @settings(max_examples=40, deadline=None)
+    def test_ratio_at_least_one_for_8bit(self, delta):
+        pipeline = CompressionPipeline.quantized(bits=8)
+        update = pipeline.process(0, np.zeros_like(delta), delta)
+        # 8-bit codes plus header can exceed raw only for tiny vectors.
+        if delta.size >= 16:
+            assert update.compression_ratio > 1.0

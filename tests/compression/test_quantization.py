@@ -1,0 +1,108 @@
+"""Tests for uniform quantization."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.compression.quantization import UniformQuantizer
+from repro.errors import ConfigurationError
+
+finite = st.floats(min_value=-100.0, max_value=100.0, allow_nan=False)
+
+
+class TestRoundTrip:
+    def test_endpoints_exact(self):
+        q = UniformQuantizer(bits=8)
+        vector = np.array([-3.0, 0.5, 7.0])
+        restored = q.decompress(q.compress(vector))
+        assert restored[0] == pytest.approx(-3.0)
+        assert restored[2] == pytest.approx(7.0)
+
+    def test_error_within_bound(self):
+        q = UniformQuantizer(bits=6)
+        vector = np.random.default_rng(0).normal(size=200)
+        payload = q.compress(vector)
+        restored = q.decompress(payload)
+        assert np.max(np.abs(restored - vector)) <= q.max_error(payload) + 1e-12
+
+    def test_more_bits_less_error(self):
+        vector = np.random.default_rng(1).normal(size=500)
+        errors = []
+        for bits in (2, 4, 8):
+            q = UniformQuantizer(bits=bits)
+            restored = q.decompress(q.compress(vector))
+            errors.append(float(np.mean((restored - vector) ** 2)))
+        assert errors[0] > errors[1] > errors[2]
+
+    def test_constant_vector(self):
+        q = UniformQuantizer(bits=4)
+        vector = np.full(10, 3.14)
+        restored = q.decompress(q.compress(vector))
+        assert np.allclose(restored, 3.14)
+
+    def test_empty_vector(self):
+        q = UniformQuantizer(bits=4)
+        payload = q.compress(np.zeros(0))
+        assert q.decompress(payload).size == 0
+
+    def test_one_bit_two_levels(self):
+        q = UniformQuantizer(bits=1)
+        vector = np.array([0.0, 0.2, 0.8, 1.0])
+        restored = q.decompress(q.compress(vector))
+        assert set(np.round(restored, 6)) <= {0.0, 1.0}
+
+
+class TestPayload:
+    def test_payload_bits_formula(self):
+        q = UniformQuantizer(bits=8)
+        payload = q.compress(np.zeros(1000) + np.arange(1000))
+        assert payload.payload_bits == 1000 * 8 + 128
+
+    def test_compression_vs_float32(self):
+        q = UniformQuantizer(bits=8)
+        payload = q.compress(np.random.default_rng(2).normal(size=10_000))
+        assert payload.payload_bits < 32 * 10_000 / 3.9
+
+
+class TestStochastic:
+    def test_unbiased_in_expectation(self):
+        q = UniformQuantizer(bits=2, stochastic=True, seed=0)
+        vector = np.full(20_000, 0.37)
+        # Force a [0,1] range so 0.37 sits between levels 1/3 and 2/3.
+        vector[0], vector[1] = 0.0, 1.0
+        restored = q.decompress(q.compress(vector))
+        assert abs(restored[2:].mean() - 0.37) < 0.01
+
+    def test_deterministic_given_seed(self):
+        vector = np.random.default_rng(3).normal(size=100)
+        a = UniformQuantizer(4, stochastic=True, seed=7).compress(vector)
+        b = UniformQuantizer(4, stochastic=True, seed=7).compress(vector)
+        assert np.array_equal(a.codes, b.codes)
+
+
+class TestProperties:
+    @given(arrays(np.float64, st.integers(1, 60), elements=finite))
+    @settings(max_examples=60, deadline=None)
+    def test_codes_in_range(self, vector):
+        q = UniformQuantizer(bits=5)
+        payload = q.compress(vector)
+        assert payload.codes.min(initial=0) >= 0
+        assert payload.codes.max(initial=0) < q.levels
+
+    @given(arrays(np.float64, st.integers(2, 60), elements=finite))
+    @settings(max_examples=60, deadline=None)
+    def test_reconstruction_within_range(self, vector):
+        q = UniformQuantizer(bits=5)
+        restored = q.decompress(q.compress(vector))
+        assert restored.min() >= vector.min() - 1e-9
+        assert restored.max() <= vector.max() + 1e-9
+
+
+class TestValidation:
+    def test_bits_range(self):
+        with pytest.raises(ConfigurationError):
+            UniformQuantizer(bits=0)
+        with pytest.raises(ConfigurationError):
+            UniformQuantizer(bits=17)

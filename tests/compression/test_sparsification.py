@@ -1,0 +1,126 @@
+"""Tests for top-k sparsification."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.compression.sparsification import TopKSparsifier
+from repro.errors import ConfigurationError
+
+finite = st.floats(min_value=-50.0, max_value=50.0, allow_nan=False)
+
+
+class TestTopK:
+    def test_keeps_largest_magnitudes(self):
+        sparsifier = TopKSparsifier(fraction=0.4, error_feedback=False)
+        vector = np.array([0.1, -5.0, 0.2, 3.0, -0.05])
+        payload = sparsifier.compress(vector)
+        assert set(payload.indices.tolist()) == {1, 3}
+        dense = TopKSparsifier.decompress(payload)
+        assert dense[1] == -5.0 and dense[3] == 3.0
+        assert dense[0] == dense[2] == dense[4] == 0.0
+
+    def test_keep_count_at_least_one(self):
+        sparsifier = TopKSparsifier(fraction=0.001, error_feedback=False)
+        payload = sparsifier.compress(np.array([1.0, 2.0, 3.0]))
+        assert payload.indices.size == 1
+
+    def test_full_fraction_keeps_everything(self):
+        sparsifier = TopKSparsifier(fraction=1.0, error_feedback=False)
+        vector = np.random.default_rng(0).normal(size=20)
+        dense = TopKSparsifier.decompress(sparsifier.compress(vector))
+        assert np.allclose(dense, vector)
+
+    def test_density(self):
+        sparsifier = TopKSparsifier(fraction=0.25, error_feedback=False)
+        payload = sparsifier.compress(np.arange(100, dtype=float))
+        assert payload.density == pytest.approx(0.25)
+
+    def test_payload_bits_scale_with_kept(self):
+        sparsifier = TopKSparsifier(fraction=0.1, error_feedback=False)
+        payload = sparsifier.compress(np.random.default_rng(1).normal(size=1024))
+        # 102 kept entries x (32 value bits + 10 index bits)
+        expected_kept = max(1, round(0.1 * 1024))
+        assert payload.payload_bits == expected_kept * 42
+
+    def test_empty_vector(self):
+        sparsifier = TopKSparsifier(fraction=0.5)
+        payload = sparsifier.compress(np.zeros(0))
+        assert payload.dimension == 0
+        assert payload.payload_bits == 0.0
+
+
+class TestErrorFeedback:
+    def test_residual_carried_to_next_round(self):
+        sparsifier = TopKSparsifier(fraction=0.5, error_feedback=True)
+        first = np.array([10.0, 1.0])
+        sparsifier.compress(first)  # transmits 10.0, remembers 1.0
+        second = np.array([0.0, 0.0])
+        payload = sparsifier.compress(second)
+        dense = TopKSparsifier.decompress(payload)
+        # The remembered 1.0 residual surfaces now.
+        assert dense[1] == pytest.approx(1.0)
+
+    def test_long_run_transmits_everything(self):
+        """With error feedback, repeated compression of a constant
+        gradient eventually transmits the full mass of every entry."""
+        sparsifier = TopKSparsifier(fraction=0.34, error_feedback=True)
+        gradient = np.array([4.0, 2.0, 1.0])
+        total = np.zeros(3)
+        for _ in range(30):
+            payload = sparsifier.compress(gradient)
+            total += TopKSparsifier.decompress(payload)
+        # Each entry's transmitted total approaches 30x its value.
+        assert np.allclose(total / 30.0, gradient, rtol=0.2)
+
+    def test_no_feedback_drops_small_entries_forever(self):
+        sparsifier = TopKSparsifier(fraction=0.34, error_feedback=False)
+        gradient = np.array([4.0, 2.0, 1.0])
+        total = np.zeros(3)
+        for _ in range(30):
+            total += TopKSparsifier.decompress(sparsifier.compress(gradient))
+        assert total[2] == 0.0
+
+    def test_reset_clears_residual(self):
+        sparsifier = TopKSparsifier(fraction=0.5, error_feedback=True)
+        sparsifier.compress(np.array([10.0, 1.0]))
+        sparsifier.reset()
+        payload = sparsifier.compress(np.array([0.0, 0.0]))
+        assert np.allclose(TopKSparsifier.decompress(payload), 0.0)
+
+
+class TestProperties:
+    @given(
+        arrays(np.float64, st.integers(1, 80), elements=finite),
+        st.floats(min_value=0.05, max_value=1.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_kept_values_dominate_dropped(self, vector, fraction):
+        sparsifier = TopKSparsifier(fraction=fraction, error_feedback=False)
+        payload = sparsifier.compress(vector)
+        dense = TopKSparsifier.decompress(payload)
+        dropped_mask = np.ones(vector.size, dtype=bool)
+        dropped_mask[payload.indices] = False
+        if dropped_mask.any() and payload.indices.size:
+            assert (
+                np.abs(vector[payload.indices]).min()
+                >= np.abs(vector[dropped_mask]).max() - 1e-12
+            )
+        assert np.allclose(dense[payload.indices], vector[payload.indices])
+
+    @given(arrays(np.float64, st.integers(1, 80), elements=finite))
+    @settings(max_examples=60, deadline=None)
+    def test_indices_sorted_unique(self, vector):
+        sparsifier = TopKSparsifier(fraction=0.3, error_feedback=False)
+        payload = sparsifier.compress(vector)
+        assert np.all(np.diff(payload.indices) > 0) or payload.indices.size <= 1
+
+
+class TestValidation:
+    def test_invalid_fraction(self):
+        with pytest.raises(ConfigurationError):
+            TopKSparsifier(fraction=0.0)
+        with pytest.raises(ConfigurationError):
+            TopKSparsifier(fraction=1.5)

@@ -1,0 +1,64 @@
+"""Tests for slack-time analysis (Section VI-A)."""
+
+import pytest
+
+from repro.core.frequency import determine_frequencies
+from repro.core.slack import analyze_slack
+from tests.conftest import make_device, make_heterogeneous_devices
+
+PAYLOAD = 1e6
+BANDWIDTH = 2e6
+
+
+class TestAnalyzeSlack:
+    def test_defaults_to_algorithm3(self):
+        devices = make_heterogeneous_devices(5)
+        report = analyze_slack(devices, PAYLOAD, BANDWIDTH)
+        explicit = analyze_slack(
+            devices,
+            PAYLOAD,
+            BANDWIDTH,
+            determine_frequencies(devices, PAYLOAD, BANDWIDTH),
+        )
+        assert report.energy_saving == pytest.approx(explicit.energy_saving)
+
+    def test_saving_non_negative_under_algorithm3(self):
+        devices = make_heterogeneous_devices(6, seed=2)
+        report = analyze_slack(devices, PAYLOAD, BANDWIDTH)
+        assert report.energy_saving >= -1e-9
+        assert report.energy_saving_fraction >= -1e-12
+
+    def test_no_delay_overhead_under_algorithm3(self):
+        devices = make_heterogeneous_devices(6, seed=3)
+        report = analyze_slack(devices, PAYLOAD, BANDWIDTH)
+        assert report.delay_overhead <= 1e-9
+
+    def test_identical_devices_reclaim_slack(self):
+        devices = [make_device(device_id=i, f_max=1.5e9) for i in range(5)]
+        report = analyze_slack(devices, PAYLOAD, BANDWIDTH)
+        assert report.baseline.total_slack > 0
+        assert report.slack_reclaimed > 0
+        assert report.energy_saving > 0
+
+    def test_per_user_slack_covers_all_devices(self):
+        devices = make_heterogeneous_devices(4)
+        report = analyze_slack(devices, PAYLOAD, BANDWIDTH)
+        slacks = report.per_user_slack()
+        assert set(slacks) == {d.device_id for d in devices}
+        for base_slack, opt_slack in slacks.values():
+            assert base_slack >= 0 and opt_slack >= -1e-12
+
+    def test_max_frequency_assignment_changes_nothing(self):
+        devices = make_heterogeneous_devices(4)
+        freqs = {d.device_id: d.cpu.f_max for d in devices}
+        report = analyze_slack(devices, PAYLOAD, BANDWIDTH, freqs)
+        assert report.energy_saving == pytest.approx(0.0)
+        assert report.slack_reclaimed == pytest.approx(0.0)
+        assert report.delay_overhead == pytest.approx(0.0)
+
+    def test_fraction_consistent_with_absolute(self):
+        devices = make_heterogeneous_devices(5, seed=4)
+        report = analyze_slack(devices, PAYLOAD, BANDWIDTH)
+        assert report.energy_saving_fraction == pytest.approx(
+            report.energy_saving / report.baseline.total_energy
+        )

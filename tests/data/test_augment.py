@@ -1,0 +1,103 @@
+"""Tests for image augmentation."""
+
+import numpy as np
+import pytest
+
+from repro.data.augment import (
+    Compose,
+    GaussianNoise,
+    RandomHorizontalFlip,
+    RandomShift,
+)
+from repro.errors import ConfigurationError, ShapeError
+
+
+def batch(n=8, c=3, h=6, w=6, seed=0):
+    return np.random.default_rng(seed).normal(size=(n, c, h, w))
+
+
+class TestFlip:
+    def test_probability_one_flips_everything(self):
+        images = batch()
+        out = RandomHorizontalFlip(1.0, seed=0)(images)
+        assert np.array_equal(out, images[:, :, :, ::-1])
+
+    def test_probability_zero_is_identity(self):
+        images = batch()
+        out = RandomHorizontalFlip(0.0, seed=0)(images)
+        assert np.array_equal(out, images)
+
+    def test_roughly_half_flipped(self):
+        images = batch(n=400)
+        out = RandomHorizontalFlip(0.5, seed=1)(images)
+        flipped = sum(
+            not np.array_equal(out[i], images[i]) for i in range(400)
+        )
+        assert 140 < flipped < 260
+
+    def test_does_not_mutate_input(self):
+        images = batch()
+        copy = images.copy()
+        RandomHorizontalFlip(1.0, seed=0)(images)
+        assert np.array_equal(images, copy)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            RandomHorizontalFlip(1.5)
+        with pytest.raises(ShapeError):
+            RandomHorizontalFlip(0.5)(np.zeros((3, 4)))
+
+
+class TestShift:
+    def test_zero_shift_identity(self):
+        images = batch()
+        assert np.array_equal(RandomShift(0, seed=0)(images), images)
+
+    def test_shape_preserved(self):
+        out = RandomShift(2, seed=0)(batch())
+        assert out.shape == (8, 3, 6, 6)
+
+    def test_content_translated(self):
+        # A single bright pixel must move by at most max_shift and keep
+        # its value (or vanish off the edge).
+        images = np.zeros((1, 1, 5, 5))
+        images[0, 0, 2, 2] = 7.0
+        out = RandomShift(1, seed=3)(images)
+        nonzero = np.argwhere(out[0, 0] == 7.0)
+        if nonzero.size:
+            y, x = nonzero[0]
+            assert abs(y - 2) <= 1 and abs(x - 2) <= 1
+        assert out.sum() in (0.0, 7.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            RandomShift(-1)
+
+
+class TestNoise:
+    def test_zero_std_identity(self):
+        images = batch()
+        assert np.array_equal(GaussianNoise(0.0, seed=0)(images), images)
+
+    def test_noise_scale(self):
+        images = np.zeros((16, 3, 8, 8))
+        out = GaussianNoise(0.5, seed=1)(images)
+        assert abs(out.std() - 0.5) < 0.05
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            GaussianNoise(-0.1)
+
+
+class TestCompose:
+    def test_applies_in_sequence(self):
+        images = batch()
+        pipeline = Compose(
+            [RandomHorizontalFlip(1.0, seed=0), GaussianNoise(0.0, seed=0)]
+        )
+        out = pipeline(images)
+        assert np.array_equal(out, images[:, :, :, ::-1])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Compose([])

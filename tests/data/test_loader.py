@@ -1,0 +1,57 @@
+"""Tests for BatchLoader."""
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import ArrayDataset
+from repro.data.loader import BatchLoader
+from repro.errors import DataError
+
+
+def dataset(n=17):
+    return ArrayDataset(
+        np.arange(n, dtype=float).reshape(n, 1), np.zeros(n, dtype=int)
+    )
+
+
+class TestIteration:
+    def test_number_of_batches(self):
+        loader = BatchLoader(dataset(17), batch_size=5)
+        assert len(loader) == 4
+        assert len(list(loader)) == 4
+
+    def test_drop_last(self):
+        loader = BatchLoader(dataset(17), batch_size=5, drop_last=True)
+        assert len(loader) == 3
+        sizes = [len(y) for _, y in loader]
+        assert sizes == [5, 5, 5]
+
+    def test_covers_all_without_shuffle(self):
+        loader = BatchLoader(dataset(10), batch_size=3)
+        seen = np.concatenate([x.ravel() for x, _ in loader])
+        assert np.array_equal(seen, np.arange(10, dtype=float))
+
+    def test_shuffle_covers_all(self):
+        loader = BatchLoader(dataset(10), batch_size=3, shuffle=True, seed=0)
+        seen = sorted(np.concatenate([x.ravel() for x, _ in loader]).tolist())
+        assert seen == list(range(10))
+
+    def test_shuffle_changes_order_across_epochs(self):
+        loader = BatchLoader(dataset(20), batch_size=20, shuffle=True, seed=1)
+        epoch1 = next(iter(loader))[0].ravel().copy()
+        epoch2 = next(iter(loader))[0].ravel().copy()
+        assert not np.array_equal(epoch1, epoch2)
+
+    def test_seeded_loaders_agree(self):
+        a = BatchLoader(dataset(12), 4, shuffle=True, seed=5)
+        b = BatchLoader(dataset(12), 4, shuffle=True, seed=5)
+        for (xa, _), (xb, _) in zip(a, b):
+            assert np.array_equal(xa, xb)
+
+    def test_invalid_batch_size(self):
+        with pytest.raises(DataError):
+            BatchLoader(dataset(), 0)
+
+    def test_reiterable(self):
+        loader = BatchLoader(dataset(6), 2)
+        assert len(list(loader)) == len(list(loader)) == 3

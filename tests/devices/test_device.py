@@ -1,0 +1,53 @@
+"""Tests for the composite UserDevice (Eq. 9 and plumbing)."""
+
+import pytest
+
+from repro.errors import DeviceError
+from tests.conftest import make_device
+
+
+class TestCostModel:
+    def test_num_samples_is_dataset_size(self):
+        device = make_device(num_samples=37)
+        assert device.num_samples == 37
+
+    def test_eq9_total_delay(self):
+        device = make_device()
+        total = device.total_delay(payload_bits=1e6, bandwidth_hz=2e6)
+        expected = device.compute_delay() + device.upload_delay(1e6, 2e6)
+        assert total == pytest.approx(expected)
+
+    def test_delay_uses_given_frequency(self):
+        device = make_device(f_max=2.0e9)
+        slow = device.total_delay(1e6, 2e6, frequency=0.5e9)
+        fast = device.total_delay(1e6, 2e6, frequency=2.0e9)
+        assert slow > fast
+
+    def test_compute_defaults_to_max_frequency(self):
+        device = make_device(f_max=1.5e9)
+        assert device.compute_delay() == device.compute_delay(1.5e9)
+
+    def test_frequency_for_compute_delay_roundtrip(self):
+        device = make_device()
+        delay = device.compute_delay(0.8e9)
+        assert device.frequency_for_compute_delay(delay) == pytest.approx(0.8e9)
+
+    def test_energy_components_positive(self):
+        device = make_device()
+        assert device.compute_energy() > 0
+        assert device.upload_energy(1e6, 2e6) > 0
+
+    def test_negative_id_rejected(self):
+        template = make_device()
+        from repro.devices.device import UserDevice
+
+        with pytest.raises(DeviceError):
+            UserDevice(
+                device_id=-1,
+                cpu=template.cpu,
+                radio=template.radio,
+                dataset=template.dataset,
+            )
+
+    def test_repr_mentions_id(self):
+        assert "id=3" in repr(make_device(device_id=3))

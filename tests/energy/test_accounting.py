@@ -1,0 +1,82 @@
+"""Tests for the energy ledger."""
+
+import pytest
+
+from repro.energy.accounting import EnergyLedger
+from repro.errors import TrainingError
+from repro.network.tdma import simulate_tdma_round
+from tests.conftest import make_heterogeneous_devices
+
+PAYLOAD = 1e6
+BANDWIDTH = 2e6
+
+
+def timeline(devices):
+    return simulate_tdma_round(devices, PAYLOAD, BANDWIDTH)
+
+
+class TestLedger:
+    def test_record_round_accumulates(self):
+        devices = make_heterogeneous_devices(4)
+        ledger = EnergyLedger()
+        tl = timeline(devices)
+        ledger.record_round(tl)
+        assert ledger.rounds_recorded == 1
+        assert ledger.total_joules == pytest.approx(tl.total_energy)
+
+    def test_multiple_rounds_sum(self):
+        devices = make_heterogeneous_devices(3)
+        ledger = EnergyLedger()
+        tl = timeline(devices)
+        ledger.record_rounds([tl, tl])
+        assert ledger.total_joules == pytest.approx(2 * tl.total_energy)
+        assert ledger.rounds_recorded == 2
+
+    def test_per_device_breakdown(self):
+        devices = make_heterogeneous_devices(3)
+        ledger = EnergyLedger()
+        tl = timeline(devices)
+        ledger.record_round(tl)
+        for entry in tl.users:
+            device = ledger.devices[entry.device_id]
+            assert device.compute_joules == pytest.approx(entry.compute_energy)
+            assert device.upload_joules == pytest.approx(entry.upload_energy)
+            assert device.rounds == 1
+
+    def test_compute_plus_upload_equals_total(self):
+        devices = make_heterogeneous_devices(5)
+        ledger = EnergyLedger()
+        ledger.record_round(timeline(devices))
+        assert ledger.total_joules == pytest.approx(
+            ledger.total_compute_joules + ledger.total_upload_joules
+        )
+
+    def test_heaviest_devices_sorted(self):
+        devices = make_heterogeneous_devices(6)
+        ledger = EnergyLedger()
+        ledger.record_round(timeline(devices))
+        heaviest = ledger.heaviest_devices(3)
+        values = [d.total_joules for d in heaviest]
+        assert values == sorted(values, reverse=True)
+        assert len(heaviest) == 3
+
+    def test_heaviest_invalid_count(self):
+        with pytest.raises(TrainingError):
+            EnergyLedger().heaviest_devices(0)
+
+    def test_gini_zero_for_identical(self):
+        from tests.conftest import make_device
+
+        devices = [make_device(device_id=i, f_max=1.0e9) for i in range(4)]
+        ledger = EnergyLedger()
+        ledger.record_round(timeline(devices))
+        assert abs(ledger.fairness_gini()) < 1e-9
+
+    def test_gini_positive_for_heterogeneous(self):
+        devices = make_heterogeneous_devices(6, seed=3)
+        ledger = EnergyLedger()
+        ledger.record_round(timeline(devices))
+        assert ledger.fairness_gini() > 0
+
+    def test_gini_empty_ledger(self):
+        assert EnergyLedger().fairness_gini() == 0.0

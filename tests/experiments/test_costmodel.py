@@ -1,0 +1,77 @@
+"""Tests for the paper-scale cost-model study."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.costmodel import run_cost_model_study
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_cost_model_study(
+        strategies=("helcfl", "classic", "fedl"),
+        num_users=20,
+        trials=5,
+        rounds_per_trial=5,
+        seed=1,
+    )
+
+
+class TestStudy:
+    def test_summaries_for_every_strategy(self, result):
+        assert set(result.summaries) == {"helcfl", "classic", "fedl"}
+
+    def test_positive_costs(self, result):
+        for summary in result.summaries.values():
+            assert summary.round_delay_s[0] > 0
+            assert summary.round_energy_j[0] > 0
+
+    def test_helcfl_saves_energy_vs_its_own_maxfreq(self, result):
+        saving, _ = result.summaries["helcfl"].dvfs_saving_fraction
+        assert saving > 0.0
+
+    def test_max_frequency_strategies_save_nothing(self, result):
+        saving, std = result.summaries["classic"].dvfs_saving_fraction
+        assert saving == pytest.approx(0.0, abs=1e-12)
+        assert std == pytest.approx(0.0, abs=1e-12)
+
+    def test_fedl_saves_energy_too(self, result):
+        """FEDL's low closed-form frequency also undercuts max-freq."""
+        saving, _ = result.summaries["fedl"].dvfs_saving_fraction
+        assert saving > 0.0
+
+    def test_helcfl_rounds_not_slower_than_classic(self, result):
+        helcfl_delay = result.summaries["helcfl"].round_delay_s[0]
+        classic_delay = result.summaries["classic"].round_delay_s[0]
+        assert helcfl_delay <= classic_delay * 1.05
+
+    def test_deterministic(self):
+        kwargs = dict(
+            strategies=("helcfl",),
+            num_users=10,
+            trials=2,
+            rounds_per_trial=3,
+            seed=9,
+        )
+        a = run_cost_model_study(**kwargs)
+        b = run_cost_model_study(**kwargs)
+        assert (
+            a.summaries["helcfl"].round_energy_j
+            == b.summaries["helcfl"].round_energy_j
+        )
+
+    def test_paper_scale_magnitudes(self):
+        """At the paper's constants the compute delay of a median user
+        lands in the seconds regime (pi*|D|/f = 5e9 cycles / ~1 GHz)."""
+        result = run_cost_model_study(
+            strategies=("classic",), num_users=30, trials=3,
+            rounds_per_trial=3, seed=2,
+        )
+        delay, _ = result.summaries["classic"].round_delay_s
+        assert 5.0 < delay < 500.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            run_cost_model_study(trials=0)
+        with pytest.raises(ConfigurationError):
+            run_cost_model_study(rounds_per_trial=0)

@@ -1,0 +1,81 @@
+"""Tests for the one-command reproduction report."""
+
+import pytest
+
+from repro.experiments.report import generate_report
+from repro.experiments.settings import ExperimentSettings
+
+
+@pytest.fixture(scope="module")
+def report_text():
+    settings = ExperimentSettings.quick(seed=23, rounds=8)
+    return generate_report(settings)
+
+
+class TestReport:
+    def test_contains_every_artifact(self, report_text):
+        assert "Fig. 2" in report_text
+        assert "Table I" in report_text
+        assert "Fig. 3" in report_text
+
+    def test_both_regimes_present(self, report_text):
+        assert "--- IID setting ---" in report_text
+        assert "--- Non-IID setting ---" in report_text
+
+    def test_header_carries_settings(self, report_text):
+        assert "Q=20" in report_text
+        assert "seed=23" in report_text
+
+    def test_speedup_lines_present(self, report_text):
+        assert "HELCFL speedup @" in report_text
+
+    def test_all_schemes_listed(self, report_text):
+        for label in ("HELCFL", "Classic FL", "FedCS", "FEDL", "SL"):
+            assert label in report_text
+
+    def test_single_regime(self):
+        settings = ExperimentSettings.quick(seed=24, rounds=5)
+        text = generate_report(settings, regimes=(True,))
+        assert "--- IID setting ---" in text
+        assert "Non-IID" not in text.split("=" * 72)[1]
+
+
+class TestDirichletSettings:
+    def test_dirichlet_partition_used(self):
+        settings = ExperimentSettings.quick(
+            seed=25, noniid_kind="dirichlet", dirichlet_alpha=0.2
+        )
+        task = settings.build_task()
+        parts = settings.build_partitions(task.train, iid=False)
+        assert len(parts) == settings.num_users
+        # Dirichlet(0.2) gives uneven sizes, unlike the equal shards.
+        sizes = {len(p) for p in parts}
+        assert len(sizes) > 1
+
+    def test_shard_default_equal_sizes(self):
+        settings = ExperimentSettings.quick(seed=25)
+        task = settings.build_task()
+        parts = settings.build_partitions(task.train, iid=False)
+        sizes = {len(p) for p in parts}
+        assert sizes == {settings.train_size // settings.num_users}
+
+    def test_invalid_kind_rejected(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            ExperimentSettings.quick(noniid_kind="labelflip")
+
+    def test_invalid_alpha_rejected(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            ExperimentSettings.quick(dirichlet_alpha=0.0)
+
+    def test_end_to_end_with_dirichlet(self):
+        from repro.experiments.runner import run_strategy
+
+        settings = ExperimentSettings.quick(
+            seed=26, rounds=6, noniid_kind="dirichlet"
+        )
+        history = run_strategy("helcfl", settings, iid=False)
+        assert len(history) == 6

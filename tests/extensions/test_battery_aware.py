@@ -1,0 +1,93 @@
+"""Tests for battery-aware selection gating."""
+
+import pytest
+
+from repro.baselines.classic import RandomSelection
+from repro.devices.battery import Battery
+from repro.errors import ConfigurationError, SelectionError
+from repro.extensions.battery_aware import BatteryAwareSelection
+from repro.fl.strategy import FullParticipation
+from tests.conftest import make_heterogeneous_devices
+
+
+def with_batteries(devices, levels):
+    for device, level in zip(devices, levels):
+        device.battery = Battery(100.0, charge_joules=level * 100.0)
+    return devices
+
+
+class TestEligibility:
+    def test_filters_low_battery_devices(self):
+        devices = with_batteries(
+            make_heterogeneous_devices(4), [1.0, 0.05, 1.0, 0.02]
+        )
+        strategy = BatteryAwareSelection(FullParticipation(), min_level=0.1)
+        selected = strategy.select(1, devices)
+        assert {d.device_id for d in selected} == {0, 2}
+
+    def test_devices_without_battery_always_eligible(self):
+        devices = make_heterogeneous_devices(3)
+        strategy = BatteryAwareSelection(FullParticipation(), min_level=0.9)
+        assert len(strategy.select(1, devices)) == 3
+
+    def test_round_budget_requirement(self):
+        devices = make_heterogeneous_devices(2)
+        # Plenty of level but absolute charge below one round's cost.
+        cost = devices[0].compute_energy() + devices[0].upload_energy(1e6, 2e6)
+        devices[0].battery = Battery(cost / 2.0)
+        devices[1].battery = Battery(cost * 100.0)
+        strategy = BatteryAwareSelection(
+            FullParticipation(),
+            min_level=0.0,
+            require_round_budget=True,
+            payload_bits=1e6,
+            bandwidth_hz=2e6,
+        )
+        selected = strategy.select(1, devices)
+        assert [d.device_id for d in selected] == [1]
+
+    def test_fallback_when_everyone_filtered(self):
+        devices = with_batteries(make_heterogeneous_devices(3), [0.0, 0.0, 0.0])
+        strategy = BatteryAwareSelection(FullParticipation(), min_level=0.5)
+        assert len(strategy.select(1, devices)) == 3
+
+    def test_strict_raises_when_everyone_filtered(self):
+        devices = with_batteries(make_heterogeneous_devices(3), [0.0, 0.0, 0.0])
+        strategy = BatteryAwareSelection(
+            FullParticipation(), min_level=0.5, strict=True
+        )
+        with pytest.raises(SelectionError):
+            strategy.select(1, devices)
+
+    def test_delegates_to_inner_strategy(self):
+        devices = with_batteries(
+            make_heterogeneous_devices(10), [1.0] * 10
+        )
+        inner = RandomSelection(0.3, seed=0)
+        strategy = BatteryAwareSelection(inner, min_level=0.1)
+        assert len(strategy.select(1, devices)) == 3
+
+    def test_reset_propagates(self):
+        inner = RandomSelection(0.5, seed=1)
+        strategy = BatteryAwareSelection(inner, min_level=0.1)
+        devices = make_heterogeneous_devices(6)
+        first = [d.device_id for d in strategy.select(1, devices)]
+        strategy.reset()
+        again = [d.device_id for d in strategy.select(1, devices)]
+        assert first == again
+
+
+class TestValidation:
+    def test_inner_must_be_strategy(self):
+        with pytest.raises(ConfigurationError):
+            BatteryAwareSelection("nope")
+
+    def test_min_level_range(self):
+        with pytest.raises(ConfigurationError):
+            BatteryAwareSelection(FullParticipation(), min_level=1.5)
+
+    def test_round_budget_needs_network_params(self):
+        with pytest.raises(ConfigurationError):
+            BatteryAwareSelection(
+                FullParticipation(), require_round_budget=True
+            )

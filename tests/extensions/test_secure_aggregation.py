@@ -1,0 +1,111 @@
+"""Tests for pairwise-mask secure aggregation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, TrainingError
+from repro.extensions.secure_aggregation import SecureAggregator
+from repro.fl.aggregation import fedavg_aggregate
+
+
+def updates(count=4, dim=10, seed=0):
+    rng = np.random.default_rng(seed)
+    return [rng.normal(size=dim) for _ in range(count)]
+
+
+class TestMaskCancellation:
+    def test_sum_recovers_exactly(self):
+        agg = SecureAggregator(dimension=10, seed=1)
+        vectors = updates(4)
+        ids = [10, 11, 12, 13]
+        masked = [agg.mask(cid, ids, v) for cid, v in zip(ids, vectors)]
+        recovered = agg.unmask_sum(masked)
+        assert np.allclose(recovered, np.sum(vectors, axis=0), atol=1e-8)
+
+    def test_single_participant_unmasked(self):
+        agg = SecureAggregator(dimension=5, seed=2)
+        vector = np.arange(5, dtype=float)
+        masked = agg.mask(7, [7], vector)
+        assert np.array_equal(masked, vector)
+
+    def test_two_participants_cancel(self):
+        agg = SecureAggregator(dimension=6, seed=3)
+        a, b = updates(2, dim=6)
+        masked_a = agg.mask(0, [0, 1], a)
+        masked_b = agg.mask(1, [0, 1], b)
+        # Each masked vector differs from its raw update...
+        assert not np.allclose(masked_a, a)
+        assert not np.allclose(masked_b, b)
+        # ...but the sum is exact.
+        assert np.allclose(masked_a + masked_b, a + b, atol=1e-10)
+
+    def test_masks_are_pair_symmetric(self):
+        agg = SecureAggregator(dimension=4, seed=4)
+        zero = np.zeros(4)
+        mask_low = agg.mask(0, [0, 1], zero)
+        mask_high = agg.mask(1, [0, 1], zero)
+        assert np.allclose(mask_low, -mask_high)
+
+
+class TestSecureFedavg:
+    def test_matches_plain_fedavg(self):
+        agg = SecureAggregator(dimension=8, seed=5)
+        vectors = updates(3, dim=8, seed=5)
+        weights = [10.0, 20.0, 5.0]
+        contributions = list(zip([3, 8, 2], vectors, weights))
+        secure = agg.secure_fedavg(contributions)
+        plain = fedavg_aggregate(vectors, weights)
+        assert np.allclose(secure, plain, atol=1e-8)
+
+    def test_duplicate_ids_rejected(self):
+        agg = SecureAggregator(dimension=4, seed=6)
+        v = np.zeros(4)
+        with pytest.raises(ConfigurationError):
+            agg.secure_fedavg([(1, v, 1.0), (1, v, 1.0)])
+
+    def test_empty_round_rejected(self):
+        agg = SecureAggregator(dimension=4, seed=6)
+        with pytest.raises(TrainingError):
+            agg.secure_fedavg([])
+        with pytest.raises(TrainingError):
+            SecureAggregator.unmask_sum([])
+
+
+class TestPrivacyDiagnostics:
+    def test_masked_update_decorrelated(self):
+        agg = SecureAggregator(dimension=2000, seed=7, mask_scale=100.0)
+        vector = np.random.default_rng(7).normal(size=2000)
+        masked = agg.mask(0, [0, 1, 2], vector)
+        assert abs(agg.leakage_bound(masked, vector)) < 0.1
+
+    def test_small_mask_scale_leaks(self):
+        agg = SecureAggregator(dimension=2000, seed=8, mask_scale=1e-6)
+        vector = np.random.default_rng(8).normal(size=2000)
+        masked = agg.mask(0, [0, 1], vector)
+        assert agg.leakage_bound(masked, vector) > 0.9
+
+    def test_overhead_quadratic_in_participants(self):
+        agg = SecureAggregator(dimension=4, seed=9)
+        assert agg.masking_overhead_bits(2) == 64
+        assert agg.masking_overhead_bits(10) == 64 * 45
+        assert agg.masking_overhead_bits(0) == 0
+
+
+class TestValidation:
+    def test_invalid_dimension(self):
+        with pytest.raises(ConfigurationError):
+            SecureAggregator(dimension=0)
+
+    def test_invalid_mask_scale(self):
+        with pytest.raises(ConfigurationError):
+            SecureAggregator(dimension=4, mask_scale=0.0)
+
+    def test_wrong_update_length(self):
+        agg = SecureAggregator(dimension=4, seed=0)
+        with pytest.raises(ConfigurationError):
+            agg.mask(0, [0, 1], np.zeros(5))
+
+    def test_client_must_participate(self):
+        agg = SecureAggregator(dimension=4, seed=0)
+        with pytest.raises(ConfigurationError):
+            agg.mask(99, [0, 1], np.zeros(4))

@@ -1,0 +1,63 @@
+"""Tests for best-model checkpointing."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.classic import RandomSelection
+from repro.data.dataset import ArrayDataset
+from repro.fl.server import FederatedServer
+from repro.fl.trainer import FederatedTrainer, TrainerConfig
+from repro.nn.architectures import build_mlp
+from tests.conftest import make_heterogeneous_devices
+
+
+def make_trainer(keep_best, seed=0, rounds=20):
+    devices = make_heterogeneous_devices(5, seed=seed)
+    rng = np.random.default_rng(seed + 90)
+    test = ArrayDataset(rng.normal(size=(40, 4)), rng.integers(0, 3, size=40))
+    model = build_mlp(4, 3, hidden_sizes=(8,), seed=seed)
+    server = FederatedServer(model, test_dataset=test, payload_bits=1e6)
+    return FederatedTrainer(
+        server=server,
+        devices=devices,
+        selection=RandomSelection(0.5, seed=0),
+        config=TrainerConfig(
+            rounds=rounds,
+            bandwidth_hz=2e6,
+            learning_rate=0.3,
+            keep_best_model=keep_best,
+        ),
+    )
+
+
+class TestKeepBestModel:
+    def test_disabled_by_default(self):
+        trainer = make_trainer(keep_best=False)
+        trainer.run()
+        assert trainer.best_model_params is None
+
+    def test_snapshot_matches_history_best(self):
+        trainer = make_trainer(keep_best=True)
+        history = trainer.run()
+        assert trainer.best_model_params is not None
+        assert trainer.best_model_accuracy == pytest.approx(
+            history.best_accuracy
+        )
+
+    def test_snapshot_restores_best_accuracy(self):
+        trainer = make_trainer(keep_best=True, seed=2, rounds=30)
+        trainer.run()
+        server = trainer.server
+        server.model.set_flat_params(trainer.best_model_params)
+        _, accuracy = server.evaluate()
+        assert accuracy == pytest.approx(trainer.best_model_accuracy)
+
+    def test_snapshot_is_a_copy(self):
+        trainer = make_trainer(keep_best=True, seed=3, rounds=5)
+        trainer.run()
+        snapshot = trainer.best_model_params.copy()
+        # Further mutation of the global model must not leak into it.
+        trainer.server.model.set_flat_params(
+            np.zeros(trainer.server.model.parameter_count)
+        )
+        assert np.array_equal(trainer.best_model_params, snapshot)

@@ -1,0 +1,83 @@
+"""Tests for the local client trainer (Eq. 3)."""
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import ArrayDataset
+from repro.errors import ConfigurationError, TrainingError
+from repro.fl.client import LocalTrainer
+from repro.nn.architectures import build_mlp
+from repro.nn.losses import SoftmaxCrossEntropy
+from repro.nn.optimizers import Sgd
+
+
+def dataset(n=20, seed=0):
+    rng = np.random.default_rng(seed)
+    return ArrayDataset(rng.normal(size=(n, 4)), rng.integers(0, 3, size=n))
+
+
+class TestTraining:
+    def test_single_step_matches_manual_gd(self):
+        """Eq. 3: M' = M - (tau/|D|) sum grad — exactly one GD step."""
+        ds = dataset()
+        model = build_mlp(4, 3, hidden_sizes=(6,), seed=0)
+        manual = model.clone()
+
+        LocalTrainer(learning_rate=0.2, local_steps=1).train(model, ds)
+
+        loss = SoftmaxCrossEntropy()
+        logits = manual.forward(ds.inputs, training=True)
+        _, grad = loss.loss_and_grad(logits, ds.labels)
+        manual.backward(grad)
+        Sgd(0.2).step(manual)
+
+        assert np.allclose(
+            model.get_flat_params(), manual.get_flat_params(), atol=1e-12
+        )
+
+    def test_returns_loss_value(self):
+        loss_value = LocalTrainer(0.1).train(
+            build_mlp(4, 3, seed=1), dataset()
+        )
+        assert loss_value > 0
+
+    def test_multiple_steps_reduce_loss(self):
+        ds = dataset(50)
+        model = build_mlp(4, 3, hidden_sizes=(8,), seed=2)
+        trainer = LocalTrainer(learning_rate=0.3, local_steps=1)
+        first = trainer.train(model, ds)
+        many = LocalTrainer(learning_rate=0.3, local_steps=30)
+        last = many.train(model, ds)
+        assert last < first
+
+    def test_minibatch_mode(self):
+        ds = dataset(30)
+        model = build_mlp(4, 3, seed=3)
+        trainer = LocalTrainer(0.1, local_steps=2, batch_size=8, seed=0)
+        before = model.get_flat_params().copy()
+        trainer.train(model, ds)
+        assert not np.allclose(model.get_flat_params(), before)
+
+    def test_batch_larger_than_dataset_uses_all(self):
+        ds = dataset(5)
+        model = build_mlp(4, 3, seed=4)
+        LocalTrainer(0.1, batch_size=100, seed=0).train(model, ds)
+
+    def test_empty_dataset_raises(self):
+        empty = ArrayDataset(np.zeros((0, 4)), np.zeros(0, dtype=int))
+        with pytest.raises(TrainingError):
+            LocalTrainer(0.1).train(build_mlp(4, 3, seed=5), empty)
+
+
+class TestValidation:
+    def test_invalid_learning_rate(self):
+        with pytest.raises(ConfigurationError):
+            LocalTrainer(learning_rate=0.0)
+
+    def test_invalid_local_steps(self):
+        with pytest.raises(ConfigurationError):
+            LocalTrainer(0.1, local_steps=0)
+
+    def test_invalid_batch_size(self):
+        with pytest.raises(ConfigurationError):
+            LocalTrainer(0.1, batch_size=0)

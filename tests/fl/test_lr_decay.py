@@ -1,0 +1,76 @@
+"""Tests for server-controlled learning-rate decay."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.classic import RandomSelection
+from repro.data.dataset import ArrayDataset
+from repro.errors import ConfigurationError
+from repro.fl.server import FederatedServer
+from repro.fl.trainer import FederatedTrainer, TrainerConfig
+from repro.nn.architectures import build_mlp
+from tests.conftest import make_heterogeneous_devices
+
+
+class TestSchedule:
+    def test_no_decay_by_default(self):
+        config = TrainerConfig(learning_rate=0.2)
+        assert config.learning_rate_at(1) == 0.2
+        assert config.learning_rate_at(1000) == 0.2
+
+    def test_decay_applies_per_period(self):
+        config = TrainerConfig(
+            learning_rate=1.0, lr_decay=0.5, lr_decay_period=10
+        )
+        assert config.learning_rate_at(1) == 1.0
+        assert config.learning_rate_at(10) == 1.0
+        assert config.learning_rate_at(11) == 0.5
+        assert config.learning_rate_at(21) == 0.25
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            TrainerConfig(lr_decay=0.0)
+        with pytest.raises(ConfigurationError):
+            TrainerConfig(lr_decay=1.5)
+        with pytest.raises(ConfigurationError):
+            TrainerConfig(lr_decay_period=0)
+        with pytest.raises(ConfigurationError):
+            TrainerConfig().learning_rate_at(0)
+
+
+class TestTrainerIntegration:
+    def _run(self, **config_kwargs):
+        devices = make_heterogeneous_devices(4, seed=8)
+        rng = np.random.default_rng(80)
+        test = ArrayDataset(rng.normal(size=(30, 4)), rng.integers(0, 3, size=30))
+        model = build_mlp(4, 3, hidden_sizes=(6,), seed=8)
+        server = FederatedServer(model, test_dataset=test, payload_bits=1e6)
+        defaults = dict(rounds=6, bandwidth_hz=2e6, learning_rate=0.5)
+        defaults.update(config_kwargs)
+        trainer = FederatedTrainer(
+            server=server,
+            devices=devices,
+            selection=RandomSelection(0.5, seed=0),
+            config=TrainerConfig(**defaults),
+        )
+        history = trainer.run()
+        return history, trainer
+
+    def test_local_trainer_rate_follows_schedule(self):
+        _, trainer = self._run(lr_decay=0.5, lr_decay_period=2)
+        # After 6 rounds (periods at rounds 3 and 5): 0.5 * 0.5^2.
+        assert trainer.local_trainer.learning_rate == pytest.approx(0.125)
+
+    def test_decayed_run_differs_from_constant(self):
+        constant, _ = self._run()
+        decayed, _ = self._run(lr_decay=0.2, lr_decay_period=1)
+        assert [r.test_accuracy for r in constant.records] != [
+            r.test_accuracy for r in decayed.records
+        ]
+
+    def test_first_round_unaffected_by_decay(self):
+        constant, _ = self._run(rounds=1)
+        decayed, _ = self._run(rounds=1, lr_decay=0.1, lr_decay_period=1)
+        assert constant.records[0].test_accuracy == pytest.approx(
+            decayed.records[0].test_accuracy
+        )

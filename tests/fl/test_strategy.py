@@ -1,0 +1,49 @@
+"""Tests for strategy base classes and built-ins."""
+
+import pytest
+
+from repro.errors import SelectionError
+from repro.fl.strategy import (
+    FrequencyPolicy,
+    FullParticipation,
+    MaxFrequencyPolicy,
+    SelectionStrategy,
+)
+from tests.conftest import make_heterogeneous_devices
+
+
+class TestBases:
+    def test_selection_strategy_abstract(self):
+        with pytest.raises(NotImplementedError):
+            SelectionStrategy().select(1, make_heterogeneous_devices(2))
+
+    def test_frequency_policy_abstract(self):
+        with pytest.raises(NotImplementedError):
+            FrequencyPolicy().assign(make_heterogeneous_devices(2), 1e6, 2e6)
+
+    def test_reset_is_noop_by_default(self):
+        SelectionStrategy().reset()
+
+
+class TestFullParticipation:
+    def test_selects_everyone(self):
+        devices = make_heterogeneous_devices(7)
+        selected = FullParticipation().select(1, devices)
+        assert len(selected) == 7
+
+    def test_empty_population_raises(self):
+        with pytest.raises(SelectionError):
+            FullParticipation().select(1, [])
+
+
+class TestMaxFrequencyPolicy:
+    def test_assigns_fmax(self):
+        devices = make_heterogeneous_devices(5)
+        freqs = MaxFrequencyPolicy().assign(devices, 1e6, 2e6)
+        for device in devices:
+            assert freqs[device.device_id] == device.cpu.f_max
+
+    def test_covers_all_selected(self):
+        devices = make_heterogeneous_devices(4)
+        freqs = MaxFrequencyPolicy().assign(devices, 1e6, 2e6)
+        assert set(freqs) == {d.device_id for d in devices}

@@ -1,0 +1,49 @@
+"""Integration: the Table-I crossover structure appears in real runs.
+
+The paper's Section VII-C narrative is that FedCS can lead early but
+HELCFL overtakes and keeps climbing. With smoothed curves this is a
+crossover/dominance structure the analysis module should recover from
+actual training histories.
+"""
+
+import pytest
+
+from repro.analysis.crossover import find_crossovers
+from repro.analysis.stats import moving_average
+from repro.experiments.runner import build_environment, run_strategy
+from repro.experiments.settings import ExperimentSettings
+
+
+@pytest.fixture(scope="module")
+def runs():
+    settings = ExperimentSettings.quick(seed=7, rounds=80)
+    environment = build_environment(settings, iid=False)
+    return {
+        name: run_strategy(name, settings, iid=False, environment=environment)
+        for name in ("helcfl", "fedcs")
+    }
+
+
+def smoothed_curve(history, window=7):
+    series = history.accuracy_series()
+    times = [time for _, time, _ in series]
+    accs = moving_average([acc for _, _, acc in series], window=window)
+    return list(zip(times, accs))
+
+
+class TestCrossoverStructure:
+    def test_helcfl_dominates_eventually(self, runs):
+        helcfl = smoothed_curve(runs["helcfl"])
+        fedcs = smoothed_curve(runs["fedcs"])
+        crossings = find_crossovers(helcfl, fedcs, tolerance=1e-6)
+        # Whatever the early dynamics, the final leader is HELCFL:
+        # either no crossover (it led throughout) or the last crossover
+        # hands the lead to it.
+        if crossings:
+            assert crossings[-1].leader_after == "a"
+        assert helcfl[-1][1] > fedcs[-1][1]
+
+    def test_fedcs_ceiling_below_helcfl(self, runs):
+        assert (
+            runs["fedcs"].best_accuracy < runs["helcfl"].best_accuracy
+        )

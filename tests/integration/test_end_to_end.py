@@ -1,0 +1,107 @@
+"""End-to-end integration tests asserting the paper's qualitative shapes.
+
+These run the full pipeline at the quick profile and verify the
+*relationships* the paper reports, not absolute numbers:
+
+* HELCFL's ceiling is at or above Classic FL's and clearly above
+  FedCS's and SL's (Fig. 2's shape);
+* FedCS misses high targets that HELCFL reaches (Table I's "x"s);
+* Algorithm 3 saves energy without touching accuracy or delay
+  (Fig. 3's shape).
+"""
+
+import pytest
+
+from repro.experiments.runner import build_environment, run_strategy
+from repro.experiments.settings import ExperimentSettings
+
+
+@pytest.fixture(scope="module")
+def settings():
+    return ExperimentSettings.quick(seed=7, rounds=60)
+
+
+@pytest.fixture(scope="module")
+def histories(settings):
+    out = {}
+    for iid in (True, False):
+        env = build_environment(settings, iid=iid)
+        out[iid] = {
+            name: run_strategy(name, settings, iid=iid, environment=env)
+            for name in ("helcfl", "helcfl-nodvfs", "classic", "fedcs", "sl")
+        }
+    return out
+
+
+class TestFig2Shape:
+    @pytest.mark.parametrize("iid", [True, False])
+    def test_helcfl_matches_or_beats_classic(self, histories, iid):
+        h = histories[iid]
+        # Ties are expected in IID; allow small eval noise.
+        assert h["helcfl"].best_accuracy >= h["classic"].best_accuracy - 0.05
+
+    @pytest.mark.parametrize("iid", [True, False])
+    def test_helcfl_clearly_beats_fedcs(self, histories, iid):
+        h = histories[iid]
+        assert h["helcfl"].best_accuracy > h["fedcs"].best_accuracy + 0.05
+
+    @pytest.mark.parametrize("iid", [True, False])
+    def test_helcfl_clearly_beats_sl(self, histories, iid):
+        h = histories[iid]
+        assert h["helcfl"].best_accuracy > h["sl"].best_accuracy + 0.1
+
+    @pytest.mark.parametrize("iid", [True, False])
+    def test_all_schemes_above_chance_except_possibly_sl(self, histories, iid):
+        h = histories[iid]
+        chance = 0.1
+        for name in ("helcfl", "classic", "fedcs"):
+            assert h[name].best_accuracy > chance
+
+
+class TestCoverageShape:
+    def test_helcfl_coverage_grows_toward_full(self, histories, settings):
+        """Greedy-decay keeps incorporating new users; at the quick
+        profile's 60 rounds it should be near-complete and strictly
+        higher than FedCS's."""
+        helcfl = histories[True]["helcfl"].coverage(settings.num_users)
+        fedcs = histories[True]["fedcs"].coverage(settings.num_users)
+        assert helcfl >= 0.9
+        assert helcfl > fedcs
+
+    def test_fedcs_leaves_coverage_holes(self, histories, settings):
+        coverage = histories[True]["fedcs"].coverage(settings.num_users)
+        assert coverage < 1.0
+
+
+class TestFig3Shape:
+    @pytest.mark.parametrize("iid", [True, False])
+    def test_dvfs_identical_accuracy(self, histories, iid):
+        h = histories[iid]
+        assert [r.test_accuracy for r in h["helcfl"].records] == [
+            r.test_accuracy for r in h["helcfl-nodvfs"].records
+        ]
+
+    @pytest.mark.parametrize("iid", [True, False])
+    def test_dvfs_saves_energy(self, histories, iid):
+        h = histories[iid]
+        assert h["helcfl"].total_energy < h["helcfl-nodvfs"].total_energy
+
+    @pytest.mark.parametrize("iid", [True, False])
+    def test_dvfs_never_slower(self, histories, iid):
+        h = histories[iid]
+        assert h["helcfl"].total_time <= h["helcfl-nodvfs"].total_time + 1e-6
+
+
+class TestDeterminism:
+    def test_full_pipeline_reproducible(self, settings):
+        env1 = build_environment(settings, iid=True)
+        env2 = build_environment(settings, iid=True)
+        h1 = run_strategy("helcfl", settings, iid=True, environment=env1)
+        h2 = run_strategy("helcfl", settings, iid=True, environment=env2)
+        assert h1.to_json() == h2.to_json()
+
+    def test_different_seed_changes_run(self, settings):
+        other = ExperimentSettings.quick(seed=8, rounds=60)
+        h1 = run_strategy("helcfl", settings, iid=True)
+        h2 = run_strategy("helcfl", other, iid=True)
+        assert h1.to_json() != h2.to_json()

@@ -1,0 +1,69 @@
+"""Tests for channel-gain models."""
+
+import numpy as np
+import pytest
+
+from repro.errors import NetworkError
+from repro.network.channel import (
+    FixedChannel,
+    PathLossChannel,
+    RayleighFadingChannel,
+)
+
+
+class TestFixed:
+    def test_constant(self):
+        channel = FixedChannel(1.5)
+        assert channel.sample_gain() == 1.5
+        assert channel.sample_gain() == 1.5
+
+    def test_non_positive_rejected(self):
+        with pytest.raises(NetworkError):
+            FixedChannel(0.0)
+
+
+class TestPathLoss:
+    def test_reference_distance_gain_one(self):
+        channel = PathLossChannel(distance_m=1.0, exponent=3.0)
+        assert channel.sample_gain() == pytest.approx(1.0)
+
+    def test_gain_decreases_with_distance(self):
+        near = PathLossChannel(distance_m=10.0).sample_gain()
+        far = PathLossChannel(distance_m=100.0).sample_gain()
+        assert far < near
+
+    def test_power_law(self):
+        """Squared amplitude gain follows (d0/d)^exponent."""
+        channel = PathLossChannel(distance_m=10.0, exponent=2.0)
+        assert channel.sample_gain() ** 2 == pytest.approx(0.01)
+
+    def test_validation(self):
+        with pytest.raises(NetworkError):
+            PathLossChannel(distance_m=0.0)
+        with pytest.raises(NetworkError):
+            PathLossChannel(distance_m=1.0, exponent=0.0)
+
+
+class TestRayleigh:
+    def test_mean_approximates_configured(self):
+        channel = RayleighFadingChannel(mean_gain=2.0, seed=0)
+        draws = [channel.sample_gain() for _ in range(20000)]
+        assert abs(np.mean(draws) - 2.0) < 0.05
+
+    def test_draws_vary(self):
+        channel = RayleighFadingChannel(seed=1)
+        draws = {channel.sample_gain() for _ in range(10)}
+        assert len(draws) == 10
+
+    def test_strictly_positive(self):
+        channel = RayleighFadingChannel(mean_gain=1e-6, seed=2)
+        assert all(channel.sample_gain() > 0 for _ in range(100))
+
+    def test_deterministic_given_seed(self):
+        a = RayleighFadingChannel(seed=3)
+        b = RayleighFadingChannel(seed=3)
+        assert a.sample_gain() == b.sample_gain()
+
+    def test_invalid_mean(self):
+        with pytest.raises(NetworkError):
+            RayleighFadingChannel(mean_gain=0.0)

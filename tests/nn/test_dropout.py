@@ -1,0 +1,51 @@
+"""Tests for Dropout."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.nn.dropout import Dropout
+
+
+class TestForward:
+    def test_inference_is_identity(self):
+        layer = Dropout(0.5, seed=0)
+        x = np.random.default_rng(0).normal(size=(8, 8))
+        assert np.array_equal(layer.forward(x, training=False), x)
+
+    def test_zero_rate_is_identity_in_training(self):
+        layer = Dropout(0.0, seed=0)
+        x = np.ones((4, 4))
+        assert np.array_equal(layer.forward(x, training=True), x)
+
+    def test_drops_roughly_rate_fraction(self):
+        layer = Dropout(0.3, seed=1)
+        x = np.ones((100, 100))
+        out = layer.forward(x, training=True)
+        dropped = np.mean(out == 0.0)
+        assert abs(dropped - 0.3) < 0.03
+
+    def test_inverted_scaling_preserves_expectation(self):
+        layer = Dropout(0.4, seed=2)
+        x = np.ones((200, 200))
+        out = layer.forward(x, training=True)
+        assert abs(out.mean() - 1.0) < 0.02
+
+    def test_invalid_rate(self):
+        with pytest.raises(ConfigurationError):
+            Dropout(1.0)
+        with pytest.raises(ConfigurationError):
+            Dropout(-0.1)
+
+
+class TestBackward:
+    def test_gradient_uses_same_mask(self):
+        layer = Dropout(0.5, seed=3)
+        x = np.ones((16, 16))
+        out = layer.forward(x, training=True)
+        grad = layer.backward(np.ones_like(x))
+        assert np.array_equal(grad, out)
+
+    def test_backward_before_forward_raises(self):
+        with pytest.raises(RuntimeError):
+            Dropout(0.5).backward(np.ones((2, 2)))

@@ -1,0 +1,80 @@
+"""Tests for repro.nn.initializers."""
+
+import numpy as np
+import pytest
+
+from repro.nn.initializers import (
+    compute_fans,
+    constant_init,
+    he_normal,
+    he_uniform,
+    xavier_normal,
+    xavier_uniform,
+    zeros_init,
+)
+
+
+class TestComputeFans:
+    def test_dense_shape(self):
+        assert compute_fans((8, 16)) == (8, 16)
+
+    def test_conv_shape(self):
+        # (out_c, in_c, kh, kw): fan_in = in_c * kh * kw.
+        assert compute_fans((32, 16, 3, 3)) == (16 * 9, 32 * 9)
+
+    def test_bias_shape(self):
+        assert compute_fans((10,)) == (10, 10)
+
+    def test_scalar_shape(self):
+        assert compute_fans(()) == (1, 1)
+
+
+class TestDistributions:
+    @pytest.mark.parametrize(
+        "init", [xavier_uniform, xavier_normal, he_uniform, he_normal]
+    )
+    def test_shape_and_dtype(self, init):
+        rng = np.random.default_rng(0)
+        weights = init((64, 32), rng)
+        assert weights.shape == (64, 32)
+        assert weights.dtype == np.float64
+
+    def test_xavier_uniform_bounds(self):
+        rng = np.random.default_rng(0)
+        weights = xavier_uniform((100, 100), rng)
+        limit = np.sqrt(6.0 / 200)
+        assert np.all(np.abs(weights) <= limit)
+
+    def test_he_uniform_bounds(self):
+        rng = np.random.default_rng(0)
+        weights = he_uniform((100, 100), rng)
+        limit = np.sqrt(6.0 / 100)
+        assert np.all(np.abs(weights) <= limit)
+
+    def test_he_normal_std(self):
+        rng = np.random.default_rng(0)
+        weights = he_normal((400, 400), rng)
+        expected = np.sqrt(2.0 / 400)
+        assert abs(weights.std() - expected) < 0.1 * expected
+
+    def test_xavier_normal_std(self):
+        rng = np.random.default_rng(0)
+        weights = xavier_normal((400, 400), rng)
+        expected = np.sqrt(2.0 / 800)
+        assert abs(weights.std() - expected) < 0.1 * expected
+
+    def test_deterministic_given_generator_seed(self):
+        a = he_normal((8, 8), np.random.default_rng(5))
+        b = he_normal((8, 8), np.random.default_rng(5))
+        assert np.array_equal(a, b)
+
+
+class TestConstants:
+    def test_zeros(self):
+        rng = np.random.default_rng(0)
+        assert np.all(zeros_init((3, 3), rng) == 0.0)
+
+    def test_constant(self):
+        rng = np.random.default_rng(0)
+        init = constant_init(1.5)
+        assert np.all(init((2, 2), rng) == 1.5)

@@ -1,0 +1,165 @@
+"""Tests for optimizers and their interaction with models."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.nn.dense import Dense
+from repro.nn.losses import MeanSquaredError
+from repro.nn.model import Sequential
+from repro.nn.optimizers import Adam, Momentum, Nesterov, Sgd
+from repro.nn.schedules import StepDecaySchedule
+
+
+def quadratic_model(start=5.0):
+    """A 1-parameter model minimizing f(w) = w^2 via MSE to 0."""
+    layer = Dense(1, 1, bias=False, seed=0)
+    layer.params["W"][...] = start
+    return Sequential([layer])
+
+
+def loss_step(model, optimizer):
+    x = np.ones((1, 1))
+    target = np.zeros((1, 1))
+    loss = MeanSquaredError()
+    out = model.forward(x, training=True)
+    value, grad = loss.loss_and_grad(out, target)
+    model.backward(grad)
+    optimizer.step(model)
+    return value
+
+
+class TestSgd:
+    def test_single_step_matches_formula(self):
+        model = quadratic_model(start=2.0)
+        opt = Sgd(learning_rate=0.1)
+        loss_step(model, opt)
+        # dL/dw = 2w = 4; w' = 2 - 0.1*4 = 1.6
+        assert np.isclose(model.layers[0].params["W"][0, 0], 1.6)
+
+    def test_converges_on_quadratic(self):
+        model = quadratic_model()
+        opt = Sgd(learning_rate=0.2)
+        for _ in range(100):
+            loss_step(model, opt)
+        assert abs(model.layers[0].params["W"][0, 0]) < 1e-6
+
+    def test_weight_decay_shrinks_weights(self):
+        model = quadratic_model(start=1.0)
+        # Zero the data gradient by making loss target equal output.
+        opt = Sgd(learning_rate=0.1, weight_decay=0.5)
+        model.zero_grads()
+        opt.step(model)
+        assert model.layers[0].params["W"][0, 0] < 1.0
+
+    def test_negative_weight_decay_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Sgd(0.1, weight_decay=-1.0)
+
+    def test_schedule_decays_rate(self):
+        opt = Sgd(StepDecaySchedule(1.0, period=1, decay=0.5))
+        model = quadratic_model()
+        assert opt.current_rate == 1.0
+        loss_step(model, opt)
+        assert opt.current_rate == 0.5
+
+
+class TestMomentum:
+    def test_accumulates_velocity(self):
+        model = quadratic_model(start=1.0)
+        opt = Momentum(learning_rate=0.01, momentum=0.9)
+        w_prev = model.layers[0].params["W"][0, 0]
+        deltas = []
+        for _ in range(3):
+            loss_step(model, opt)
+            w = model.layers[0].params["W"][0, 0]
+            deltas.append(abs(w - w_prev))
+            w_prev = w
+        # Velocity builds: early steps grow in size.
+        assert deltas[1] > deltas[0]
+
+    def test_converges(self):
+        model = quadratic_model()
+        opt = Momentum(learning_rate=0.05, momentum=0.8)
+        for _ in range(200):
+            loss_step(model, opt)
+        assert abs(model.layers[0].params["W"][0, 0]) < 1e-5
+
+    def test_invalid_momentum(self):
+        with pytest.raises(ConfigurationError):
+            Momentum(0.1, momentum=1.0)
+
+    def test_reset_clears_velocity(self):
+        model = quadratic_model()
+        opt = Momentum(0.1)
+        loss_step(model, opt)
+        opt.reset_state()
+        assert opt.step_count == 0
+        assert not opt._velocity
+
+
+class TestNesterov:
+    def test_converges(self):
+        model = quadratic_model()
+        opt = Nesterov(learning_rate=0.05, momentum=0.8)
+        for _ in range(200):
+            loss_step(model, opt)
+        assert abs(model.layers[0].params["W"][0, 0]) < 1e-5
+
+    def test_differs_from_classical_momentum(self):
+        m1 = quadratic_model()
+        m2 = quadratic_model()
+        o1 = Momentum(0.05, momentum=0.9)
+        o2 = Nesterov(0.05, momentum=0.9)
+        for _ in range(2):
+            loss_step(m1, o1)
+            loss_step(m2, o2)
+        assert not np.isclose(
+            m1.layers[0].params["W"][0, 0], m2.layers[0].params["W"][0, 0]
+        )
+
+
+class TestAdam:
+    def test_converges(self):
+        model = quadratic_model()
+        opt = Adam(learning_rate=0.3)
+        for _ in range(300):
+            loss_step(model, opt)
+        assert abs(model.layers[0].params["W"][0, 0]) < 1e-3
+
+    def test_first_step_magnitude_near_learning_rate(self):
+        # Bias correction makes the first Adam step ~lr in magnitude.
+        model = quadratic_model(start=10.0)
+        opt = Adam(learning_rate=0.1)
+        loss_step(model, opt)
+        delta = 10.0 - model.layers[0].params["W"][0, 0]
+        assert abs(delta - 0.1) < 1e-6
+
+    def test_invalid_betas(self):
+        with pytest.raises(ConfigurationError):
+            Adam(0.1, beta1=1.0)
+        with pytest.raises(ConfigurationError):
+            Adam(0.1, beta2=-0.1)
+        with pytest.raises(ConfigurationError):
+            Adam(0.1, eps=0.0)
+
+    def test_reset_clears_moments(self):
+        model = quadratic_model()
+        opt = Adam(0.1)
+        loss_step(model, opt)
+        opt.reset_state()
+        assert not opt._m and not opt._v
+
+
+class TestStateKeying:
+    def test_survives_set_flat_params(self):
+        """Optimizer state remains valid after FedAvg-style writes."""
+        model = quadratic_model()
+        opt = Momentum(0.1, momentum=0.9)
+        loss_step(model, opt)
+        flat = model.get_flat_params()
+        model.set_flat_params(flat * 0.5)
+        # Should not raise and should keep converging.
+        for _ in range(50):
+            loss_step(model, opt)
+        assert abs(model.layers[0].params["W"][0, 0]) < 1.0

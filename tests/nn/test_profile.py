@@ -1,0 +1,120 @@
+"""Tests for model compute profiling."""
+
+import pytest
+
+from repro.errors import ConfigurationError, ShapeError
+from repro.nn.activations import ReLU
+from repro.nn.architectures import Fire, build_cnn, build_mini_squeezenet, build_mlp
+from repro.nn.conv import Conv2D
+from repro.nn.dense import Dense
+from repro.nn.model import Sequential
+from repro.nn.pooling import MaxPool2D
+from repro.nn.profile import (
+    estimate_cycles_per_sample,
+    profile_model,
+    summarize_profile,
+)
+from repro.nn.reshape import Flatten
+
+
+class TestLayerMacs:
+    def test_dense_macs(self):
+        model = Sequential([Dense(10, 20, seed=0)])
+        profiles = profile_model(model, (10,))
+        assert profiles[0].macs == 200
+        assert profiles[0].output_shape == (20,)
+
+    def test_conv_macs_hand_computed(self):
+        # 3x3 conv, 2->4 channels, 5x5 input, no padding: out 3x3.
+        # MACs = 3*3 (out) * 4 * 2 * 3*3 = 648.
+        model = Sequential([Conv2D(2, 4, 3, seed=0)])
+        profiles = profile_model(model, (2, 5, 5))
+        assert profiles[0].macs == 648
+        assert profiles[0].output_shape == (4, 3, 3)
+
+    def test_conv_padding_stride(self):
+        model = Sequential([Conv2D(1, 1, 3, stride=2, padding=1, seed=0)])
+        profiles = profile_model(model, (1, 8, 8))
+        # out = (8 + 2 - 3)//2 + 1 = 4.
+        assert profiles[0].output_shape == (1, 4, 4)
+        assert profiles[0].macs == 4 * 4 * 1 * 1 * 9
+
+    def test_pool_shape(self):
+        model = Sequential([MaxPool2D(2)])
+        profiles = profile_model(model, (3, 8, 8))
+        assert profiles[0].output_shape == (3, 4, 4)
+
+    def test_flatten_chains_to_dense(self):
+        model = Sequential([Flatten(), Dense(12, 2, seed=0)])
+        profiles = profile_model(model, (3, 2, 2))
+        assert profiles[0].output_shape == (12,)
+        assert profiles[1].macs == 24
+
+    def test_fire_macs_sum_branches(self):
+        fire = Fire(4, 2, 3, seed=0)
+        model = Sequential([fire])
+        profiles = profile_model(model, (4, 5, 5))
+        # squeeze 1x1: 25*2*4 = 200; expand1 1x1: 25*3*2 = 150;
+        # expand3 3x3 pad1: 25*3*2*9 = 1350.
+        assert profiles[0].macs == 200 + 150 + 1350
+        assert profiles[0].output_shape == (6, 5, 5)
+
+    def test_relu_elementwise(self):
+        model = Sequential([ReLU()])
+        profiles = profile_model(model, (3, 4, 4))
+        assert profiles[0].macs == 48
+
+    def test_wrong_input_shape_raises(self):
+        model = Sequential([Dense(10, 2, seed=0)])
+        with pytest.raises(ShapeError):
+            profile_model(model, (11,))
+
+    def test_invalid_shape_rejected(self):
+        model = Sequential([Dense(10, 2, seed=0)])
+        with pytest.raises(ConfigurationError):
+            profile_model(model, ())
+
+
+class TestArchitectures:
+    def test_full_architectures_profile(self):
+        for model, shape in (
+            (build_mlp(192, 10, hidden_sizes=(64,), seed=0), (192,)),
+            (build_cnn((3, 8, 8), 10, seed=0), (3, 8, 8)),
+            (build_mini_squeezenet((3, 8, 8), 10, seed=0), (3, 8, 8)),
+        ):
+            profiles = profile_model(model, shape)
+            assert len(profiles) == len(model.layers)
+            assert sum(p.macs for p in profiles) > 0
+
+    def test_summary_groups_by_type(self):
+        model = build_cnn((3, 8, 8), 10, seed=0)
+        summary = summarize_profile(model, (3, 8, 8))
+        assert "Conv2D" in summary and "Dense" in summary
+
+
+class TestCyclesEstimate:
+    def test_training_costs_more_than_inference(self):
+        model = build_mlp(192, 10, seed=0)
+        train = estimate_cycles_per_sample(model, (192,), training=True)
+        infer = estimate_cycles_per_sample(model, (192,), training=False)
+        assert train == pytest.approx(3.0 * infer)
+
+    def test_scales_with_cycles_per_mac(self):
+        model = build_mlp(192, 10, seed=0)
+        base = estimate_cycles_per_sample(model, (192,), cycles_per_mac=1.0)
+        double = estimate_cycles_per_sample(model, (192,), cycles_per_mac=2.0)
+        assert double == pytest.approx(2.0 * base)
+
+    def test_paper_pi_order_of_magnitude(self):
+        """The Mini-SqueezeNet's training cycles/sample land within a
+        couple orders of magnitude of the paper's pi = 1e7 — the
+        constant is plausible for a small CNN, which is the grounding
+        this module provides."""
+        model = build_mini_squeezenet((3, 8, 8), 10, seed=0)
+        pi_hat = estimate_cycles_per_sample(model, (3, 8, 8))
+        assert 1e4 < pi_hat < 1e9
+
+    def test_invalid_cycles_per_mac(self):
+        model = build_mlp(4, 2, seed=0)
+        with pytest.raises(ConfigurationError):
+            estimate_cycles_per_sample(model, (4,), cycles_per_mac=0.0)

@@ -1,0 +1,60 @@
+"""Tests for learning-rate schedules."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.nn.schedules import ConstantSchedule, CosineSchedule, StepDecaySchedule
+
+
+class TestConstant:
+    def test_constant(self):
+        sched = ConstantSchedule(0.05)
+        assert sched.rate(0) == 0.05
+        assert sched.rate(1000) == 0.05
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ConfigurationError):
+            ConstantSchedule(0.0)
+
+
+class TestStepDecay:
+    def test_decays_each_period(self):
+        sched = StepDecaySchedule(1.0, period=10, decay=0.5)
+        assert sched.rate(0) == 1.0
+        assert sched.rate(9) == 1.0
+        assert sched.rate(10) == 0.5
+        assert sched.rate(25) == 0.25
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            StepDecaySchedule(1.0, period=0)
+        with pytest.raises(ConfigurationError):
+            StepDecaySchedule(1.0, period=5, decay=1.5)
+        with pytest.raises(ConfigurationError):
+            StepDecaySchedule(-1.0, period=5)
+
+
+class TestCosine:
+    def test_endpoints(self):
+        sched = CosineSchedule(1.0, total_steps=100, min_rate=0.1)
+        assert sched.rate(0) == pytest.approx(1.0)
+        assert sched.rate(100) == pytest.approx(0.1)
+
+    def test_midpoint(self):
+        sched = CosineSchedule(1.0, total_steps=100, min_rate=0.0)
+        assert sched.rate(50) == pytest.approx(0.5)
+
+    def test_monotone_decreasing(self):
+        sched = CosineSchedule(1.0, total_steps=50)
+        rates = [sched.rate(s) for s in range(51)]
+        assert all(a >= b for a, b in zip(rates, rates[1:]))
+
+    def test_clamps_beyond_total(self):
+        sched = CosineSchedule(1.0, total_steps=10, min_rate=0.2)
+        assert sched.rate(50) == pytest.approx(0.2)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            CosineSchedule(1.0, total_steps=0)
+        with pytest.raises(ConfigurationError):
+            CosineSchedule(1.0, total_steps=10, min_rate=2.0)

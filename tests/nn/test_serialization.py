@@ -1,0 +1,60 @@
+"""Tests for model parameter serialization."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SerializationError
+from repro.nn.architectures import build_cnn, build_mlp
+from repro.nn.serialization import load_model_params, save_model_params
+
+
+class TestRoundTrip:
+    def test_mlp_roundtrip(self, tmp_path):
+        model = build_mlp(6, 3, hidden_sizes=(8,), seed=0)
+        path = tmp_path / "model.npz"
+        save_model_params(model, path)
+        other = build_mlp(6, 3, hidden_sizes=(8,), seed=99)
+        load_model_params(other, path)
+        assert np.array_equal(other.get_flat_params(), model.get_flat_params())
+
+    def test_cnn_with_batchnorm_buffers(self, tmp_path):
+        model = build_cnn((1, 4, 4), 2, channels=(4,), seed=0)
+        x = np.random.default_rng(0).normal(size=(16, 1, 4, 4))
+        model.forward(x, training=True)  # populate running stats
+        path = tmp_path / "cnn.npz"
+        save_model_params(model, path)
+        other = build_cnn((1, 4, 4), 2, channels=(4,), seed=1)
+        load_model_params(other, path)
+        bn_orig = next(l for l in model.layers if type(l).__name__ == "BatchNorm")
+        bn_new = next(l for l in other.layers if type(l).__name__ == "BatchNorm")
+        assert np.array_equal(bn_new.running_mean, bn_orig.running_mean)
+        assert np.array_equal(bn_new.running_var, bn_orig.running_var)
+
+    def test_extension_appended(self, tmp_path):
+        model = build_mlp(3, 2, seed=0)
+        path = tmp_path / "weights"
+        save_model_params(model, path)
+        load_model_params(model, path)  # resolves weights.npz
+
+
+class TestErrors:
+    def test_missing_file(self, tmp_path):
+        model = build_mlp(3, 2, seed=0)
+        with pytest.raises(SerializationError):
+            load_model_params(model, tmp_path / "nope.npz")
+
+    def test_architecture_mismatch(self, tmp_path):
+        small = build_mlp(3, 2, hidden_sizes=(4,), seed=0)
+        path = tmp_path / "small.npz"
+        save_model_params(small, path)
+        big = build_mlp(3, 2, hidden_sizes=(8,), seed=0)
+        with pytest.raises(SerializationError):
+            load_model_params(big, path)
+
+    def test_missing_key(self, tmp_path):
+        shallow = build_mlp(3, 2, hidden_sizes=(), seed=0)
+        path = tmp_path / "shallow.npz"
+        save_model_params(shallow, path)
+        deep = build_mlp(3, 2, hidden_sizes=(4,), seed=0)
+        with pytest.raises(SerializationError):
+            load_model_params(deep, path)

@@ -1,0 +1,82 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_requires_strategy(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run"])
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "bogus"])
+
+    def test_common_flags(self):
+        args = build_parser().parse_args(
+            ["run", "helcfl", "--quick", "--seed", "3", "--rounds", "5",
+             "--noniid"]
+        )
+        assert args.strategy == "helcfl"
+        assert args.quick and args.noniid
+        assert args.seed == 3 and args.rounds == 5
+
+
+class TestCommands:
+    def test_info(self, capsys):
+        assert main(["info", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "num_users" in out and "HELCFL" in out
+
+    def test_run_quick(self, capsys):
+        code = main(["run", "helcfl", "--quick", "--rounds", "4"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "best accuracy" in out
+        assert "training energy" in out
+
+    def test_run_noniid(self, capsys):
+        assert main(["run", "classic", "--quick", "--rounds", "3",
+                     "--noniid"]) == 0
+        assert "Classic FL" in capsys.readouterr().out
+
+    def test_fig2_quick(self, capsys):
+        assert main(["fig2", "--quick", "--rounds", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 2" in out and "HELCFL" in out
+
+    def test_table1_quick(self, capsys):
+        assert main(["table1", "--quick", "--rounds", "6"]) == 0
+        assert "Table I" in capsys.readouterr().out
+
+    def test_fig3_quick(self, capsys):
+        assert main(["fig3", "--quick", "--rounds", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 3" in out and "DVFS" in out
+
+    def test_run_with_output(self, capsys, tmp_path):
+        path = tmp_path / "history.json"
+        assert main(
+            ["run", "helcfl", "--quick", "--rounds", "3", "--output",
+             str(path)]
+        ) == 0
+        from repro.experiments.export import load_history
+
+        history = load_history(path)
+        assert len(history) == 3
+
+    def test_fig2_with_output(self, capsys, tmp_path):
+        path = tmp_path / "fig2.json"
+        assert main(
+            ["fig2", "--quick", "--rounds", "3", "--output", str(path)]
+        ) == 0
+        from repro.experiments.export import load_fig2
+
+        result = load_fig2(path)
+        assert "helcfl" in result.histories

@@ -1,0 +1,28 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for name in errors.__all__:
+            cls = getattr(errors, name)
+            assert issubclass(cls, errors.ReproError)
+
+    def test_configuration_error_is_value_error(self):
+        assert issubclass(errors.ConfigurationError, ValueError)
+
+    def test_partition_error_is_data_error(self):
+        assert issubclass(errors.PartitionError, errors.DataError)
+
+    def test_frequency_range_error_is_device_error(self):
+        assert issubclass(errors.FrequencyRangeError, errors.DeviceError)
+
+    def test_training_error_is_runtime_error(self):
+        assert issubclass(errors.TrainingError, RuntimeError)
+
+    def test_catching_base_catches_subclass(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.SelectionError("boom")

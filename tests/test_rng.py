@@ -1,0 +1,67 @@
+"""Tests for repro.rng."""
+
+import numpy as np
+import pytest
+
+from repro.rng import derive_seed, ensure_generator, spawn_generators
+
+
+class TestEnsureGenerator:
+    def test_int_seed_is_deterministic(self):
+        a = ensure_generator(123).integers(0, 1000, size=5)
+        b = ensure_generator(123).integers(0, 1000, size=5)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = ensure_generator(1).integers(0, 10**9)
+        b = ensure_generator(2).integers(0, 10**9)
+        assert a != b
+
+    def test_generator_passes_through(self):
+        gen = np.random.default_rng(0)
+        assert ensure_generator(gen) is gen
+
+    def test_none_gives_generator(self):
+        assert isinstance(ensure_generator(None), np.random.Generator)
+
+
+class TestSpawnGenerators:
+    def test_count(self):
+        children = spawn_generators(0, 4)
+        assert len(children) == 4
+
+    def test_children_are_independent_streams(self):
+        children = spawn_generators(0, 2)
+        a = children[0].integers(0, 10**9, size=10)
+        b = children[1].integers(0, 10**9, size=10)
+        assert not np.array_equal(a, b)
+
+    def test_deterministic_given_seed(self):
+        a = [g.integers(0, 10**9) for g in spawn_generators(7, 3)]
+        b = [g.integers(0, 10**9) for g in spawn_generators(7, 3)]
+        assert a == b
+
+    def test_zero_count(self):
+        assert spawn_generators(0, 0) == []
+
+    def test_negative_count_raises(self):
+        with pytest.raises(ValueError):
+            spawn_generators(0, -1)
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(42, "a", "b") == derive_seed(42, "a", "b")
+
+    def test_tags_change_seed(self):
+        assert derive_seed(42, "a") != derive_seed(42, "b")
+
+    def test_base_changes_seed(self):
+        assert derive_seed(1, "a") != derive_seed(2, "a")
+
+    def test_non_negative(self):
+        for base in (0, 1, 2**62):
+            assert derive_seed(base, "x") >= 0
+
+    def test_tag_order_matters(self):
+        assert derive_seed(3, "a", "b") != derive_seed(3, "b", "a")
