@@ -6,6 +6,13 @@ install:
 test:
 	pytest tests/
 
+lint:
+	@if command -v ruff >/dev/null 2>&1; then \
+		ruff check src tests benchmarks examples; \
+	else \
+		echo "ruff not installed; skipping lint (pip install ruff)"; \
+	fi
+
 bench:
 	pytest benchmarks/ --benchmark-only -s
 

@@ -11,7 +11,6 @@ Covers the DVFS design points DESIGN.md calls out:
 """
 
 import numpy as np
-import pytest
 
 from repro.core.frequency import determine_frequencies
 from repro.data.dataset import ArrayDataset

@@ -6,7 +6,6 @@ users per round (more data per round, heavier rounds), smaller
 fractions give short rounds but noisier progress.
 """
 
-import pytest
 
 from repro.experiments.runner import build_environment, run_strategy
 from repro.experiments.settings import ExperimentSettings

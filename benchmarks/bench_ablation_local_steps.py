@@ -7,7 +7,6 @@ equivalence breaks and client drift appears — this bench quantifies
 the effect under the non-IID partition, where drift is strongest.
 """
 
-import pytest
 
 from repro.experiments.runner import build_environment, run_strategy
 from repro.experiments.settings import ExperimentSettings

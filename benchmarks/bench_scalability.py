@@ -1,7 +1,7 @@
-"""Scalability study — cost-model scaling with population and fraction.
+"""Scalability study — cost-model scaling and execution-backend speedup.
 
-Sweeps the population size ``Q`` and the selection fraction ``C``
-through the paper-scale cost-model Monte Carlo (no training) and
+Part 1 sweeps the population size ``Q`` and the selection fraction
+``C`` through the paper-scale cost-model Monte Carlo (no training) and
 checks the scaling laws the TDMA model implies:
 
 * round delay grows with ``Q * C`` (more uploads serialize on the
@@ -9,9 +9,29 @@ checks the scaling laws the TDMA model implies:
 * round energy grows roughly linearly in the selected count;
 * Algorithm 3's relative saving stays positive across the sweep
   (the mechanism does not wash out at scale).
+
+Part 2 benchmarks the client-execution backends
+(:mod:`repro.fl.execution`) on an actual 100-user training workload:
+the selected clients are independent, so the pooled backends should
+cut wall-clock roughly by the worker count while reproducing the
+serial run bitwise. Run it standalone to measure one backend::
+
+    PYTHONPATH=src python benchmarks/bench_scalability.py \
+        --backend process --workers 4
+
+On a 4-core host the process backend should show >= 2x speedup over
+serial at 100 users; under pytest the speedup assertion engages only
+when enough cores are available, so the parity checks still run on
+constrained CI hosts.
 """
 
+import os
+import time
+
 from repro.experiments.costmodel import run_cost_model_study
+from repro.experiments.runner import build_environment, run_strategy
+from repro.experiments.settings import ExperimentSettings
+from repro.fl.execution import BACKEND_NAMES
 
 
 def run_scaling_study():
@@ -78,3 +98,123 @@ def test_cost_scaling(benchmark):
             f"energy {s.round_energy_j[0]:7.2f}J  "
             f"saving {100 * s.dvfs_saving_fraction[0]:5.1f}%"
         )
+
+
+# ----------------------------------------------------------------------
+# Part 2: execution-backend speedup on real training
+# ----------------------------------------------------------------------
+def _backend_settings(num_users: int = 100, rounds: int = 3) -> ExperimentSettings:
+    """A 100-user workload heavy enough for fan-out to matter.
+
+    ``local_steps`` is cranked so each client's local update costs
+    tens of milliseconds — the regime the paper-scale sweeps live in —
+    while the round count keeps the whole bench short.
+    """
+    return ExperimentSettings(
+        num_users=num_users,
+        fraction=0.1,
+        rounds=rounds,
+        train_size=max(num_users * 200, 4000),
+        test_size=500,
+        local_steps=60,
+        eval_every=rounds,
+        seed=7,
+    )
+
+
+def run_backend_study(
+    backends=BACKEND_NAMES, num_users: int = 100, rounds: int = 3, workers=None
+):
+    """Time one identical training run per backend; return the results.
+
+    Returns:
+        Mapping from backend name to ``(wall_seconds, history)``.
+    """
+    settings = _backend_settings(num_users=num_users, rounds=rounds)
+    env = build_environment(settings, iid=True)
+    results = {}
+    for name in backends:
+        start = time.perf_counter()
+        history = run_strategy(
+            "helcfl",
+            settings,
+            iid=True,
+            environment=env,
+            backend=name,
+            workers=workers,
+        )
+        results[name] = (time.perf_counter() - start, history)
+    return results
+
+
+def test_backend_scaling(benchmark):
+    results = benchmark.pedantic(run_backend_study, rounds=1, iterations=1)
+
+    serial_time, serial_history = results["serial"]
+    serial_records = serial_history.records
+    print()
+    print("  backend study (Q=100, C=0.1, 3 rounds):")
+    for name, (wall, history) in results.items():
+        speedup = serial_time / wall if wall > 0 else float("inf")
+        print(
+            f"    {name:8s}: {wall:6.2f}s  speedup {speedup:4.2f}x  "
+            f"final acc {100 * history.final_accuracy:.2f}%"
+        )
+        # Bitwise parity: identical selection, loss, and accuracy
+        # trajectories no matter how execution was scheduled.
+        assert len(history.records) == len(serial_records)
+        for got, want in zip(history.records, serial_records):
+            assert got.selected_ids == want.selected_ids
+            assert got.train_loss == want.train_loss
+            assert got.test_accuracy == want.test_accuracy
+
+    # The speedup claim needs real cores; skip it on constrained hosts.
+    cores = os.cpu_count() or 1
+    if cores >= 4:
+        process_time, _ = results["process"]
+        assert serial_time / process_time >= 1.5, (
+            f"process backend speedup "
+            f"{serial_time / process_time:.2f}x < 1.5x on {cores} cores"
+        )
+
+
+def _main() -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        description="Time an execution backend against serial at Q=100."
+    )
+    parser.add_argument("--backend", choices=BACKEND_NAMES, default="process")
+    parser.add_argument("--workers", type=int, default=None)
+    parser.add_argument("--users", type=int, default=100)
+    parser.add_argument("--rounds", type=int, default=3)
+    args = parser.parse_args()
+
+    names = ("serial",) if args.backend == "serial" else ("serial", args.backend)
+    results = run_backend_study(
+        backends=names,
+        num_users=args.users,
+        rounds=args.rounds,
+        workers=args.workers,
+    )
+    serial_time, serial_history = results["serial"]
+    print(f"cores available: {os.cpu_count()}")
+    for name, (wall, history) in results.items():
+        print(
+            f"{name:8s}: {wall:6.2f}s  speedup {serial_time / wall:4.2f}x  "
+            f"final acc {100 * history.final_accuracy:.2f}%"
+        )
+    if args.backend != "serial":
+        _, other = results[args.backend]
+        same = all(
+            a.test_accuracy == b.test_accuracy
+            and a.selected_ids == b.selected_ids
+            for a, b in zip(serial_history.records, other.records)
+        )
+        print(f"bitwise parity with serial: {'OK' if same else 'MISMATCH'}")
+        return 0 if same else 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(_main())

@@ -68,8 +68,10 @@ class FedlClosedFormPolicy(FrequencyPolicy):
         selected: Sequence[UserDevice],
         payload_bits: float,
         bandwidth_hz: float,
+        *,
+        round_index: int = 0,
     ) -> Dict[int, float]:
-        del payload_bits, bandwidth_hz
+        del payload_bits, bandwidth_hz, round_index
         return {
             device.device_id: fedl_optimal_frequency(device.cpu, self.kappa)
             for device in selected

@@ -30,6 +30,7 @@ from repro.experiments.reporting import (
 from repro.experiments.runner import STRATEGY_NAMES, run_strategy
 from repro.experiments.settings import ExperimentSettings
 from repro.experiments.table1 import run_table1
+from repro.fl.execution import BACKEND_NAMES
 from repro.version import PAPER_TITLE, PAPER_VENUE, __version__
 
 __all__ = ["main", "build_parser"]
@@ -55,6 +56,21 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         type=str,
         default=None,
         help="also save the artifact as a JSON document at this path",
+    )
+    parser.add_argument(
+        "--backend",
+        choices=BACKEND_NAMES,
+        default="serial",
+        help="client-execution backend fanning local updates across "
+        "workers (results are identical for every backend at a fixed "
+        "seed)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker count for the thread/process backends "
+        "(default: CPU count)",
     )
 
 
@@ -104,11 +120,20 @@ def _settings_from(args: argparse.Namespace) -> ExperimentSettings:
     return ExperimentSettings(**overrides)
 
 
+def _backend_kwargs(args: argparse.Namespace) -> dict:
+    return {"backend": args.backend, "workers": args.workers}
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     settings = _settings_from(args)
     label = strategy_labels().get(args.strategy, args.strategy)
-    print(f"Training {label} ({'non-IID' if args.noniid else 'IID'}) ...")
-    history = run_strategy(args.strategy, settings, iid=not args.noniid)
+    print(
+        f"Training {label} ({'non-IID' if args.noniid else 'IID'}) "
+        f"[backend={args.backend}] ..."
+    )
+    history = run_strategy(
+        args.strategy, settings, iid=not args.noniid, **_backend_kwargs(args)
+    )
     print(f"  rounds executed      {len(history)}")
     print(f"  best accuracy        {100 * history.best_accuracy:.2f}%")
     print(f"  final accuracy       {100 * history.final_accuracy:.2f}%")
@@ -128,7 +153,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 def _cmd_fig2(args: argparse.Namespace) -> int:
     settings = _settings_from(args)
-    result = run_fig2(settings, iid=not args.noniid)
+    result = run_fig2(settings, iid=not args.noniid, **_backend_kwargs(args))
     print(format_fig2_table(result))
     if args.output:
         from repro.experiments.export import save_fig2
@@ -140,7 +165,7 @@ def _cmd_fig2(args: argparse.Namespace) -> int:
 
 def _cmd_table1(args: argparse.Namespace) -> int:
     settings = _settings_from(args)
-    table = run_table1(settings, iid=not args.noniid)
+    table = run_table1(settings, iid=not args.noniid, **_backend_kwargs(args))
     print(format_table1(table))
     if args.output:
         from repro.experiments.export import save_table1
@@ -152,7 +177,7 @@ def _cmd_table1(args: argparse.Namespace) -> int:
 
 def _cmd_fig3(args: argparse.Namespace) -> int:
     settings = _settings_from(args)
-    result = run_fig3(settings, iid=not args.noniid)
+    result = run_fig3(settings, iid=not args.noniid, **_backend_kwargs(args))
     print(format_fig3_table(result))
     if args.output:
         from repro.experiments.export import save_fig3

@@ -120,7 +120,10 @@ class HelcflDvfsPolicy(FrequencyPolicy):
         selected: Sequence[UserDevice],
         payload_bits: float,
         bandwidth_hz: float,
+        *,
+        round_index: int = 0,
     ) -> Dict[int, float]:
+        del round_index  # Algorithm 3 is stateless across rounds.
         return determine_frequencies(
             selected,
             payload_bits,

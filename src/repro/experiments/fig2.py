@@ -77,6 +77,8 @@ def run_fig2(
     settings: Optional[ExperimentSettings] = None,
     iid: bool = True,
     strategies: Sequence[str] = DEFAULT_FIG2_STRATEGIES,
+    backend=None,
+    workers: Optional[int] = None,
 ) -> Fig2Result:
     """Reproduce one panel of Fig. 2.
 
@@ -84,15 +86,28 @@ def run_fig2(
         settings: experiment settings (paper defaults when None).
         iid: which panel — IID (left) or non-IID (right).
         strategies: scheme names to run.
+        backend: client-execution backend (instance or name); a named
+            pooled backend is created once and shared by every
+            strategy's run.
+        workers: pool size when ``backend`` is given by name.
 
     Returns:
         The panel's :class:`Fig2Result`.
     """
+    from repro.fl.execution import create_backend
+
     settings = settings or ExperimentSettings()
     environment = build_environment(settings, iid=iid)
+    owned_backend = None
+    if isinstance(backend, str):
+        backend = owned_backend = create_backend(backend, workers=workers)
     histories: Dict[str, TrainingHistory] = {}
-    for name in strategies:
-        histories[name] = run_strategy(
-            name, settings, iid=iid, environment=environment
-        )
+    try:
+        for name in strategies:
+            histories[name] = run_strategy(
+                name, settings, iid=iid, environment=environment, backend=backend
+            )
+    finally:
+        if owned_backend is not None:
+            owned_backend.close()
     return Fig2Result(iid=iid, histories=histories)

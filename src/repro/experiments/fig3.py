@@ -80,6 +80,8 @@ def run_fig3(
     targets: Optional[Sequence[float]] = None,
     target_fractions: Sequence[float] = (0.75, 0.85, 0.95),
     histories: Optional[Dict[str, TrainingHistory]] = None,
+    backend=None,
+    workers: Optional[int] = None,
 ) -> Fig3Result:
     """Reproduce one panel of Fig. 3.
 
@@ -92,21 +94,41 @@ def run_fig3(
         histories: optionally reuse runs keyed ``"helcfl"`` and
             ``"helcfl-nodvfs"`` (e.g. from a Fig. 2 sweep that included
             both).
+        backend: client-execution backend (instance or name) for fresh
+            runs; shared by both runs when given by name.
+        workers: pool size when ``backend`` is given by name.
 
     Returns:
         The panel's :class:`Fig3Result`.
     """
+    from repro.fl.execution import create_backend
+
     settings = settings or ExperimentSettings()
     if histories is None:
         environment = build_environment(settings, iid=iid)
-        histories = {
-            "helcfl": run_strategy(
-                "helcfl", settings, iid=iid, environment=environment
-            ),
-            "helcfl-nodvfs": run_strategy(
-                "helcfl-nodvfs", settings, iid=iid, environment=environment
-            ),
-        }
+        owned_backend = None
+        if isinstance(backend, str):
+            backend = owned_backend = create_backend(backend, workers=workers)
+        try:
+            histories = {
+                "helcfl": run_strategy(
+                    "helcfl",
+                    settings,
+                    iid=iid,
+                    environment=environment,
+                    backend=backend,
+                ),
+                "helcfl-nodvfs": run_strategy(
+                    "helcfl-nodvfs",
+                    settings,
+                    iid=iid,
+                    environment=environment,
+                    backend=backend,
+                ),
+            }
+        finally:
+            if owned_backend is not None:
+                owned_backend.close()
     for key in ("helcfl", "helcfl-nodvfs"):
         if key not in histories:
             raise ConfigurationError(f"fig 3 needs a {key!r} history")

@@ -13,7 +13,7 @@ returns its :class:`~repro.fl.history.TrainingHistory`.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Union
 
 from repro.baselines.registry import build_strategy, strategy_labels
 from repro.baselines.sl import SeparatedLearningRunner
@@ -24,6 +24,7 @@ from repro.devices.device import UserDevice
 from repro.devices.fleet import make_fleet
 from repro.errors import ConfigurationError
 from repro.experiments.settings import ExperimentSettings
+from repro.fl.execution import ExecutionBackend, create_backend
 from repro.fl.history import TrainingHistory
 from repro.fl.server import FederatedServer
 from repro.fl.trainer import FederatedTrainer
@@ -108,6 +109,8 @@ def run_strategy(
     iid: bool,
     environment: Optional[Environment] = None,
     config_overrides: Optional[Dict] = None,
+    backend: Union[ExecutionBackend, str, None] = None,
+    workers: Optional[int] = None,
 ) -> TrainingHistory:
     """Run one named scheme end to end.
 
@@ -123,6 +126,14 @@ def run_strategy(
         environment: pre-built environment to reuse across strategies.
         config_overrides: keyword overrides for the trainer config
             (e.g. ``{"deadline_s": 600.0}``).
+        backend: client-execution backend — an
+            :class:`~repro.fl.execution.ExecutionBackend` instance
+            (caller owns its worker lifetime) or a backend name from
+            :data:`~repro.fl.execution.BACKEND_NAMES`; a name is
+            instantiated here and closed when the run finishes.
+            ``None`` runs serial. Ignored by the ``sl`` baseline,
+            which has its own loop.
+        workers: pool size when ``backend`` is given by name.
 
     Returns:
         The run's :class:`~repro.fl.history.TrainingHistory`, labelled
@@ -161,6 +172,9 @@ def run_strategy(
         fedcs_candidate_fraction=settings.fedcs_candidate_fraction,
         fedl_kappa=settings.fedl_kappa,
     )
+    owned_backend = None
+    if isinstance(backend, str):
+        backend = owned_backend = create_backend(backend, workers=workers)
     trainer = FederatedTrainer(
         server=server,
         devices=env.devices,
@@ -168,5 +182,10 @@ def run_strategy(
         frequency_policy=policy,
         config=config,
         label=label,
+        backend=backend,
     )
-    return trainer.run()
+    try:
+        return trainer.run()
+    finally:
+        if owned_backend is not None:
+            owned_backend.close()

@@ -73,6 +73,8 @@ def run_table1(
     target_fractions: Sequence[float] = DEFAULT_TARGET_FRACTIONS,
     fig2: Optional[Fig2Result] = None,
     strategies: Sequence[str] = DEFAULT_FIG2_STRATEGIES,
+    backend=None,
+    workers: Optional[int] = None,
 ) -> Table1Result:
     """Reproduce one half of Table I.
 
@@ -86,13 +88,19 @@ def run_table1(
         fig2: an existing Fig. 2 result to reuse (the table needs the
             same runs; passing it avoids retraining).
         strategies: schemes to include when running fresh.
+        backend: client-execution backend (instance or name) for fresh
+            runs (see :func:`~repro.experiments.fig2.run_fig2`).
+        workers: pool size when ``backend`` is given by name.
 
     Returns:
         The :class:`Table1Result` for this regime.
     """
     settings = settings or ExperimentSettings()
     if fig2 is None:
-        fig2 = run_fig2(settings, iid=iid, strategies=strategies)
+        fig2 = run_fig2(
+            settings, iid=iid, strategies=strategies, backend=backend,
+            workers=workers,
+        )
     histories = fig2.histories
     if "helcfl" not in histories:
         raise ConfigurationError("table 1 requires a 'helcfl' run as reference")

@@ -17,10 +17,10 @@ volume), ``T_q`` the user's round delay, and ``T_pref`` a preferred
 round duration (the system-speed developer knob). Users never selected
 get an exploration bonus so the scheme keeps discovering data.
 
-It is a drop-in :class:`~repro.fl.strategy.SelectionStrategy`; the
-trainer feeds observed client losses back via :meth:`observe_losses`
-(wired automatically when used through
-:func:`build_oort_trainer`-style manual assembly — see
+It is a drop-in :class:`~repro.fl.strategy.SelectionStrategy`: it
+overrides the base class's :meth:`SelectionStrategy.observe_losses`
+no-op hook, which :class:`~repro.fl.trainer.FederatedTrainer` calls
+with every round's observed client losses (see
 ``benchmarks/bench_ext_oort.py``).
 """
 
@@ -102,7 +102,7 @@ class OortSelection(SelectionStrategy):
 
     # ------------------------------------------------------------------
     def observe_losses(self, losses: Dict[int, float]) -> None:
-        """Feed back observed client training losses.
+        """Feed back observed client training losses (base-hook override).
 
         Args:
             losses: mapping from device id to the loss measured in its

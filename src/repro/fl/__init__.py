@@ -1,13 +1,25 @@
 """The federated-learning engine (Algorithm 1's machinery).
 
 Contains the FLCC server, the local client trainer (Eq. 3), FedAvg
-aggregation (Eq. 18), the synchronous round loop with TDMA cost
-simulation, and the training history with time-to-accuracy and
-energy-to-accuracy queries used by the paper's Table I and Fig. 3.
+aggregation (Eq. 18), the pluggable client-execution backends
+(serial / thread pool / process pool), the synchronous round loop with
+TDMA cost simulation, and the training history with time-to-accuracy
+and energy-to-accuracy queries used by the paper's Table I and Fig. 3.
 """
 
 from repro.fl.aggregation import fedavg_aggregate
 from repro.fl.client import LocalTrainer
+from repro.fl.execution import (
+    BACKEND_NAMES,
+    ClientUpdate,
+    ExecutionBackend,
+    LocalUpdateSpec,
+    ProcessPoolBackend,
+    RoundResult,
+    SerialBackend,
+    ThreadPoolBackend,
+    create_backend,
+)
 from repro.fl.history import RoundRecord, TrainingHistory
 from repro.fl.server import FederatedServer
 from repro.fl.strategy import (
@@ -22,6 +34,15 @@ from repro.fl.trainer import FederatedTrainer, TrainerConfig
 __all__ = [
     "fedavg_aggregate",
     "LocalTrainer",
+    "BACKEND_NAMES",
+    "ClientUpdate",
+    "ExecutionBackend",
+    "LocalUpdateSpec",
+    "ProcessPoolBackend",
+    "RoundResult",
+    "SerialBackend",
+    "ThreadPoolBackend",
+    "create_backend",
     "RoundRecord",
     "TrainingHistory",
     "FederatedServer",

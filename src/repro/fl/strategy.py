@@ -67,6 +67,15 @@ class SelectionStrategy:
     def reset(self) -> None:
         """Clear any cross-round state before a fresh training run."""
 
+    def observe_losses(self, losses: Dict[int, float]) -> None:
+        """Feedback hook: the trainer reports each round's client losses.
+
+        Called once per round with a mapping from device id to the
+        loss observed in that device's local update. The base
+        implementation ignores the feedback; statistical-utility
+        strategies (e.g. the Oort extension) override it.
+        """
+
     def _check_population(self, devices: Sequence[UserDevice]) -> None:
         if not devices:
             raise SelectionError("cannot select from an empty population")
@@ -80,6 +89,8 @@ class FrequencyPolicy:
         selected: Sequence[UserDevice],
         payload_bits: float,
         bandwidth_hz: float,
+        *,
+        round_index: int = 0,
     ) -> Dict[int, float]:
         """Return a mapping from device id to operating frequency.
 
@@ -87,6 +98,10 @@ class FrequencyPolicy:
             selected: the round's selected user set.
             payload_bits: model payload ``C_model`` in bits.
             bandwidth_hz: the uplink resource blocks ``Z`` in Hz.
+            round_index: 1-based FL round index ``j`` (0 when called
+                outside a training loop). Stateless policies ignore it;
+                adaptive DVFS policies can schedule on it without
+                another signature break.
         """
         raise NotImplementedError
 
@@ -115,6 +130,8 @@ class MaxFrequencyPolicy(FrequencyPolicy):
         selected: Sequence[UserDevice],
         payload_bits: float,
         bandwidth_hz: float,
+        *,
+        round_index: int = 0,
     ) -> Dict[int, float]:
-        del payload_bits, bandwidth_hz
+        del payload_bits, bandwidth_hz, round_index
         return {device.device_id: device.cpu.f_max for device in selected}

@@ -4,20 +4,27 @@ Each round: a :class:`~repro.fl.strategy.SelectionStrategy` picks
 ``Gamma_j``, a :class:`~repro.fl.strategy.FrequencyPolicy` assigns CPU
 frequencies, the TDMA simulator produces the round's delay/energy
 timeline (Eqs. 4–11), selected clients run their local updates
-(Eq. 3), and the server FedAvg-integrates the results (Eq. 18). The
-loop honours the total-training deadline (constraint 14) and optional
+(Eq. 3) through a pluggable :class:`~repro.fl.execution.ExecutionBackend`,
+and the server FedAvg-integrates the results (Eq. 18). The loop
+honours the total-training deadline (constraint 14) and optional
 convergence exits, and records everything into a
 :class:`~repro.fl.history.TrainingHistory`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from dataclasses import dataclass, replace
+from typing import Optional, Sequence, Tuple
 
 from repro.devices.device import UserDevice
 from repro.errors import ConfigurationError, TrainingError
 from repro.fl.client import LocalTrainer
+from repro.fl.execution import (
+    ExecutionBackend,
+    LocalUpdateSpec,
+    RoundResult,
+    SerialBackend,
+)
 from repro.fl.history import RoundRecord, TrainingHistory
 from repro.fl.server import FederatedServer
 from repro.fl.strategy import FrequencyPolicy, MaxFrequencyPolicy, SelectionStrategy
@@ -63,6 +70,10 @@ class TrainerConfig:
         enforce_battery: when True, devices with batteries drain them
             each round; a device that cannot afford its round energy
             shuts down and its update is dropped from aggregation.
+        minibatch_seed: roots the per-``(round, device)`` mini-batch
+            sampling seeds when ``batch_size`` is set, so stochastic
+            local updates reproduce identically under every execution
+            backend.
     """
 
     rounds: int = 300
@@ -79,6 +90,7 @@ class TrainerConfig:
     lr_decay_period: int = 100
     keep_best_model: bool = False
     enforce_battery: bool = False
+    minibatch_seed: int = 0
 
     def __post_init__(self) -> None:
         if self.rounds <= 0:
@@ -127,6 +139,15 @@ class TrainerConfig:
         applications = (round_index - 1) // self.lr_decay_period
         return self.learning_rate * self.lr_decay**applications
 
+    def local_update_spec(self) -> LocalUpdateSpec:
+        """The :class:`LocalUpdateSpec` execution backends train with."""
+        return LocalUpdateSpec(
+            learning_rate=self.learning_rate,
+            local_steps=self.local_steps,
+            batch_size=self.batch_size,
+            seed=self.minibatch_seed,
+        )
+
 
 class FederatedTrainer:
     """Runs Algorithm 1 for a given selection strategy and policy.
@@ -146,7 +167,9 @@ class FederatedTrainer:
             energy, and the server aggregates the lossy reconstruction.
             The frequency policy still plans with the nominal
             ``server.payload_bits`` (the FLCC cannot know compressed
-            sizes before training happens).
+            sizes before training happens). Compression state is
+            per-device and updated in selection order in the main
+            process, so it is backend-independent.
         channel_models: optional mapping from device id to a channel
             model exposing ``sample_gain()`` (e.g.
             :class:`repro.network.RayleighFadingChannel`); when set,
@@ -154,6 +177,12 @@ class FederatedTrainer:
             of each round, modelling per-round fading. Selection and
             frequency policies see the fresh gains (the FLCC polls
             resource information each round, Algorithm 1 line 1).
+        backend: the :class:`~repro.fl.execution.ExecutionBackend` that
+            fans local updates out across workers; defaults to
+            :class:`~repro.fl.execution.SerialBackend`. The trainer
+            binds the backend at the start of every :meth:`run` but
+            never closes it — the caller owns pooled backends' worker
+            lifetimes (use them as context managers).
 
     Attributes:
         ledger: an :class:`repro.energy.EnergyLedger` accumulating
@@ -170,6 +199,7 @@ class FederatedTrainer:
         label: str = "",
         compression=None,
         channel_models=None,
+        backend: Optional[ExecutionBackend] = None,
     ) -> None:
         if not devices:
             raise TrainingError("cannot train with an empty device population")
@@ -181,70 +211,71 @@ class FederatedTrainer:
         self.label = label
         self.compression = compression
         self.channel_models = dict(channel_models or {})
+        self.backend = backend or SerialBackend()
         from repro.energy.accounting import EnergyLedger
 
         self.ledger = EnergyLedger()
+        # Kept for introspection (e.g. the LR schedule is observable as
+        # ``trainer.local_trainer.learning_rate``); the actual per-round
+        # training happens inside the execution backend.
         self.local_trainer = LocalTrainer(
             learning_rate=self.config.learning_rate,
             local_steps=self.config.local_steps,
             batch_size=self.config.batch_size,
         )
-        # One scratch model reused by every client avoids reallocating
-        # layer buffers Q times per round.
-        self._scratch = server.model.clone()
         self.best_model_params = None
         self.best_model_accuracy = 0.0
 
     # ------------------------------------------------------------------
-    def _run_clients(self, selected: Sequence[UserDevice]):
-        """Run local updates.
+    def _run_clients(
+        self, round_index: int, selected: Sequence[UserDevice]
+    ) -> RoundResult:
+        """Fan the round's local updates out through the backend.
 
-        Returns ``(updates, weights, losses, ids, payloads)`` where
-        ``payloads`` maps device id to the transmitted bits (empty when
-        no compression pipeline is configured — the uniform nominal
-        payload applies).
+        Compression (when configured) is applied afterwards in
+        selection order: per-device residual state must evolve
+        deterministically no matter how the backend scheduled the
+        training itself.
         """
         global_params = self.server.broadcast()
-        updates: List = []
-        weights: List[float] = []
-        losses: List[float] = []
-        ids: List[int] = []
-        payloads: dict = {}
-        for device in selected:
-            self._scratch.set_flat_params(global_params)
-            loss_value = self.local_trainer.train(self._scratch, device.dataset)
-            trained = self._scratch.get_flat_params().copy()
-            if self.compression is not None:
+        updates = self.backend.run_round(
+            round_index,
+            global_params,
+            selected,
+            self.local_trainer.learning_rate,
+        )
+        if self.compression is not None:
+            compressed = []
+            for update in updates:
                 received = self.compression.process(
-                    device.device_id, global_params, trained
+                    update.device_id, global_params, update.params
                 )
-                updates.append(received.params)
-                payloads[device.device_id] = received.payload_bits
-            else:
-                updates.append(trained)
-            weights.append(float(device.num_samples))
-            losses.append(loss_value)
-            ids.append(device.device_id)
-        return updates, weights, losses, ids, payloads
+                compressed.append(
+                    replace(
+                        update,
+                        params=received.params,
+                        payload_bits=received.payload_bits,
+                    )
+                )
+            updates = compressed
+        return RoundResult(round_index=round_index, updates=tuple(updates))
 
-    def _apply_battery(self, selected, timeline, updates, weights, ids):
+    def _apply_battery(
+        self, selected: Sequence[UserDevice], timeline, result: RoundResult
+    ) -> Tuple[RoundResult, Tuple[int, ...]]:
         """Drop updates from devices whose battery cannot pay the round."""
         if not self.config.enforce_battery:
-            return updates, weights, ()
+            return result, ()
         per_device = timeline.by_device()
-        kept_updates: List = []
-        kept_weights: List[float] = []
-        dropped: List[int] = []
-        for device, update, weight in zip(selected, updates, weights):
-            entry = per_device[device.device_id]
+        device_index = {d.device_id: d for d in selected}
+        dropped = []
+        for update in result:
+            device = device_index[update.device_id]
             battery = device.battery
+            entry = per_device[update.device_id]
             if battery is not None and not battery.drain(entry.total_energy):
-                dropped.append(device.device_id)
-                continue
-            kept_updates.append(update)
-            kept_weights.append(weight)
-        del ids
-        return kept_updates, kept_weights, tuple(dropped)
+                dropped.append(update.device_id)
+        return result.drop(dropped), tuple(dropped)
 
     def run(self) -> TrainingHistory:
         """Execute the full training loop and return its history."""
@@ -269,6 +300,9 @@ class FederatedTrainer:
 
         self.ledger = EnergyLedger()
         device_index = {d.device_id: d for d in self.devices}
+        self.backend.bind(
+            self.server.model, config.local_update_spec(), self.devices
+        )
 
         for round_index in range(1, config.rounds + 1):
             # Per-round fading: refresh mapped devices' channel gains
@@ -287,37 +321,34 @@ class FederatedTrainer:
                 round_index
             )
             frequencies = self.frequency_policy.assign(
-                selected, self.server.payload_bits, config.bandwidth_hz
+                selected,
+                self.server.payload_bits,
+                config.bandwidth_hz,
+                round_index=round_index,
             )
-            updates, weights, losses, ids, payloads = self._run_clients(
-                selected
-            )
+            result = self._run_clients(round_index, selected)
             # Feedback hook for statistical-utility strategies (e.g.
             # the Oort extension): report each client's observed loss.
-            if hasattr(self.selection, "observe_losses"):
-                self.selection.observe_losses(
-                    {device_id: loss for device_id, loss in zip(ids, losses)}
-                )
+            self.selection.observe_losses(result.losses)
+            losses = result.losses
             timeline = simulate_tdma_round(
                 selected,
                 self.server.payload_bits,
                 config.bandwidth_hz,
                 frequencies,
-                payloads=payloads or None,
+                payloads=result.payloads or None,
             )
-            updates, weights, dropped = self._apply_battery(
-                selected, timeline, updates, weights, ids
-            )
+            result, dropped = self._apply_battery(selected, timeline, result)
             self.ledger.record_round(timeline)
-            if updates:
-                self.server.aggregate(updates, weights)
+            if result:
+                self.server.aggregate(result.params, result.weights)
 
             cumulative_time += timeline.round_delay
             cumulative_energy += timeline.total_energy
 
             total_weight = sum(d.num_samples for d in selected)
             train_loss = (
-                sum(l * d.num_samples for l, d in zip(losses, selected))
+                sum(losses[d.device_id] * d.num_samples for d in selected)
                 / total_weight
                 if total_weight
                 else 0.0

@@ -56,6 +56,13 @@ class TestPolicy:
         freqs = FedlClosedFormPolicy(kappa=0.2).assign(devices, 1e6, 2e6)
         assert set(freqs) == {d.device_id for d in devices}
 
+    def test_round_index_keyword_ignored(self):
+        devices = make_heterogeneous_devices(5)
+        policy = FedlClosedFormPolicy(kappa=0.2)
+        assert policy.assign(devices, 1e6, 2e6, round_index=3) == policy.assign(
+            devices, 1e6, 2e6
+        )
+
     def test_frequencies_within_ranges(self):
         devices = make_heterogeneous_devices(8, seed=2)
         freqs = FedlClosedFormPolicy(kappa=0.2).assign(devices, 1e6, 2e6)

@@ -166,3 +166,12 @@ class TestPolicy:
         assert policy.assign(devices, PAYLOAD, BANDWIDTH) == (
             determine_frequencies(devices, PAYLOAD, BANDWIDTH, clamp=False)
         )
+
+    def test_round_index_keyword_ignored(self):
+        # Algorithm 3 is stateless across rounds; the trainer still
+        # passes the round index for adaptive policies.
+        devices = make_heterogeneous_devices(4)
+        policy = HelcflDvfsPolicy()
+        assert policy.assign(devices, PAYLOAD, BANDWIDTH, round_index=7) == (
+            policy.assign(devices, PAYLOAD, BANDWIDTH)
+        )

@@ -1,6 +1,5 @@
 """Tests for the DVFS CPU model (paper Eqs. 4-5)."""
 
-import numpy as np
 import pytest
 
 from repro.devices.cpu import DvfsCpu

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.errors import ConfigurationError, TrainingError
-from repro.experiments.runner import build_environment, run_strategy
+from repro.experiments.runner import build_environment
 from repro.experiments.settings import ExperimentSettings
 from repro.extensions.personalization import evaluate_personalization
 from repro.fl.server import FederatedServer

@@ -1,0 +1,245 @@
+"""Tests for the pluggable client-execution backends."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.classic import RandomSelection
+from repro.data.dataset import ArrayDataset
+from repro.errors import ConfigurationError, TrainingError
+from repro.fl.execution import (
+    BACKEND_NAMES,
+    ClientUpdate,
+    LocalUpdateSpec,
+    ProcessPoolBackend,
+    RoundResult,
+    SerialBackend,
+    ThreadPoolBackend,
+    create_backend,
+)
+from repro.fl.server import FederatedServer
+from repro.fl.trainer import FederatedTrainer, TrainerConfig
+from repro.nn.architectures import build_mlp
+from tests.conftest import make_heterogeneous_devices
+
+
+def make_update(device_id=0, weight=10.0, loss=1.5, payload_bits=None):
+    return ClientUpdate(
+        device_id=device_id,
+        params=np.full(3, float(device_id)),
+        weight=weight,
+        loss=loss,
+        payload_bits=payload_bits,
+    )
+
+
+class TestClientUpdate:
+    def test_fields(self):
+        update = make_update(device_id=3, weight=7.0, loss=0.25)
+        assert update.device_id == 3
+        assert update.weight == 7.0
+        assert update.loss == 0.25
+        assert update.payload_bits is None
+
+    def test_frozen(self):
+        update = make_update()
+        with pytest.raises(AttributeError):
+            update.loss = 2.0
+
+
+class TestRoundResult:
+    def _result(self):
+        return RoundResult(
+            round_index=4,
+            updates=(
+                make_update(2, weight=5.0, loss=0.1),
+                make_update(0, weight=9.0, loss=0.7, payload_bits=128.0),
+                make_update(7, weight=1.0, loss=0.4),
+            ),
+        )
+
+    def test_preserves_selection_order(self):
+        result = self._result()
+        assert result.device_ids == (2, 0, 7)
+        assert result.weights == [5.0, 9.0, 1.0]
+        assert [p[0] for p in result.params] == [2.0, 0.0, 7.0]
+
+    def test_losses_and_payloads(self):
+        result = self._result()
+        assert result.losses == {2: 0.1, 0: 0.7, 7: 0.4}
+        assert result.payloads == {0: 128.0}
+
+    def test_drop(self):
+        result = self._result().drop([0, 7])
+        assert result.device_ids == (2,)
+        assert len(result) == 1
+
+    def test_truthiness(self):
+        result = self._result()
+        assert result
+        assert not result.drop([2, 0, 7])
+
+    def test_round_index_validated(self):
+        with pytest.raises(ConfigurationError):
+            RoundResult(round_index=0, updates=())
+
+
+class TestLocalUpdateSpec:
+    def test_per_client_seeds_are_stable_and_distinct(self):
+        spec = LocalUpdateSpec(batch_size=4, seed=11)
+        a1 = spec.make_trainer(0.1, round_index=1, device_id=0)
+        a2 = spec.make_trainer(0.1, round_index=1, device_id=0)
+        b = spec.make_trainer(0.1, round_index=1, device_id=1)
+        c = spec.make_trainer(0.1, round_index=2, device_id=0)
+        draw = lambda t: t._rng.integers(0, 2**31 - 1)
+        first = draw(a1)
+        assert first == draw(a2)
+        assert first != draw(b)
+        assert first != draw(c)
+
+    def test_spec_carries_trainer_knobs(self):
+        spec = LocalUpdateSpec(local_steps=3, batch_size=8)
+        trainer = spec.make_trainer(0.05, round_index=1, device_id=2)
+        assert trainer.learning_rate == 0.05
+        assert trainer.local_steps == 3
+        assert trainer.batch_size == 8
+
+
+class TestRegistry:
+    def test_names(self):
+        assert BACKEND_NAMES == ("serial", "thread", "process")
+
+    @pytest.mark.parametrize(
+        "name,cls",
+        [
+            ("serial", SerialBackend),
+            ("thread", ThreadPoolBackend),
+            ("process", ProcessPoolBackend),
+        ],
+    )
+    def test_create(self, name, cls):
+        backend = create_backend(name, workers=2)
+        try:
+            assert isinstance(backend, cls)
+            assert backend.name == name
+        finally:
+            backend.close()
+
+    def test_unknown_name(self):
+        with pytest.raises(ConfigurationError):
+            create_backend("gpu")
+
+    def test_invalid_workers(self):
+        with pytest.raises(ConfigurationError):
+            ThreadPoolBackend(workers=0)
+        with pytest.raises(ConfigurationError):
+            ProcessPoolBackend(workers=-1)
+
+    def test_run_before_bind_raises(self):
+        with pytest.raises(TrainingError):
+            SerialBackend().run_round(1, np.zeros(3), [], 0.1)
+
+
+def make_setup(num_devices=10, seed=3):
+    devices = make_heterogeneous_devices(num_devices, seed=seed)
+    rng = np.random.default_rng(seed + 50)
+    test = ArrayDataset(rng.normal(size=(40, 4)), rng.integers(0, 3, size=40))
+    model = build_mlp(4, 3, hidden_sizes=(8,), seed=seed)
+    server = FederatedServer(model, test_dataset=test, payload_bits=1e6)
+    return server, devices
+
+
+def run_with_backend(backend, num_devices=10, seed=3, **config_kwargs):
+    server, devices = make_setup(num_devices=num_devices, seed=seed)
+    defaults = dict(rounds=4, bandwidth_hz=2e6, learning_rate=0.2)
+    defaults.update(config_kwargs)
+    with backend:
+        trainer = FederatedTrainer(
+            server=server,
+            devices=devices,
+            selection=RandomSelection(0.4, seed=1),
+            config=TrainerConfig(**defaults),
+            backend=backend,
+        )
+        return trainer.run()
+
+
+class TestBackendParity:
+    """Thread and process pools reproduce the serial run bitwise."""
+
+    @pytest.mark.parametrize("make_backend", [ThreadPoolBackend, ProcessPoolBackend])
+    def test_full_batch_parity(self, make_backend):
+        serial = run_with_backend(SerialBackend())
+        pooled = run_with_backend(make_backend(workers=2))
+        assert len(serial.records) == len(pooled.records)
+        for want, got in zip(serial.records, pooled.records):
+            assert got.selected_ids == want.selected_ids
+            assert got.train_loss == want.train_loss
+            assert got.test_accuracy == want.test_accuracy
+            assert got.test_loss == want.test_loss
+
+    def test_minibatch_parity(self):
+        # Stochastic local updates draw from per-(round, device) seeds,
+        # so they too are backend-independent.
+        kwargs = dict(batch_size=8, local_steps=2, minibatch_seed=5)
+        serial = run_with_backend(SerialBackend(), **kwargs)
+        threaded = run_with_backend(ThreadPoolBackend(workers=3), **kwargs)
+        for want, got in zip(serial.records, threaded.records):
+            assert got.train_loss == want.train_loss
+            assert got.test_accuracy == want.test_accuracy
+
+    def test_thread_backend_rebind_after_close(self):
+        backend = ThreadPoolBackend(workers=2)
+        first = run_with_backend(backend)  # context manager closes it
+        second = run_with_backend(backend)  # trainer re-binds
+        assert [r.test_accuracy for r in first.records] == [
+            r.test_accuracy for r in second.records
+        ]
+
+    def test_closed_pool_raises_without_bind(self):
+        backend = ThreadPoolBackend(workers=1)
+        server, devices = make_setup()
+        backend.bind(server.model, LocalUpdateSpec(), devices)
+        backend.close()
+        with pytest.raises(TrainingError):
+            backend.run_round(1, server.broadcast(), devices[:2], 0.1)
+
+    def test_process_backend_handles_unbound_device(self):
+        # A device that joins after bind ships its dataset with the task.
+        server, devices = make_setup(num_devices=4)
+        backend = ProcessPoolBackend(workers=1)
+        backend.bind(server.model, LocalUpdateSpec(), devices[:2])
+        try:
+            updates = backend.run_round(1, server.broadcast(), devices, 0.1)
+            assert [u.device_id for u in updates] == [d.device_id for d in devices]
+        finally:
+            backend.close()
+
+
+class TestTrainerIntegration:
+    def test_trainer_defaults_to_serial(self):
+        server, devices = make_setup()
+        trainer = FederatedTrainer(
+            server=server,
+            devices=devices,
+            selection=RandomSelection(0.4, seed=1),
+            config=TrainerConfig(rounds=2),
+        )
+        assert isinstance(trainer.backend, SerialBackend)
+        assert len(trainer.run()) == 2
+
+    def test_run_clients_returns_round_result(self):
+        server, devices = make_setup()
+        trainer = FederatedTrainer(
+            server=server,
+            devices=devices,
+            selection=RandomSelection(0.4, seed=1),
+            config=TrainerConfig(rounds=2),
+        )
+        trainer.backend.bind(
+            server.model, trainer.config.local_update_spec(), devices
+        )
+        result = trainer._run_clients(1, devices[:3])
+        assert isinstance(result, RoundResult)
+        assert result.device_ids == tuple(d.device_id for d in devices[:3])
+        assert result.payloads == {}
+        assert all(w > 0 for w in result.weights)

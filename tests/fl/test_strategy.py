@@ -24,6 +24,22 @@ class TestBases:
     def test_reset_is_noop_by_default(self):
         SelectionStrategy().reset()
 
+    def test_observe_losses_is_noop_by_default(self):
+        # The trainer calls the hook unconditionally every round; the
+        # base class must accept and ignore the feedback.
+        SelectionStrategy().observe_losses({0: 1.0, 1: 0.5})
+
+    def test_assign_accepts_round_index_keyword(self):
+        devices = make_heterogeneous_devices(3)
+        policy = MaxFrequencyPolicy()
+        plain = policy.assign(devices, 1e6, 2e6)
+        with_round = policy.assign(devices, 1e6, 2e6, round_index=12)
+        assert plain == with_round
+
+    def test_assign_round_index_is_keyword_only(self):
+        with pytest.raises(TypeError):
+            MaxFrequencyPolicy().assign(make_heterogeneous_devices(2), 1e6, 2e6, 3)
+
 
 class TestFullParticipation:
     def test_selects_everyone(self):

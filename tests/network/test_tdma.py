@@ -1,6 +1,5 @@
 """Tests for the TDMA round-timeline simulator (Fig. 1, Eqs. 10-11)."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st

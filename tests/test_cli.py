@@ -26,6 +26,18 @@ class TestParser:
         assert args.strategy == "helcfl"
         assert args.quick and args.noniid
         assert args.seed == 3 and args.rounds == 5
+        assert args.backend == "serial" and args.workers is None
+
+    def test_backend_flags(self):
+        args = build_parser().parse_args(
+            ["run", "helcfl", "--quick", "--backend", "thread",
+             "--workers", "4"]
+        )
+        assert args.backend == "thread" and args.workers == 4
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "helcfl", "--backend", "gpu"])
 
 
 class TestCommands:
@@ -45,6 +57,18 @@ class TestCommands:
         assert main(["run", "classic", "--quick", "--rounds", "3",
                      "--noniid"]) == 0
         assert "Classic FL" in capsys.readouterr().out
+
+    def test_run_thread_backend_matches_serial(self, capsys):
+        assert main(["run", "helcfl", "--quick", "--rounds", "4"]) == 0
+        serial_out = capsys.readouterr().out
+        assert main(["run", "helcfl", "--quick", "--rounds", "4",
+                     "--backend", "thread", "--workers", "2"]) == 0
+        thread_out = capsys.readouterr().out
+        assert "backend=thread" in thread_out
+        pick = lambda text: [
+            line for line in text.splitlines() if "accuracy" in line
+        ]
+        assert pick(serial_out) == pick(thread_out)
 
     def test_fig2_quick(self, capsys):
         assert main(["fig2", "--quick", "--rounds", "4"]) == 0
