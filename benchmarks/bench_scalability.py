@@ -32,6 +32,9 @@ from repro.experiments.costmodel import run_cost_model_study
 from repro.experiments.runner import build_environment, run_strategy
 from repro.experiments.settings import ExperimentSettings
 from repro.fl.execution import BACKEND_NAMES
+from repro.obs import RunObserver
+
+TIMER_STAGES = ("selection", "frequency_assignment", "run_round", "aggregation")
 
 
 def run_scaling_study():
@@ -128,12 +131,17 @@ def run_backend_study(
     """Time one identical training run per backend; return the results.
 
     Returns:
-        Mapping from backend name to ``(wall_seconds, history)``.
+        Mapping from backend name to ``(wall_seconds, history,
+        metrics)``, where ``metrics`` is the run's
+        :class:`repro.obs.MetricsRegistry` carrying the per-stage
+        timer breakdown (selection / frequency assignment / run_round
+        / aggregation).
     """
     settings = _backend_settings(num_users=num_users, rounds=rounds)
     env = build_environment(settings, iid=True)
     results = {}
     for name in backends:
+        observer = RunObserver()
         start = time.perf_counter()
         history = run_strategy(
             "helcfl",
@@ -142,24 +150,42 @@ def run_backend_study(
             environment=env,
             backend=name,
             workers=workers,
+            observer=observer,
         )
-        results[name] = (time.perf_counter() - start, history)
+        results[name] = (
+            time.perf_counter() - start,
+            history,
+            observer.metrics,
+        )
     return results
+
+
+def _format_stage_breakdown(metrics) -> str:
+    """One-line per-stage timer totals for a backend run."""
+    parts = []
+    for stage in TIMER_STAGES:
+        stat = metrics.timer_stat(stage)
+        parts.append(f"{stage} {stat.total_s:6.3f}s")
+    return "  ".join(parts)
 
 
 def test_backend_scaling(benchmark):
     results = benchmark.pedantic(run_backend_study, rounds=1, iterations=1)
 
-    serial_time, serial_history = results["serial"]
+    serial_time, serial_history, _ = results["serial"]
     serial_records = serial_history.records
     print()
     print("  backend study (Q=100, C=0.1, 3 rounds):")
-    for name, (wall, history) in results.items():
+    for name, (wall, history, metrics) in results.items():
         speedup = serial_time / wall if wall > 0 else float("inf")
         print(
             f"    {name:8s}: {wall:6.2f}s  speedup {speedup:4.2f}x  "
             f"final acc {100 * history.final_accuracy:.2f}%"
         )
+        print(f"      timers: {_format_stage_breakdown(metrics)}")
+        # The run_round timer must have fired once per round — the
+        # observability layer sees every backend the same way.
+        assert metrics.timer_stat("run_round").count == len(history.records)
         # Bitwise parity: identical selection, loss, and accuracy
         # trajectories no matter how execution was scheduled.
         assert len(history.records) == len(serial_records)
@@ -171,7 +197,7 @@ def test_backend_scaling(benchmark):
     # The speedup claim needs real cores; skip it on constrained hosts.
     cores = os.cpu_count() or 1
     if cores >= 4:
-        process_time, _ = results["process"]
+        process_time, _, _ = results["process"]
         assert serial_time / process_time >= 1.5, (
             f"process backend speedup "
             f"{serial_time / process_time:.2f}x < 1.5x on {cores} cores"
@@ -197,15 +223,16 @@ def _main() -> int:
         rounds=args.rounds,
         workers=args.workers,
     )
-    serial_time, serial_history = results["serial"]
+    serial_time, serial_history, _ = results["serial"]
     print(f"cores available: {os.cpu_count()}")
-    for name, (wall, history) in results.items():
+    for name, (wall, history, metrics) in results.items():
         print(
             f"{name:8s}: {wall:6.2f}s  speedup {serial_time / wall:4.2f}x  "
             f"final acc {100 * history.final_accuracy:.2f}%"
         )
+        print(f"  timers: {_format_stage_breakdown(metrics)}")
     if args.backend != "serial":
-        _, other = results[args.backend]
+        _, other, _ = results[args.backend]
         same = all(
             a.test_accuracy == b.test_accuracy
             and a.selected_ids == b.selected_ids

@@ -72,6 +72,21 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         help="worker count for the thread/process backends "
         "(default: CPU count)",
     )
+    parser.add_argument(
+        "--trace",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help="stream per-round trace events (selection, frequencies, "
+        "timeline, battery drops, aggregation, eval, stop reason) as "
+        "JSON lines to PATH; tracing never changes results",
+    )
+    parser.add_argument(
+        "--log-level",
+        choices=("debug", "info", "warning", "error"),
+        default=None,
+        help="enable library logging on stderr at this level",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -124,6 +139,29 @@ def _backend_kwargs(args: argparse.Namespace) -> dict:
     return {"backend": args.backend, "workers": args.workers}
 
 
+def _observer_from(args: argparse.Namespace):
+    """Build the run observer the flags ask for (None when untraced)."""
+    from repro.obs import RunObserver, configure_logging
+
+    if args.log_level:
+        configure_logging(args.log_level.upper())
+    if args.trace:
+        return RunObserver.to_path(args.trace)
+    return None
+
+
+def _finish_trace(observer, args: argparse.Namespace) -> None:
+    """Close the trace sink and report where the events went."""
+    if observer is None:
+        return
+    observer.close()
+    print(f"saved trace to {args.trace} "
+          f"({observer.metrics.counter('events_emitted'):.0f} events)")
+    print("timer breakdown:")
+    for line in observer.metrics.format_timers().splitlines():
+        print(f"  {line}")
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     settings = _settings_from(args)
     label = strategy_labels().get(args.strategy, args.strategy)
@@ -131,10 +169,19 @@ def _cmd_run(args: argparse.Namespace) -> int:
         f"Training {label} ({'non-IID' if args.noniid else 'IID'}) "
         f"[backend={args.backend}] ..."
     )
-    history = run_strategy(
-        args.strategy, settings, iid=not args.noniid, **_backend_kwargs(args)
-    )
+    observer = _observer_from(args)
+    try:
+        history = run_strategy(
+            args.strategy,
+            settings,
+            iid=not args.noniid,
+            observer=observer,
+            **_backend_kwargs(args),
+        )
+    finally:
+        _finish_trace(observer, args)
     print(f"  rounds executed      {len(history)}")
+    print(f"  stop reason          {history.stop_reason}")
     print(f"  best accuracy        {100 * history.best_accuracy:.2f}%")
     print(f"  final accuracy       {100 * history.final_accuracy:.2f}%")
     print(f"  simulated time       {history.total_time / 60:.2f} min")
@@ -153,7 +200,16 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 def _cmd_fig2(args: argparse.Namespace) -> int:
     settings = _settings_from(args)
-    result = run_fig2(settings, iid=not args.noniid, **_backend_kwargs(args))
+    observer = _observer_from(args)
+    try:
+        result = run_fig2(
+            settings,
+            iid=not args.noniid,
+            observer=observer,
+            **_backend_kwargs(args),
+        )
+    finally:
+        _finish_trace(observer, args)
     print(format_fig2_table(result))
     if args.output:
         from repro.experiments.export import save_fig2
@@ -165,7 +221,16 @@ def _cmd_fig2(args: argparse.Namespace) -> int:
 
 def _cmd_table1(args: argparse.Namespace) -> int:
     settings = _settings_from(args)
-    table = run_table1(settings, iid=not args.noniid, **_backend_kwargs(args))
+    observer = _observer_from(args)
+    try:
+        table = run_table1(
+            settings,
+            iid=not args.noniid,
+            observer=observer,
+            **_backend_kwargs(args),
+        )
+    finally:
+        _finish_trace(observer, args)
     print(format_table1(table))
     if args.output:
         from repro.experiments.export import save_table1
@@ -177,7 +242,16 @@ def _cmd_table1(args: argparse.Namespace) -> int:
 
 def _cmd_fig3(args: argparse.Namespace) -> int:
     settings = _settings_from(args)
-    result = run_fig3(settings, iid=not args.noniid, **_backend_kwargs(args))
+    observer = _observer_from(args)
+    try:
+        result = run_fig3(
+            settings,
+            iid=not args.noniid,
+            observer=observer,
+            **_backend_kwargs(args),
+        )
+    finally:
+        _finish_trace(observer, args)
     print(format_fig3_table(result))
     if args.output:
         from repro.experiments.export import save_fig3
@@ -199,6 +273,15 @@ def _cmd_info(args: argparse.Namespace) -> int:
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro.experiments.report import generate_report
 
+    if args.log_level:
+        from repro.obs import configure_logging
+
+        configure_logging(args.log_level.upper())
+    if args.trace:
+        print(
+            "note: --trace is not supported by 'report'; ignoring",
+            file=sys.stderr,
+        )
     settings = _settings_from(args)
     text = generate_report(settings)
     print(text)

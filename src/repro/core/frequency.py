@@ -31,7 +31,7 @@ from __future__ import annotations
 from typing import Dict, Sequence
 
 from repro.devices.device import UserDevice
-from repro.errors import SelectionError
+from repro.errors import ConfigurationError, SelectionError
 from repro.fl.strategy import FrequencyPolicy
 
 __all__ = ["determine_frequencies", "HelcflDvfsPolicy"]
@@ -62,7 +62,16 @@ def determine_frequencies(
 
     Raises:
         SelectionError: for an empty selection.
+        ConfigurationError: for ``quantize=True`` with ``clamp=False``
+            — ladder quantization snaps onto levels inside
+            ``[f_min, f_max]``, which the unclamped idealized recursion
+            may leave, so the combination is incoherent.
     """
+    if quantize and not clamp:
+        raise ConfigurationError(
+            "quantize=True requires clamp=True: DVFS ladders only cover "
+            "[f_min, f_max], which the unclamped recursion may leave"
+        )
     if not selected:
         raise SelectionError("cannot determine frequencies for no devices")
 
@@ -85,7 +94,7 @@ def determine_frequencies(
                 freq = device.cpu.clamp(target)
             else:
                 freq = target
-        if quantize and clamp:
+        if quantize:
             freq = device.cpu.quantize(freq)
         frequencies[device.device_id] = freq
 
@@ -112,6 +121,11 @@ class HelcflDvfsPolicy(FrequencyPolicy):
     """
 
     def __init__(self, clamp: bool = True, quantize: bool = False) -> None:
+        if quantize and not clamp:
+            raise ConfigurationError(
+                "quantize=True requires clamp=True (DVFS ladders only "
+                "cover [f_min, f_max])"
+            )
         self.clamp = bool(clamp)
         self.quantize = bool(quantize)
 

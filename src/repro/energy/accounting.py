@@ -8,10 +8,11 @@ analyses ("which devices pay for training?") and for battery studies.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable
+from typing import Dict, Iterable, Optional
 
 from repro.errors import TrainingError
 from repro.network.tdma import RoundTimeline
+from repro.obs.metrics import MetricsRegistry
 
 __all__ = ["DeviceEnergy", "EnergyLedger"]
 
@@ -46,10 +47,22 @@ class EnergyLedger:
 
     Feed it every round's :class:`~repro.network.tdma.RoundTimeline`
     via :meth:`record_round`.
+
+    Attributes:
+        devices: per-device accumulators, keyed by device id.
+        rounds_recorded: rounds folded in so far.
+        metrics: optional :class:`repro.obs.MetricsRegistry`; when set
+            (the trainer wires its observer's registry in), every
+            recorded round also bumps the ``energy.compute_joules`` /
+            ``energy.upload_joules`` / ``energy.rounds`` counters and
+            the ``energy.devices`` gauge. Purely observational.
     """
 
     devices: Dict[int, DeviceEnergy] = field(default_factory=dict)
     rounds_recorded: int = 0
+    metrics: Optional[MetricsRegistry] = field(
+        default=None, repr=False, compare=False
+    )
 
     def record_round(self, timeline: RoundTimeline) -> None:
         """Accumulate one round's per-user energies."""
@@ -62,6 +75,15 @@ class EnergyLedger:
             device.slack_seconds += entry.slack
             device.rounds += 1
         self.rounds_recorded += 1
+        if self.metrics is not None:
+            self.metrics.inc(
+                "energy.compute_joules", timeline.total_compute_energy
+            )
+            self.metrics.inc(
+                "energy.upload_joules", timeline.total_upload_energy
+            )
+            self.metrics.inc("energy.rounds")
+            self.metrics.set_gauge("energy.devices", float(len(self.devices)))
 
     def record_rounds(self, timelines: Iterable[RoundTimeline]) -> None:
         """Accumulate a sequence of rounds."""

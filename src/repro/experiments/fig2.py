@@ -79,6 +79,7 @@ def run_fig2(
     strategies: Sequence[str] = DEFAULT_FIG2_STRATEGIES,
     backend=None,
     workers: Optional[int] = None,
+    observer=None,
 ) -> Fig2Result:
     """Reproduce one panel of Fig. 2.
 
@@ -90,6 +91,9 @@ def run_fig2(
             pooled backend is created once and shared by every
             strategy's run.
         workers: pool size when ``backend`` is given by name.
+        observer: optional :class:`repro.obs.RunObserver` shared by
+            every strategy's run (the trace interleaves runs; each
+            ends with its own ``run_stop`` event).
 
     Returns:
         The panel's :class:`Fig2Result`.
@@ -105,7 +109,12 @@ def run_fig2(
     try:
         for name in strategies:
             histories[name] = run_strategy(
-                name, settings, iid=iid, environment=environment, backend=backend
+                name,
+                settings,
+                iid=iid,
+                environment=environment,
+                backend=backend,
+                observer=observer,
             )
     finally:
         if owned_backend is not None:

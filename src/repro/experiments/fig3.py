@@ -82,6 +82,7 @@ def run_fig3(
     histories: Optional[Dict[str, TrainingHistory]] = None,
     backend=None,
     workers: Optional[int] = None,
+    observer=None,
 ) -> Fig3Result:
     """Reproduce one panel of Fig. 3.
 
@@ -97,6 +98,8 @@ def run_fig3(
         backend: client-execution backend (instance or name) for fresh
             runs; shared by both runs when given by name.
         workers: pool size when ``backend`` is given by name.
+        observer: optional :class:`repro.obs.RunObserver` shared by
+            both fresh runs.
 
     Returns:
         The panel's :class:`Fig3Result`.
@@ -117,6 +120,7 @@ def run_fig3(
                     iid=iid,
                     environment=environment,
                     backend=backend,
+                    observer=observer,
                 ),
                 "helcfl-nodvfs": run_strategy(
                     "helcfl-nodvfs",
@@ -124,6 +128,7 @@ def run_fig3(
                     iid=iid,
                     environment=environment,
                     backend=backend,
+                    observer=observer,
                 ),
             }
         finally:

@@ -28,6 +28,7 @@ from repro.fl.execution import ExecutionBackend, create_backend
 from repro.fl.history import TrainingHistory
 from repro.fl.server import FederatedServer
 from repro.fl.trainer import FederatedTrainer
+from repro.obs import RunObserver
 from repro.rng import derive_seed
 
 __all__ = ["STRATEGY_NAMES", "Environment", "build_environment", "run_strategy"]
@@ -111,6 +112,7 @@ def run_strategy(
     config_overrides: Optional[Dict] = None,
     backend: Union[ExecutionBackend, str, None] = None,
     workers: Optional[int] = None,
+    observer: Optional[RunObserver] = None,
 ) -> TrainingHistory:
     """Run one named scheme end to end.
 
@@ -134,6 +136,10 @@ def run_strategy(
             ``None`` runs serial. Ignored by the ``sl`` baseline,
             which has its own loop.
         workers: pool size when ``backend`` is given by name.
+        observer: optional :class:`repro.obs.RunObserver` receiving
+            the run's trace events and stage timers (caller owns the
+            sink's lifetime). Ignored by the ``sl`` baseline, whose
+            loop is not instrumented.
 
     Returns:
         The run's :class:`~repro.fl.history.TrainingHistory`, labelled
@@ -183,6 +189,7 @@ def run_strategy(
         config=config,
         label=label,
         backend=backend,
+        observer=observer,
     )
     try:
         return trainer.run()

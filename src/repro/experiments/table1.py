@@ -75,6 +75,7 @@ def run_table1(
     strategies: Sequence[str] = DEFAULT_FIG2_STRATEGIES,
     backend=None,
     workers: Optional[int] = None,
+    observer=None,
 ) -> Table1Result:
     """Reproduce one half of Table I.
 
@@ -91,6 +92,8 @@ def run_table1(
         backend: client-execution backend (instance or name) for fresh
             runs (see :func:`~repro.experiments.fig2.run_fig2`).
         workers: pool size when ``backend`` is given by name.
+        observer: optional :class:`repro.obs.RunObserver` forwarded to
+            the fresh Fig. 2 runs.
 
     Returns:
         The :class:`Table1Result` for this regime.
@@ -99,7 +102,7 @@ def run_table1(
     if fig2 is None:
         fig2 = run_fig2(
             settings, iid=iid, strategies=strategies, backend=backend,
-            workers=workers,
+            workers=workers, observer=observer,
         )
     histories = fig2.histories
     if "helcfl" not in histories:

@@ -211,12 +211,20 @@ class ExecutionBackend:
     :meth:`close` when the backend should release its workers. Backends
     are context managers; ``close`` is idempotent and a closed backend
     can be re-bound.
+
+    Attributes:
+        observer: optional :class:`repro.obs.RunObserver`; when set
+            (the trainer binds its own), :meth:`run_round` records its
+            wall-clock duration under the ``"run_round"`` timer and
+            counts trained clients, making backend overhead
+            measurable. Purely observational — results are unaffected.
     """
 
     name = "base"
 
     def __init__(self) -> None:
         self._spec: Optional[LocalUpdateSpec] = None
+        self.observer = None
 
     # -- lifecycle ------------------------------------------------------
     def bind(
@@ -274,7 +282,15 @@ class ExecutionBackend:
             raise TrainingError(
                 f"{type(self).__name__} must be bound before run_round"
             )
-        return self._run(round_index, global_params, selected, learning_rate)
+        observer = self.observer
+        if observer is None:
+            return self._run(round_index, global_params, selected, learning_rate)
+        with observer.timer("run_round"):
+            updates = self._run(
+                round_index, global_params, selected, learning_rate
+            )
+        observer.metrics.inc("clients_trained", float(len(updates)))
+        return updates
 
     def _run(
         self,

@@ -69,10 +69,17 @@ class TrainingHistory:
     Attributes:
         records: per-round measurements, in round order.
         label: free-form run label (e.g. the strategy name).
+        stop_reason: why the run ended — a
+            :class:`repro.obs.StopReason` value
+            (``"rounds_exhausted"``, ``"deadline"``,
+            ``"target_accuracy"``, or ``"plateau"``); ``None`` for
+            histories produced outside the trainer loop (e.g. the SL
+            baseline) or loaded from pre-stop-reason artifacts.
     """
 
     records: List[RoundRecord] = field(default_factory=list)
     label: str = ""
+    stop_reason: Optional[str] = None
 
     def append(self, record: RoundRecord) -> None:
         """Append the next round's record (indices must increase)."""
@@ -175,6 +182,7 @@ class TrainingHistory:
         """Plain-dict form suitable for ``json.dump``."""
         return {
             "label": self.label,
+            "stop_reason": self.stop_reason,
             "records": [
                 {
                     "round_index": r.round_index,
@@ -203,7 +211,10 @@ class TrainingHistory:
     @classmethod
     def from_dict(cls, payload: dict) -> "TrainingHistory":
         """Rebuild a history from :meth:`to_dict` output."""
-        history = cls(label=payload.get("label", ""))
+        history = cls(
+            label=payload.get("label", ""),
+            stop_reason=payload.get("stop_reason"),
+        )
         for raw in payload.get("records", []):
             history.append(
                 RoundRecord(

@@ -13,6 +13,7 @@ convergence exits, and records everything into a
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, replace
 from typing import Optional, Sequence, Tuple
 
@@ -29,8 +30,21 @@ from repro.fl.history import RoundRecord, TrainingHistory
 from repro.fl.server import FederatedServer
 from repro.fl.strategy import FrequencyPolicy, MaxFrequencyPolicy, SelectionStrategy
 from repro.network.tdma import simulate_tdma_round
+from repro.obs import (
+    AggregationEvent,
+    BatteryDropEvent,
+    EvalEvent,
+    FrequencyAssignmentEvent,
+    RunObserver,
+    RunStopEvent,
+    SelectionEvent,
+    StopReason,
+    TimelineEvent,
+)
 
 __all__ = ["TrainerConfig", "FederatedTrainer"]
+
+_LOGGER = logging.getLogger("repro.fl.trainer")
 
 
 @dataclass
@@ -183,10 +197,20 @@ class FederatedTrainer:
             binds the backend at the start of every :meth:`run` but
             never closes it — the caller owns pooled backends' worker
             lifetimes (use them as context managers).
+        observer: a :class:`repro.obs.RunObserver` receiving the run's
+            typed events (selection, frequency assignment, timeline,
+            battery drops, aggregation, evaluation, run stop) and
+            aggregating stage timers. ``None`` (the default) observes
+            into a private registry with tracing off. Observation is
+            read-only: enabling it leaves the returned history bitwise
+            identical.
 
     Attributes:
         ledger: an :class:`repro.energy.EnergyLedger` accumulating
             per-device energy across the run (reset by :meth:`run`).
+        observer: the bound :class:`repro.obs.RunObserver`; its
+            ``metrics`` carry the run's timers and counters even when
+            tracing is off.
     """
 
     def __init__(
@@ -200,6 +224,7 @@ class FederatedTrainer:
         compression=None,
         channel_models=None,
         backend: Optional[ExecutionBackend] = None,
+        observer: Optional[RunObserver] = None,
     ) -> None:
         if not devices:
             raise TrainingError("cannot train with an empty device population")
@@ -212,9 +237,10 @@ class FederatedTrainer:
         self.compression = compression
         self.channel_models = dict(channel_models or {})
         self.backend = backend or SerialBackend()
+        self.observer = observer or RunObserver()
         from repro.energy.accounting import EnergyLedger
 
-        self.ledger = EnergyLedger()
+        self.ledger = EnergyLedger(metrics=self.observer.metrics)
         # Kept for introspection (e.g. the LR schedule is observable as
         # ``trainer.local_trainer.learning_rate``); the actual per-round
         # training happens inside the execution backend.
@@ -280,6 +306,7 @@ class FederatedTrainer:
     def run(self) -> TrainingHistory:
         """Execute the full training loop and return its history."""
         config = self.config
+        observer = self.observer
         history = TrainingHistory(label=self.label)
         self.selection.reset()
         if self.compression is not None:
@@ -298,12 +325,22 @@ class FederatedTrainer:
 
         from repro.energy.accounting import EnergyLedger
 
-        self.ledger = EnergyLedger()
+        self.ledger = EnergyLedger(metrics=observer.metrics)
         device_index = {d.device_id: d for d in self.devices}
+        self.backend.observer = observer
         self.backend.bind(
             self.server.model, config.local_update_spec(), self.devices
         )
+        _LOGGER.info(
+            "run %r starting: %d rounds max, %d devices, backend=%s",
+            self.label,
+            config.rounds,
+            len(self.devices),
+            self.backend.name,
+        )
 
+        stop_reason = StopReason.ROUNDS_EXHAUSTED
+        round_index = 0
         for round_index in range(1, config.rounds + 1):
             # Per-round fading: refresh mapped devices' channel gains
             # before selection so the FLCC plans with current info.
@@ -312,25 +349,34 @@ class FederatedTrainer:
                 if device is not None:
                     device.radio.channel_gain = float(model.sample_gain())
 
-            selected = self.selection.select(round_index, self.devices)
+            with observer.timer("selection"):
+                selected = self.selection.select(round_index, self.devices)
             if not selected:
                 raise TrainingError(
                     f"selection produced no users in round {round_index}"
                 )
+            selected_ids = tuple(d.device_id for d in selected)
+            observer.emit(
+                SelectionEvent(
+                    round_index=round_index, selected_ids=selected_ids
+                )
+            )
             self.local_trainer.learning_rate = config.learning_rate_at(
                 round_index
             )
-            frequencies = self.frequency_policy.assign(
-                selected,
-                self.server.payload_bits,
-                config.bandwidth_hz,
-                round_index=round_index,
+            with observer.timer("frequency_assignment"):
+                frequencies = self.frequency_policy.assign(
+                    selected,
+                    self.server.payload_bits,
+                    config.bandwidth_hz,
+                    round_index=round_index,
+                )
+            observer.emit(
+                FrequencyAssignmentEvent(
+                    round_index=round_index, frequencies=dict(frequencies)
+                )
             )
             result = self._run_clients(round_index, selected)
-            # Feedback hook for statistical-utility strategies (e.g.
-            # the Oort extension): report each client's observed loss.
-            self.selection.observe_losses(result.losses)
-            losses = result.losses
             timeline = simulate_tdma_round(
                 selected,
                 self.server.payload_bits,
@@ -339,17 +385,53 @@ class FederatedTrainer:
                 payloads=result.payloads or None,
             )
             result, dropped = self._apply_battery(selected, timeline, result)
+            if dropped:
+                observer.emit(
+                    BatteryDropEvent(
+                        round_index=round_index, dropped_ids=dropped
+                    )
+                )
+                observer.metrics.inc("clients_dropped", float(len(dropped)))
+            # Feedback hook for statistical-utility strategies (e.g.
+            # the Oort extension): report the observed losses of the
+            # clients that survived battery enforcement — updates the
+            # server never integrated must not shape future selection.
+            self.selection.observe_losses(result.losses)
             self.ledger.record_round(timeline)
             if result:
-                self.server.aggregate(result.params, result.weights)
+                with observer.timer("aggregation"):
+                    self.server.aggregate(result.params, result.weights)
+            observer.emit(
+                AggregationEvent(
+                    round_index=round_index,
+                    num_updates=len(result),
+                    total_weight=float(sum(result.weights)),
+                )
+            )
 
             cumulative_time += timeline.round_delay
             cumulative_energy += timeline.total_energy
+            observer.emit(
+                TimelineEvent(
+                    round_index=round_index,
+                    round_delay=timeline.round_delay,
+                    round_energy=timeline.total_energy,
+                    compute_energy=timeline.total_compute_energy,
+                    upload_energy=timeline.total_upload_energy,
+                    slack=timeline.total_slack,
+                    cumulative_time=cumulative_time,
+                    cumulative_energy=cumulative_energy,
+                )
+            )
+            observer.metrics.inc("rounds")
+            observer.metrics.inc("clients_selected", float(len(selected)))
 
-            total_weight = sum(d.num_samples for d in selected)
+            # Train loss is weighted over the updates the server
+            # actually integrated: battery-dropped clients trained,
+            # but their contribution never reached the global model.
+            total_weight = sum(u.weight for u in result)
             train_loss = (
-                sum(losses[d.device_id] * d.num_samples for d in selected)
-                / total_weight
+                sum(u.loss * u.weight for u in result) / total_weight
                 if total_weight
                 else 0.0
             )
@@ -361,6 +443,14 @@ class FederatedTrainer:
             test_loss = test_accuracy = None
             if should_eval and self.server.test_dataset is not None:
                 test_loss, test_accuracy = self.server.evaluate()
+                observer.emit(
+                    EvalEvent(
+                        round_index=round_index,
+                        test_loss=test_loss,
+                        test_accuracy=test_accuracy,
+                    )
+                )
+                observer.metrics.inc("evaluations")
                 if config.keep_best_model and (
                     self.best_model_params is None
                     or test_accuracy > self.best_model_accuracy
@@ -371,7 +461,7 @@ class FederatedTrainer:
             history.append(
                 RoundRecord(
                     round_index=round_index,
-                    selected_ids=tuple(d.device_id for d in selected),
+                    selected_ids=selected_ids,
                     frequencies=dict(frequencies),
                     round_delay=timeline.round_delay,
                     round_energy=timeline.total_energy,
@@ -386,19 +476,51 @@ class FederatedTrainer:
                     dropped_ids=dropped,
                 )
             )
+            _LOGGER.debug(
+                "round %d: %d selected, %d dropped, delay %.4fs, "
+                "energy %.4fJ, train_loss %.5f",
+                round_index,
+                len(selected),
+                len(dropped),
+                timeline.round_delay,
+                timeline.total_energy,
+                train_loss,
+            )
 
             if config.deadline_s is not None and cumulative_time >= config.deadline_s:
+                stop_reason = StopReason.DEADLINE
                 break
             if (
                 config.target_accuracy is not None
                 and test_accuracy is not None
                 and test_accuracy >= config.target_accuracy
             ):
+                stop_reason = StopReason.TARGET_ACCURACY
                 break
             if (
                 plateau is not None
                 and test_loss is not None
                 and plateau.update(test_loss)
             ):
+                stop_reason = StopReason.PLATEAU
                 break
+
+        history.stop_reason = stop_reason.value
+        observer.emit(
+            RunStopEvent(
+                round_index=round_index,
+                reason=stop_reason.value,
+                cumulative_time=cumulative_time,
+                cumulative_energy=cumulative_energy,
+                label=self.label,
+            )
+        )
+        _LOGGER.info(
+            "run %r stopped after %d rounds: %s (%.2fs simulated, %.2fJ)",
+            self.label,
+            round_index,
+            stop_reason.value,
+            cumulative_time,
+            cumulative_energy,
+        )
         return history

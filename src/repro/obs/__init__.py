@@ -1,0 +1,74 @@
+"""Structured observability for federated training runs.
+
+The training loop is instrumented against this package: every
+observable step emits a typed event (:mod:`repro.obs.events`) through
+a pluggable sink (:mod:`repro.obs.sinks`) while wall-clock timers and
+counters aggregate into an in-memory registry
+(:mod:`repro.obs.metrics`). A :class:`RunObserver` bundles the two
+into the single optional handle the trainer, the execution backends,
+and the energy ledger accept.
+
+Tracing defaults off (events are discarded) and is strictly
+read-only: a traced run's :class:`~repro.fl.history.TrainingHistory`
+is bitwise identical to the untraced run's.
+
+Typical use::
+
+    from repro.obs import JsonlTraceSink, RunObserver
+
+    with RunObserver(sink=JsonlTraceSink("run.jsonl")) as observer:
+        trainer = FederatedTrainer(..., observer=observer)
+        history = trainer.run()
+    print(observer.metrics.format_timers())
+
+From the CLI the same is ``python -m repro run helcfl --trace
+run.jsonl``; validate a trace with ``python -m repro.obs.validate
+run.jsonl``.
+"""
+
+from repro.obs.events import (
+    EVENT_TYPES,
+    AggregationEvent,
+    BatteryDropEvent,
+    EvalEvent,
+    Event,
+    FrequencyAssignmentEvent,
+    RunStopEvent,
+    SelectionEvent,
+    StopReason,
+    TimelineEvent,
+)
+from repro.obs.metrics import MetricsRegistry, TimerStat
+from repro.obs.observer import RunObserver, configure_logging
+from repro.obs.schema import (
+    EVENT_SCHEMAS,
+    validate_event,
+    validate_trace,
+    validate_trace_lines,
+)
+from repro.obs.sinks import CollectingSink, EventSink, JsonlTraceSink, NullSink
+
+__all__ = [
+    "Event",
+    "SelectionEvent",
+    "FrequencyAssignmentEvent",
+    "TimelineEvent",
+    "BatteryDropEvent",
+    "AggregationEvent",
+    "EvalEvent",
+    "RunStopEvent",
+    "StopReason",
+    "EVENT_TYPES",
+    "MetricsRegistry",
+    "TimerStat",
+    "RunObserver",
+    "configure_logging",
+    "EVENT_SCHEMAS",
+    "validate_event",
+    "validate_trace",
+    "validate_trace_lines",
+    "EventSink",
+    "NullSink",
+    "CollectingSink",
+    "JsonlTraceSink",
+]

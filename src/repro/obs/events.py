@@ -1,0 +1,228 @@
+"""Typed per-round events of a federated training run.
+
+Every observable step of Algorithm 1 emits one event: the selection of
+``Gamma_j``, the DVFS frequency assignment, the simulated TDMA
+timeline, battery-driven update drops, the FedAvg aggregation, each
+global-model evaluation, and finally the run's stop (with the reason —
+deadline, target accuracy, plateau, or round-budget exhaustion).
+
+Events are frozen dataclasses with a stable string ``kind`` and a
+:meth:`Event.to_dict` JSON-friendly form; :mod:`repro.obs.schema`
+validates the serialized shape and :mod:`repro.obs.sinks` carries the
+stream to its destination. Events describe the run — they never feed
+back into it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from enum import Enum
+from typing import ClassVar, Dict, Tuple
+
+__all__ = [
+    "StopReason",
+    "Event",
+    "SelectionEvent",
+    "FrequencyAssignmentEvent",
+    "TimelineEvent",
+    "BatteryDropEvent",
+    "AggregationEvent",
+    "EvalEvent",
+    "RunStopEvent",
+    "EVENT_TYPES",
+]
+
+
+class StopReason(str, Enum):
+    """Why a training run ended.
+
+    Attributes:
+        ROUNDS_EXHAUSTED: the configured round budget ``J`` ran out.
+        DEADLINE: the simulated clock passed ``deadline_s``
+            (constraint 14).
+        TARGET_ACCURACY: test accuracy reached ``target_accuracy``.
+        PLATEAU: the test loss stopped improving for
+            ``convergence_patience`` evaluations (Algorithm 1's
+            convergence check).
+    """
+
+    ROUNDS_EXHAUSTED = "rounds_exhausted"
+    DEADLINE = "deadline"
+    TARGET_ACCURACY = "target_accuracy"
+    PLATEAU = "plateau"
+
+
+def _plain(value):
+    """JSON-friendly copy: tuples become lists, dict keys become str."""
+    if isinstance(value, tuple):
+        return [_plain(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _plain(v) for k, v in value.items()}
+    return value
+
+
+@dataclass(frozen=True)
+class Event:
+    """Base class of all trace events.
+
+    Subclasses set ``kind`` (the stable wire name appearing as the
+    ``"event"`` key of the serialized form) and declare their payload
+    fields.
+    """
+
+    kind: ClassVar[str] = "event"
+
+    def to_dict(self) -> dict:
+        """JSON-friendly dict form: ``{"event": kind, **fields}``."""
+        payload: dict = {"event": self.kind}
+        for spec in fields(self):
+            payload[spec.name] = _plain(getattr(self, spec.name))
+        return payload
+
+
+@dataclass(frozen=True)
+class SelectionEvent(Event):
+    """The user set ``Gamma_j`` chosen for one round.
+
+    Attributes:
+        round_index: 1-based FL round index ``j``.
+        selected_ids: device ids in selection order.
+    """
+
+    kind = "selection"
+
+    round_index: int
+    selected_ids: Tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class FrequencyAssignmentEvent(Event):
+    """The CPU operating frequencies assigned to the selected users.
+
+    Attributes:
+        round_index: 1-based FL round index ``j``.
+        frequencies: mapping from device id to assigned frequency (Hz).
+    """
+
+    kind = "frequency_assignment"
+
+    round_index: int
+    frequencies: Dict[int, float]
+
+
+@dataclass(frozen=True)
+class TimelineEvent(Event):
+    """The simulated TDMA cost of one round (Eqs. 10–11).
+
+    Attributes:
+        round_index: 1-based FL round index ``j``.
+        round_delay: Eq. (10) for this round, seconds.
+        round_energy: Eq. (11) for this round, joules.
+        compute_energy: compute share of ``round_energy``.
+        upload_energy: upload share of ``round_energy``.
+        slack: total idle wait across selected users, seconds.
+        cumulative_time: simulated clock after this round, seconds.
+        cumulative_energy: total energy after this round, joules.
+    """
+
+    kind = "timeline"
+
+    round_index: int
+    round_delay: float
+    round_energy: float
+    compute_energy: float
+    upload_energy: float
+    slack: float
+    cumulative_time: float
+    cumulative_energy: float
+
+
+@dataclass(frozen=True)
+class BatteryDropEvent(Event):
+    """Devices whose battery could not pay the round (update dropped).
+
+    Emitted only on rounds where battery enforcement actually dropped
+    at least one update.
+
+    Attributes:
+        round_index: 1-based FL round index ``j``.
+        dropped_ids: ids of the devices that shut down, in selection
+            order.
+    """
+
+    kind = "battery_drop"
+
+    round_index: int
+    dropped_ids: Tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class AggregationEvent(Event):
+    """The FedAvg integration step of one round (Eq. 18).
+
+    Attributes:
+        round_index: 1-based FL round index ``j``.
+        num_updates: client updates the server integrated (0 when
+            every update was dropped).
+        total_weight: summed FedAvg weights ``sum |D_q|`` of the
+            integrated updates.
+    """
+
+    kind = "aggregation"
+
+    round_index: int
+    num_updates: int
+    total_weight: float
+
+
+@dataclass(frozen=True)
+class EvalEvent(Event):
+    """One global-model evaluation on the server's test set.
+
+    Attributes:
+        round_index: 1-based FL round index ``j``.
+        test_loss: global-model test loss.
+        test_accuracy: global-model test accuracy in ``[0, 1]``.
+    """
+
+    kind = "eval"
+
+    round_index: int
+    test_loss: float
+    test_accuracy: float
+
+
+@dataclass(frozen=True)
+class RunStopEvent(Event):
+    """The end of a training run, with the reason it stopped.
+
+    Attributes:
+        round_index: the last round that executed.
+        reason: a :class:`StopReason` value.
+        cumulative_time: final simulated clock, seconds.
+        cumulative_energy: final total energy, joules.
+        label: the run's history label (e.g. ``"HELCFL"``).
+    """
+
+    kind = "run_stop"
+
+    round_index: int
+    reason: str
+    cumulative_time: float
+    cumulative_energy: float
+    label: str = ""
+
+
+EVENT_TYPES: Dict[str, type] = {
+    cls.kind: cls
+    for cls in (
+        SelectionEvent,
+        FrequencyAssignmentEvent,
+        TimelineEvent,
+        BatteryDropEvent,
+        AggregationEvent,
+        EvalEvent,
+        RunStopEvent,
+    )
+}
+"""Registry mapping each event ``kind`` to its dataclass."""

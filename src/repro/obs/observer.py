@@ -1,0 +1,103 @@
+"""The run observer: one handle bundling trace sink + metrics.
+
+:class:`RunObserver` is what the trainer, the execution backends, and
+the energy ledger are instrumented against. It pairs an
+:class:`~repro.obs.sinks.EventSink` (the qualitative event trace) with
+a :class:`~repro.obs.metrics.MetricsRegistry` (the quantitative
+counters/gauges/timers), so call sites need a single optional
+argument.
+
+The default observer (no sink given) discards every event but still
+aggregates metrics — the cost is a few dict updates per round, far
+below the training work, and it keeps the instrumentation
+branch-free. Observation is strictly read-only with respect to the
+run: enabling tracing leaves the produced
+:class:`~repro.fl.history.TrainingHistory` bitwise identical.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import Optional, Union
+
+from repro.obs.events import Event
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.sinks import EventSink, JsonlTraceSink, NullSink
+
+__all__ = ["RunObserver", "configure_logging"]
+
+
+class RunObserver:
+    """Pluggable observation point for one (or more) training runs.
+
+    Args:
+        sink: event destination; ``None`` discards events (tracing
+            off, the default).
+        metrics: registry to aggregate into; ``None`` creates a fresh
+            one (exposed as ``observer.metrics``).
+    """
+
+    def __init__(
+        self,
+        sink: Optional[EventSink] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.sink = sink if sink is not None else NullSink()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+
+    @classmethod
+    def to_path(cls, path: str) -> "RunObserver":
+        """An observer streaming a JSONL trace to ``path``."""
+        return cls(sink=JsonlTraceSink(path))
+
+    @property
+    def tracing(self) -> bool:
+        """Whether events actually go anywhere (sink is not null)."""
+        return not isinstance(self.sink, NullSink)
+
+    def emit(self, event: Event) -> None:
+        """Forward one event to the sink and count it."""
+        self.sink.emit(event)
+        self.metrics.inc("events_emitted")
+
+    def timer(self, name: str):
+        """Context manager timing its body into ``metrics``."""
+        return self.metrics.timer(name)
+
+    def close(self) -> None:
+        """Close the sink (idempotent)."""
+        self.sink.close()
+
+    def __enter__(self) -> "RunObserver":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def configure_logging(
+    level: Union[int, str] = "INFO", stream=None
+) -> logging.Logger:
+    """Configure the library's ``repro`` logger and return it.
+
+    Attaches a single stream handler (stderr by default) the first
+    time it is called; later calls only adjust the level, so the CLI
+    and tests can call it repeatedly without duplicating output.
+
+    Args:
+        level: a :mod:`logging` level name (``"DEBUG"``, ``"INFO"``,
+            ...) or numeric level.
+        stream: destination stream; ``None`` uses ``sys.stderr``.
+    """
+    logger = logging.getLogger("repro")
+    if isinstance(level, str):
+        level = logging.getLevelName(level.upper())
+    logger.setLevel(level)
+    if not logger.handlers:
+        handler = logging.StreamHandler(stream or sys.stderr)
+        handler.setFormatter(
+            logging.Formatter("%(asctime)s %(name)s %(levelname)s %(message)s")
+        )
+        logger.addHandler(handler)
+    return logger

@@ -1,0 +1,156 @@
+"""Trace-event schema: validate serialized events line by line.
+
+The JSONL trace format is a contract: every line is one JSON object
+with an ``"event"`` discriminator naming a registered
+:mod:`repro.obs.events` type, carrying exactly that type's fields with
+the right JSON shapes. :func:`validate_event` checks a parsed object;
+:func:`validate_trace` checks a whole file (CI runs it over a traced
+smoke run via ``python -m repro.obs.validate``).
+
+Validation is strict in both directions — a missing field *and* an
+unknown extra field both fail — so schema drift between the emitters
+and this module cannot go unnoticed.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Callable, Dict, Iterable
+
+from repro.errors import SerializationError
+from repro.obs.events import EVENT_TYPES, StopReason
+
+__all__ = ["EVENT_SCHEMAS", "validate_event", "validate_trace_lines", "validate_trace"]
+
+
+def _is_int(value) -> bool:
+    return isinstance(value, int) and not isinstance(value, bool)
+
+
+def _is_num(value) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def _is_str(value) -> bool:
+    return isinstance(value, str)
+
+
+def _is_id_list(value) -> bool:
+    return isinstance(value, list) and all(_is_int(v) for v in value)
+
+
+def _is_frequency_map(value) -> bool:
+    return isinstance(value, dict) and all(
+        _is_str(key) and _is_num(freq) for key, freq in value.items()
+    )
+
+
+def _is_stop_reason(value) -> bool:
+    return _is_str(value) and value in {reason.value for reason in StopReason}
+
+
+EVENT_SCHEMAS: Dict[str, Dict[str, Callable[[object], bool]]] = {
+    "selection": {"round_index": _is_int, "selected_ids": _is_id_list},
+    "frequency_assignment": {
+        "round_index": _is_int,
+        "frequencies": _is_frequency_map,
+    },
+    "timeline": {
+        "round_index": _is_int,
+        "round_delay": _is_num,
+        "round_energy": _is_num,
+        "compute_energy": _is_num,
+        "upload_energy": _is_num,
+        "slack": _is_num,
+        "cumulative_time": _is_num,
+        "cumulative_energy": _is_num,
+    },
+    "battery_drop": {"round_index": _is_int, "dropped_ids": _is_id_list},
+    "aggregation": {
+        "round_index": _is_int,
+        "num_updates": _is_int,
+        "total_weight": _is_num,
+    },
+    "eval": {
+        "round_index": _is_int,
+        "test_loss": _is_num,
+        "test_accuracy": _is_num,
+    },
+    "run_stop": {
+        "round_index": _is_int,
+        "reason": _is_stop_reason,
+        "cumulative_time": _is_num,
+        "cumulative_energy": _is_num,
+        "label": _is_str,
+    },
+}
+"""Per-``kind`` required fields and their JSON shape checks."""
+
+# The schema table and the event registry must name the same kinds.
+assert set(EVENT_SCHEMAS) == set(EVENT_TYPES)
+
+
+def validate_event(payload: dict) -> str:
+    """Validate one parsed trace object; return its event kind.
+
+    Args:
+        payload: a JSON-decoded trace line.
+
+    Raises:
+        SerializationError: when the object is not a dict, names an
+            unknown event, misses a required field, carries an
+            unexpected field, or a field has the wrong shape.
+    """
+    if not isinstance(payload, dict):
+        raise SerializationError(
+            f"trace event must be a JSON object, got {type(payload).__name__}"
+        )
+    kind = payload.get("event")
+    if kind not in EVENT_SCHEMAS:
+        raise SerializationError(f"unknown trace event kind {kind!r}")
+    schema = EVENT_SCHEMAS[kind]
+    for name, check in schema.items():
+        if name not in payload:
+            raise SerializationError(f"{kind} event is missing field {name!r}")
+        if not check(payload[name]):
+            raise SerializationError(
+                f"{kind} event field {name!r} has invalid value "
+                f"{payload[name]!r}"
+            )
+    extra = set(payload) - set(schema) - {"event"}
+    if extra:
+        raise SerializationError(
+            f"{kind} event carries unexpected fields {sorted(extra)}"
+        )
+    return kind
+
+
+def validate_trace_lines(lines: Iterable[str]) -> int:
+    """Validate an iterable of JSONL lines; return the event count.
+
+    Blank lines are permitted (and not counted); anything else must
+    parse as JSON and pass :func:`validate_event`.
+    """
+    count = 0
+    for line_number, line in enumerate(lines, start=1):
+        text = line.strip()
+        if not text:
+            continue
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise SerializationError(
+                f"trace line {line_number} is not valid JSON: {exc}"
+            ) from exc
+        try:
+            validate_event(payload)
+        except SerializationError as exc:
+            raise SerializationError(f"trace line {line_number}: {exc}") from exc
+        count += 1
+    return count
+
+
+def validate_trace(path: str) -> int:
+    """Validate a JSONL trace file; return the number of events."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return validate_trace_lines(handle)

@@ -1,0 +1,107 @@
+"""Event sinks: where the trace stream goes.
+
+An :class:`EventSink` receives every :class:`~repro.obs.events.Event`
+a run emits, in order. Three implementations cover the standard needs:
+
+* :class:`NullSink` — tracing off (the default); every emit is a no-op;
+* :class:`CollectingSink` — keeps events in memory (tests, notebooks);
+* :class:`JsonlTraceSink` — streams one JSON object per event to a
+  file, flushed per event so a crashed run still leaves a usable
+  trace (validate it with ``python -m repro.obs.validate``).
+
+Sinks only observe: they must never mutate events or feed anything
+back into the training loop.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import List, Union
+
+from repro.errors import SerializationError
+from repro.obs.events import Event
+
+__all__ = ["EventSink", "NullSink", "CollectingSink", "JsonlTraceSink"]
+
+
+class EventSink:
+    """Protocol for trace-event consumers.
+
+    Subclasses implement :meth:`emit`; :meth:`close` is optional and
+    must be idempotent.
+    """
+
+    def emit(self, event: Event) -> None:
+        """Consume one event (called in emission order)."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release any resources (idempotent; no-op by default)."""
+
+    def __enter__(self) -> "EventSink":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class NullSink(EventSink):
+    """Discard every event — the tracing-off default."""
+
+    def emit(self, event: Event) -> None:
+        """Drop the event."""
+
+
+class CollectingSink(EventSink):
+    """Accumulate events in an in-memory list (``sink.events``)."""
+
+    def __init__(self) -> None:
+        self.events: List[Event] = []
+
+    def emit(self, event: Event) -> None:
+        """Append the event to :attr:`events`."""
+        self.events.append(event)
+
+    def of_kind(self, kind: str) -> List[Event]:
+        """Collected events whose ``kind`` matches."""
+        return [e for e in self.events if e.kind == kind]
+
+
+class JsonlTraceSink(EventSink):
+    """Stream events as JSON Lines: one JSON object per event.
+
+    Args:
+        target: a path to open for writing, or an already-open text
+            handle (e.g. ``sys.stdout``). The sink owns — and
+            :meth:`close` closes — only handles it opened itself.
+    """
+
+    def __init__(self, target: Union[str, "object"]) -> None:
+        if isinstance(target, (str, bytes)) or hasattr(target, "__fspath__"):
+            self._handle = open(target, "w", encoding="utf-8")
+            self._owns_handle = True
+        elif hasattr(target, "write"):
+            self._handle = target
+            self._owns_handle = False
+        else:
+            raise SerializationError(
+                f"JsonlTraceSink target must be a path or a writable "
+                f"text handle, got {type(target).__name__}"
+            )
+        self.events_written = 0
+
+    def emit(self, event: Event) -> None:
+        """Serialize and write one event, then flush."""
+        if self._handle is None:
+            raise SerializationError(
+                "JsonlTraceSink is closed; cannot emit further events"
+            )
+        self._handle.write(json.dumps(event.to_dict()) + "\n")
+        self._handle.flush()
+        self.events_written += 1
+
+    def close(self) -> None:
+        """Close the underlying handle if this sink opened it."""
+        if self._handle is not None and self._owns_handle:
+            self._handle.close()
+        self._handle = None

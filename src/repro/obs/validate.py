@@ -1,0 +1,42 @@
+"""Command-line trace validator: ``python -m repro.obs.validate``.
+
+Checks every line of one or more JSONL trace files against the event
+schema (:mod:`repro.obs.schema`) and reports the event count per
+file. Exits non-zero on the first malformed line — CI runs this over
+a traced smoke run to keep the trace format honest.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.errors import SerializationError
+from repro.obs.schema import validate_trace
+
+__all__ = ["main"]
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Validate trace files given on the command line; return exit code."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.validate",
+        description="Validate repro JSONL trace files against the "
+        "event schema.",
+    )
+    parser.add_argument("paths", nargs="+", help="trace files to validate")
+    args = parser.parse_args(argv)
+
+    for path in args.paths:
+        try:
+            count = validate_trace(path)
+        except (OSError, SerializationError) as exc:
+            print(f"{path}: INVALID — {exc}", file=sys.stderr)
+            return 1
+        print(f"{path}: OK ({count} events)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

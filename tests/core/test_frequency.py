@@ -5,7 +5,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.frequency import HelcflDvfsPolicy, determine_frequencies
-from repro.errors import SelectionError
+from repro.errors import ConfigurationError, SelectionError
 from repro.network.tdma import simulate_tdma_round
 from tests.conftest import make_device, make_heterogeneous_devices
 
@@ -108,6 +108,19 @@ class TestAlgorithm3Mechanics:
     def test_empty_selection_raises(self):
         with pytest.raises(SelectionError):
             determine_frequencies([], PAYLOAD, BANDWIDTH)
+
+    def test_quantize_without_clamp_rejected(self):
+        # Previously quantize=True was silently ignored when
+        # clamp=False; the incoherent combination now fails loudly.
+        devices = make_heterogeneous_devices(3, seed=0)
+        with pytest.raises(ConfigurationError):
+            determine_frequencies(
+                devices, PAYLOAD, BANDWIDTH, clamp=False, quantize=True
+            )
+
+    def test_policy_rejects_quantize_without_clamp(self):
+        with pytest.raises(ConfigurationError):
+            HelcflDvfsPolicy(clamp=False, quantize=True)
 
 
 class TestEnergyAndDelayGuarantees:

@@ -121,3 +121,17 @@ class TestSerialization:
         history = sample_history()
         restored = TrainingHistory.from_dict(history.to_dict())
         assert restored.records[0].frequencies == {0: 1e9, 1: 1e9}
+
+    def test_stop_reason_roundtrip(self):
+        history = sample_history()
+        history.stop_reason = "deadline"
+        restored = TrainingHistory.from_json(history.to_json())
+        assert restored.stop_reason == "deadline"
+
+    def test_stop_reason_defaults_to_none(self):
+        assert TrainingHistory(label="x").stop_reason is None
+        payload = sample_history().to_dict()
+        assert payload["stop_reason"] is None
+        # Legacy payloads without the key still deserialize.
+        del payload["stop_reason"]
+        assert TrainingHistory.from_dict(payload).stop_reason is None

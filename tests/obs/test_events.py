@@ -1,0 +1,130 @@
+"""Unit tests for trace events and their wire schema."""
+
+import json
+
+import pytest
+
+from repro.errors import SerializationError
+from repro.obs import (
+    EVENT_SCHEMAS,
+    EVENT_TYPES,
+    AggregationEvent,
+    BatteryDropEvent,
+    EvalEvent,
+    FrequencyAssignmentEvent,
+    RunStopEvent,
+    SelectionEvent,
+    StopReason,
+    TimelineEvent,
+    validate_event,
+    validate_trace_lines,
+)
+
+SAMPLE_EVENTS = [
+    SelectionEvent(round_index=1, selected_ids=(3, 1, 2)),
+    FrequencyAssignmentEvent(round_index=1, frequencies={3: 1.5e9, 1: 0.7e9}),
+    TimelineEvent(
+        round_index=1,
+        round_delay=2.0,
+        round_energy=3.0,
+        compute_energy=2.5,
+        upload_energy=0.5,
+        slack=0.1,
+        cumulative_time=2.0,
+        cumulative_energy=3.0,
+    ),
+    BatteryDropEvent(round_index=2, dropped_ids=(1,)),
+    AggregationEvent(round_index=2, num_updates=2, total_weight=80.0),
+    EvalEvent(round_index=2, test_loss=1.1, test_accuracy=0.4),
+    RunStopEvent(
+        round_index=2,
+        reason=StopReason.DEADLINE.value,
+        cumulative_time=4.0,
+        cumulative_energy=6.0,
+        label="HELCFL",
+    ),
+]
+
+
+class TestEventShape:
+    @pytest.mark.parametrize("event", SAMPLE_EVENTS, ids=lambda e: e.kind)
+    def test_to_dict_json_round_trip_validates(self, event):
+        payload = json.loads(json.dumps(event.to_dict()))
+        assert validate_event(payload) == event.kind
+
+    def test_registry_covers_every_kind(self):
+        assert set(EVENT_TYPES) == set(EVENT_SCHEMAS)
+        assert {e.kind for e in SAMPLE_EVENTS} == set(EVENT_TYPES)
+
+    def test_tuples_serialize_as_lists(self):
+        payload = SelectionEvent(round_index=1, selected_ids=(9, 4)).to_dict()
+        assert payload["selected_ids"] == [9, 4]
+
+    def test_frequency_keys_serialize_as_strings(self):
+        payload = FrequencyAssignmentEvent(
+            round_index=1, frequencies={7: 1e9}
+        ).to_dict()
+        assert payload["frequencies"] == {"7": 1e9}
+
+    def test_stop_reasons_are_stable_strings(self):
+        assert {r.value for r in StopReason} == {
+            "rounds_exhausted",
+            "deadline",
+            "target_accuracy",
+            "plateau",
+        }
+
+
+class TestValidation:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(SerializationError):
+            validate_event({"event": "mystery", "round_index": 1})
+
+    def test_non_object_rejected(self):
+        with pytest.raises(SerializationError):
+            validate_event([1, 2, 3])
+
+    def test_missing_field_rejected(self):
+        with pytest.raises(SerializationError):
+            validate_event({"event": "selection", "round_index": 1})
+
+    def test_extra_field_rejected(self):
+        with pytest.raises(SerializationError):
+            validate_event(
+                {
+                    "event": "selection",
+                    "round_index": 1,
+                    "selected_ids": [1],
+                    "surprise": True,
+                }
+            )
+
+    def test_wrong_type_rejected(self):
+        with pytest.raises(SerializationError):
+            validate_event(
+                {
+                    "event": "selection",
+                    "round_index": 1,
+                    "selected_ids": ["one"],
+                }
+            )
+
+    def test_unknown_stop_reason_rejected(self):
+        payload = RunStopEvent(
+            round_index=1,
+            reason="because",
+            cumulative_time=0.0,
+            cumulative_energy=0.0,
+        ).to_dict()
+        with pytest.raises(SerializationError):
+            validate_event(payload)
+
+    def test_trace_lines_count_and_blank_lines(self):
+        lines = [json.dumps(e.to_dict()) for e in SAMPLE_EVENTS] + ["", "  "]
+        assert validate_trace_lines(lines) == len(SAMPLE_EVENTS)
+
+    def test_trace_lines_bad_json_names_line(self):
+        with pytest.raises(SerializationError, match="line 2"):
+            validate_trace_lines(
+                [json.dumps(SAMPLE_EVENTS[0].to_dict()), "{not json"]
+            )

@@ -1,0 +1,93 @@
+"""Unit tests for the in-memory metrics registry."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs import MetricsRegistry, TimerStat
+
+
+class TestCounters:
+    def test_untouched_counter_reads_zero(self):
+        assert MetricsRegistry().counter("nope") == 0.0
+
+    def test_inc_accumulates(self):
+        registry = MetricsRegistry()
+        registry.inc("rounds")
+        registry.inc("rounds", 2.5)
+        assert registry.counter("rounds") == 3.5
+
+    def test_negative_increment_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MetricsRegistry().inc("rounds", -1.0)
+
+
+class TestGauges:
+    def test_last_write_wins(self):
+        registry = MetricsRegistry()
+        registry.set_gauge("devices", 3)
+        registry.set_gauge("devices", 7)
+        assert registry.gauge("devices") == 7.0
+
+    def test_unset_gauge_reads_zero(self):
+        assert MetricsRegistry().gauge("nope") == 0.0
+
+
+class TestTimers:
+    def test_timer_context_records_duration(self):
+        registry = MetricsRegistry()
+        with registry.timer("stage"):
+            pass
+        stat = registry.timer_stat("stage")
+        assert stat.count == 1
+        assert stat.total_s >= 0.0
+        assert stat.min_s <= stat.max_s
+
+    def test_timer_records_even_when_body_raises(self):
+        registry = MetricsRegistry()
+        with pytest.raises(RuntimeError):
+            with registry.timer("stage"):
+                raise RuntimeError("boom")
+        assert registry.timer_stat("stage").count == 1
+
+    def test_observe_time_aggregates(self):
+        registry = MetricsRegistry()
+        registry.observe_time("stage", 1.0)
+        registry.observe_time("stage", 3.0)
+        stat = registry.timer_stat("stage")
+        assert stat.count == 2
+        assert stat.total_s == 4.0
+        assert stat.mean_s == 2.0
+        assert stat.min_s == 1.0
+        assert stat.max_s == 3.0
+
+    def test_empty_stat_is_safe(self):
+        stat = TimerStat()
+        assert stat.mean_s == 0.0
+
+    def test_negative_observation_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MetricsRegistry().observe_time("stage", -0.1)
+
+
+class TestReporting:
+    def test_snapshot_shape(self):
+        registry = MetricsRegistry()
+        registry.inc("rounds", 2)
+        registry.set_gauge("devices", 5)
+        registry.observe_time("stage", 0.5)
+        snap = registry.snapshot()
+        assert snap["counters"] == {"rounds": 2.0}
+        assert snap["gauges"] == {"devices": 5.0}
+        assert snap["timers"]["stage"]["count"] == 1
+        assert snap["timers"]["stage"]["total_s"] == 0.5
+
+    def test_format_timers_sorted_by_total(self):
+        registry = MetricsRegistry()
+        registry.observe_time("small", 0.1)
+        registry.observe_time("big", 9.0)
+        lines = registry.format_timers().splitlines()
+        assert lines[0].startswith("big")
+        assert lines[1].startswith("small")
+
+    def test_format_timers_empty(self):
+        assert "no timers" in MetricsRegistry().format_timers()

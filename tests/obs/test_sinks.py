@@ -1,0 +1,90 @@
+"""Unit tests for event sinks and the run observer."""
+
+import io
+import json
+
+import pytest
+
+from repro.errors import SerializationError
+from repro.obs import (
+    CollectingSink,
+    JsonlTraceSink,
+    NullSink,
+    RunObserver,
+    SelectionEvent,
+    validate_event,
+)
+
+EVENT = SelectionEvent(round_index=1, selected_ids=(4, 2))
+
+
+class TestCollectingSink:
+    def test_collects_in_order(self):
+        sink = CollectingSink()
+        other = SelectionEvent(round_index=2, selected_ids=(1,))
+        sink.emit(EVENT)
+        sink.emit(other)
+        assert sink.events == [EVENT, other]
+        assert sink.of_kind("selection") == [EVENT, other]
+        assert sink.of_kind("eval") == []
+
+
+class TestJsonlTraceSink:
+    def test_writes_one_valid_json_line_per_event(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with JsonlTraceSink(str(path)) as sink:
+            sink.emit(EVENT)
+            sink.emit(EVENT)
+            assert sink.events_written == 2
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2
+        for line in lines:
+            validate_event(json.loads(line))
+
+    def test_accepts_external_handle_without_closing_it(self):
+        buffer = io.StringIO()
+        sink = JsonlTraceSink(buffer)
+        sink.emit(EVENT)
+        sink.close()
+        assert not buffer.closed
+        assert json.loads(buffer.getvalue())["event"] == "selection"
+
+    def test_close_idempotent_and_emits_after_close_fail(self, tmp_path):
+        sink = JsonlTraceSink(str(tmp_path / "t.jsonl"))
+        sink.close()
+        sink.close()
+        with pytest.raises(SerializationError):
+            sink.emit(EVENT)
+
+    def test_bad_target_rejected(self):
+        with pytest.raises(SerializationError):
+            JsonlTraceSink(42)
+
+
+class TestRunObserver:
+    def test_default_observer_discards_but_counts(self):
+        observer = RunObserver()
+        assert not observer.tracing
+        observer.emit(EVENT)
+        assert observer.metrics.counter("events_emitted") == 1.0
+
+    def test_tracing_flag_with_real_sink(self):
+        observer = RunObserver(sink=CollectingSink())
+        assert observer.tracing
+        observer.emit(EVENT)
+        assert observer.sink.events == [EVENT]
+
+    def test_null_sink_is_silent(self):
+        NullSink().emit(EVENT)  # must not raise
+
+    def test_to_path_and_context_manager(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with RunObserver.to_path(str(path)) as observer:
+            observer.emit(EVENT)
+        assert len(path.read_text().splitlines()) == 1
+
+    def test_timer_delegates_to_metrics(self):
+        observer = RunObserver()
+        with observer.timer("stage"):
+            pass
+        assert observer.metrics.timer_stat("stage").count == 1
