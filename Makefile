@@ -1,4 +1,4 @@
-.PHONY: install test bench bench-artifacts examples lint all
+.PHONY: install test bench bench-artifacts examples lint check all
 
 install:
 	pip install -e . --no-build-isolation
@@ -12,6 +12,9 @@ lint:
 	else \
 		echo "ruff not installed; skipping lint (pip install ruff)"; \
 	fi
+
+check:
+	PYTHONPATH=src python -m repro.checks src tests benchmarks examples
 
 bench:
 	pytest benchmarks/ --benchmark-only -s
@@ -29,4 +32,4 @@ examples:
 	python examples/battery_shutdown.py
 	python examples/sync_vs_async.py
 
-all: install test bench
+all: install test check bench

@@ -25,6 +25,7 @@ from repro.fl.server import FederatedServer
 from repro.fl.strategy import SelectionStrategy, selection_count
 from repro.fl.trainer import FederatedTrainer
 from repro.nn.losses import SoftmaxCrossEntropy
+from repro.rng import ensure_generator
 
 
 class LossProportionalSelection(SelectionStrategy):
@@ -40,7 +41,7 @@ class LossProportionalSelection(SelectionStrategy):
     def __init__(self, fraction: float, server: FederatedServer, seed=None):
         self.fraction = fraction
         self.server = server
-        self._rng = np.random.default_rng(seed)
+        self._rng = ensure_generator(seed)
         self._loss = SoftmaxCrossEntropy()
 
     def _score(self, device: UserDevice) -> float:

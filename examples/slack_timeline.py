@@ -20,6 +20,7 @@ from repro.data.dataset import ArrayDataset
 from repro.devices.cpu import DvfsCpu
 from repro.devices.device import UserDevice
 from repro.devices.radio import Radio
+from repro.rng import ensure_generator
 from repro.viz import ascii_timeline
 
 PAYLOAD = 5e6
@@ -27,7 +28,7 @@ BANDWIDTH = 2e6
 
 
 def make_user(device_id: int, f_max_ghz: float) -> UserDevice:
-    rng = np.random.default_rng(device_id)
+    rng = ensure_generator(device_id)
     dataset = ArrayDataset(
         rng.normal(size=(40, 4)), rng.integers(0, 5, size=40)
     )

@@ -1,0 +1,46 @@
+"""Domain-aware static analysis for the reproduction's invariants.
+
+The repo's correctness guarantees — bitwise backend parity, the typed
+trace-event contract, the paper's units (Hz, bits, seconds, Joules) —
+are conventions a generic linter cannot see. :mod:`repro.checks` makes
+them machine-checked: an AST pass with pluggable rules, runnable as
+``python -m repro.checks [paths]``, emitting structured findings with
+JSON and human output and honoring inline
+``# repro: allow[RULE-ID] justification`` suppressions.
+
+Shipped rules:
+
+========  ==============================================================
+REP001    determinism — no stdlib ``random``, no legacy
+          ``np.random.<fn>`` module-level calls, RNG construction goes
+          through :mod:`repro.rng`
+REP002    event-schema coverage — every ``*Event`` dataclass is frozen,
+          JSON-serializable, and registered in :mod:`repro.obs.schema`
+REP003    unit discipline — ``_hz``/``_bits``/``_seconds``/``_joules``
+          names are never float-equality-compared or mixed across units
+REP004    wall-clock hygiene — no real-clock reads outside
+          :mod:`repro.obs`; simulated time comes from the timeline model
+REP005    concurrency safety — pool-dispatched worker functions do not
+          assign to module-level globals
+========  ==============================================================
+"""
+
+from repro.checks.engine import (
+    CheckReport,
+    check_paths,
+    check_source,
+    iter_python_files,
+)
+from repro.checks.findings import SEVERITIES, Finding
+from repro.checks.rules import ALL_RULES, get_rules
+
+__all__ = [
+    "Finding",
+    "SEVERITIES",
+    "CheckReport",
+    "check_paths",
+    "check_source",
+    "iter_python_files",
+    "ALL_RULES",
+    "get_rules",
+]

@@ -1,0 +1,7 @@
+"""``python -m repro.checks`` dispatch."""
+
+import sys
+
+from repro.checks.cli import main
+
+sys.exit(main())

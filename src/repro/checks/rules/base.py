@@ -1,0 +1,69 @@
+"""Rule interface and shared AST helpers."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional
+
+from repro.checks.context import ModuleContext
+from repro.checks.findings import Finding
+
+__all__ = ["Rule", "attribute_chain", "call_name"]
+
+
+class Rule:
+    """One invariant, checked file by file.
+
+    Subclasses set :attr:`rule_id`, :attr:`title`, and
+    :attr:`rationale` (surfaced by ``--list-rules``), override
+    :meth:`applies` to scope themselves, and implement :meth:`check`.
+    """
+
+    rule_id: str = "REP000"
+    title: str = ""
+    rationale: str = ""
+    severity: str = "error"
+
+    def applies(self, ctx: ModuleContext) -> bool:
+        """Whether this rule runs on ``ctx`` (default: library code only)."""
+        return not ctx.is_test
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        """Yield one :class:`Finding` per violation in ``ctx``."""
+        raise NotImplementedError
+
+    def finding(
+        self, ctx: ModuleContext, node: ast.AST, message: str
+    ) -> Finding:
+        """Build a :class:`Finding` anchored at ``node``."""
+        return Finding(
+            path=ctx.path,
+            line=getattr(node, "lineno", 0),
+            col=getattr(node, "col_offset", 0),
+            rule_id=self.rule_id,
+            message=message,
+            severity=self.severity,
+        )
+
+
+def attribute_chain(node: ast.AST) -> Optional[List[str]]:
+    """Flatten ``a.b.c`` into ``["a", "b", "c"]``; ``None`` otherwise."""
+    parts: List[str] = []
+    current = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if not isinstance(current, ast.Name):
+        return None
+    parts.append(current.id)
+    parts.reverse()
+    return parts
+
+
+def call_name(node: ast.Call) -> Optional[str]:
+    """The called name for ``f(...)`` / trailing attr for ``a.b.f(...)``."""
+    if isinstance(node.func, ast.Name):
+        return node.func.id
+    if isinstance(node.func, ast.Attribute):
+        return node.func.attr
+    return None

@@ -1,0 +1,306 @@
+"""REP002 — every trace event is frozen, serializable, and registered.
+
+The JSONL trace format is a cross-module contract: each ``*Event``
+dataclass in :mod:`repro.obs.events` must be ``frozen=True`` (events
+describe the run and must never mutate after emission), carry only
+JSON-serializable field types (``to_dict`` feeds straight into
+``json.dumps``), appear in the ``EVENT_TYPES`` registry, and have its
+``kind`` covered by ``EVENT_SCHEMAS`` in the sibling
+:mod:`repro.obs.schema` module. A class that misses any leg of that
+square produces traces the validator rejects — or worse, accepts
+without checking.
+
+The rule runs on ``events.py`` files that have a ``schema.py``
+sibling, and parses both.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Set
+
+from repro.checks.context import ModuleContext
+from repro.checks.findings import Finding
+from repro.checks.rules.base import Rule, attribute_chain
+
+__all__ = ["EventSchemaRule"]
+
+_SCALARS = {"int", "float", "str", "bool", "None", "NoneType"}
+_CONTAINERS = {
+    "Tuple",
+    "tuple",
+    "List",
+    "list",
+    "Dict",
+    "dict",
+    "Sequence",
+    "Mapping",
+    "Optional",
+    "Union",
+    "ClassVar",
+}
+
+
+def _annotation_serializable(node: ast.AST) -> bool:
+    """Whether a field annotation maps onto JSON via ``Event.to_dict``."""
+    if isinstance(node, ast.Constant):
+        # `...` inside Tuple[int, ...]; None in Optional unions; string
+        # annotations are re-parsed.
+        if node.value is Ellipsis or node.value is None:
+            return True
+        if isinstance(node.value, str):
+            try:
+                return _annotation_serializable(
+                    ast.parse(node.value, mode="eval").body
+                )
+            except SyntaxError:
+                return False
+        return False
+    if isinstance(node, ast.Name):
+        return node.id in _SCALARS
+    if isinstance(node, ast.Attribute):
+        chain = attribute_chain(node)
+        return chain is not None and chain[-1] in _SCALARS
+    if isinstance(node, ast.Subscript):
+        base = node.value
+        base_name = None
+        if isinstance(base, ast.Name):
+            base_name = base.id
+        elif isinstance(base, ast.Attribute):
+            base_name = base.attr
+        if base_name not in _CONTAINERS:
+            return False
+        inner = node.slice
+        elts = inner.elts if isinstance(inner, ast.Tuple) else [inner]
+        return all(_annotation_serializable(e) for e in elts)
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.BitOr):
+        # PEP 604 unions: `int | None`.
+        return _annotation_serializable(node.left) and _annotation_serializable(
+            node.right
+        )
+    return False
+
+
+def _dataclass_frozen(cls: ast.ClassDef) -> Optional[bool]:
+    """``True``/``False`` for a dataclass's frozen flag, ``None`` if not
+    a dataclass at all."""
+    for deco in cls.decorator_list:
+        target = deco.func if isinstance(deco, ast.Call) else deco
+        chain = attribute_chain(target)
+        name = chain[-1] if chain else None
+        if name != "dataclass":
+            continue
+        if not isinstance(deco, ast.Call):
+            return False
+        for kw in deco.keywords:
+            if kw.arg == "frozen":
+                return (
+                    isinstance(kw.value, ast.Constant)
+                    and kw.value.value is True
+                )
+        return False
+    return None
+
+
+def _class_kind(cls: ast.ClassDef) -> Optional[str]:
+    """The string value of the class-level ``kind = "..."`` assignment."""
+    for stmt in cls.body:
+        targets: List[ast.expr] = []
+        value: Optional[ast.expr] = None
+        if isinstance(stmt, ast.Assign):
+            targets, value = stmt.targets, stmt.value
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            targets, value = [stmt.target], stmt.value
+        for target in targets:
+            if isinstance(target, ast.Name) and target.id == "kind":
+                if isinstance(value, ast.Constant) and isinstance(
+                    value.value, str
+                ):
+                    return value.value
+    return None
+
+
+def _registry_class_names(tree: ast.Module) -> Optional[Set[str]]:
+    """Class names registered in ``EVENT_TYPES`` (comprehension or dict)."""
+    for node in tree.body:
+        target = None
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target, value = node.targets[0], node.value
+        elif isinstance(node, ast.AnnAssign):
+            target, value = node.target, node.value
+        else:
+            continue
+        if not (isinstance(target, ast.Name) and target.id == "EVENT_TYPES"):
+            continue
+        if isinstance(value, ast.DictComp):
+            iterable = value.generators[0].iter
+            if isinstance(iterable, (ast.Tuple, ast.List)):
+                return {
+                    elt.id
+                    for elt in iterable.elts
+                    if isinstance(elt, ast.Name)
+                }
+        if isinstance(value, ast.Dict):
+            return {
+                v.id for v in value.values if isinstance(v, ast.Name)
+            }
+    return None
+
+
+def _schema_kinds(tree: ast.Module) -> Optional[Set[str]]:
+    """The literal string keys of ``EVENT_SCHEMAS`` in schema.py."""
+    for node in tree.body:
+        target = None
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target, value = node.targets[0], node.value
+        elif isinstance(node, ast.AnnAssign):
+            target, value = node.target, node.value
+        else:
+            continue
+        if not (isinstance(target, ast.Name) and target.id == "EVENT_SCHEMAS"):
+            continue
+        if isinstance(value, ast.Dict):
+            return {
+                k.value
+                for k in value.keys
+                if isinstance(k, ast.Constant) and isinstance(k.value, str)
+            }
+    return None
+
+
+class EventSchemaRule(Rule):
+    """``*Event`` dataclasses: frozen, serializable, registered, schema'd."""
+
+    rule_id = "REP002"
+    title = "event-schema coverage: frozen, serializable, registered events"
+    rationale = (
+        "The JSONL trace contract (repro.obs.schema validates every "
+        "line) only holds when each *Event dataclass is frozen=True, "
+        "JSON-serializable, in EVENT_TYPES, and covered by "
+        "EVENT_SCHEMAS; an unregistered or mutable event silently "
+        "corrupts replayable traces."
+    )
+
+    def applies(self, ctx: ModuleContext) -> bool:
+        """Run on ``events.py`` modules that have a ``schema.py`` sibling."""
+        if ctx.is_test:
+            return False
+        if Path(ctx.path).name != "events.py" or ctx.file_dir is None:
+            return False
+        return (ctx.file_dir / "schema.py").exists()
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        """Check every ``*Event`` class against the four-legged contract."""
+        schema_path = Path(ctx.file_dir) / "schema.py"
+        try:
+            schema_tree = ast.parse(
+                schema_path.read_text(encoding="utf-8"),
+                filename=str(schema_path),
+            )
+        except (OSError, SyntaxError) as exc:
+            yield self.finding(
+                ctx, ctx.tree, f"cannot parse sibling schema module: {exc}"
+            )
+            return
+        schema_kinds = _schema_kinds(schema_tree)
+        registered = _registry_class_names(ctx.tree)
+        event_classes = [
+            node
+            for node in ctx.tree.body
+            if isinstance(node, ast.ClassDef)
+            and node.name.endswith("Event")
+            and node.name != "Event"
+        ]
+        if registered is None and event_classes:
+            yield self.finding(
+                ctx,
+                ctx.tree,
+                "no parseable EVENT_TYPES registry found; every event "
+                "class must be registered",
+            )
+            registered = set()
+        if schema_kinds is None and event_classes:
+            yield self.finding(
+                ctx,
+                ctx.tree,
+                f"no parseable EVENT_SCHEMAS table in {schema_path}; "
+                "every event kind needs a schema entry",
+            )
+            schema_kinds = set()
+
+        kinds_seen: Dict[str, str] = {}
+        for cls in event_classes:
+            yield from self._check_class(
+                ctx, cls, registered, schema_kinds, schema_path, kinds_seen
+            )
+        # Reverse direction: schema entries no event class produces.
+        orphan = (schema_kinds or set()) - set(kinds_seen)
+        if orphan and event_classes:
+            yield self.finding(
+                ctx,
+                ctx.tree,
+                f"EVENT_SCHEMAS in {schema_path} covers kinds with no "
+                f"event class here: {sorted(orphan)}",
+            )
+
+    def _check_class(
+        self, ctx, cls, registered, schema_kinds, schema_path, kinds_seen
+    ) -> Iterator[Finding]:
+        frozen = _dataclass_frozen(cls)
+        if frozen is None:
+            yield self.finding(
+                ctx, cls, f"{cls.name} must be a @dataclass(frozen=True)"
+            )
+        elif frozen is not True:
+            yield self.finding(
+                ctx,
+                cls,
+                f"{cls.name} must set frozen=True — emitted events are "
+                "immutable by contract",
+            )
+        kind = _class_kind(cls)
+        if kind is None:
+            yield self.finding(
+                ctx,
+                cls,
+                f"{cls.name} has no class-level string `kind` — the wire "
+                "discriminator every trace line carries",
+            )
+        else:
+            kinds_seen[kind] = cls.name
+            if schema_kinds is not None and kind not in schema_kinds:
+                yield self.finding(
+                    ctx,
+                    cls,
+                    f"{cls.name} kind {kind!r} has no EVENT_SCHEMAS entry "
+                    f"in {schema_path} — the validator would reject its "
+                    "traces",
+                )
+        if registered is not None and cls.name not in registered:
+            yield self.finding(
+                ctx,
+                cls,
+                f"{cls.name} is not registered in EVENT_TYPES",
+            )
+        for stmt in cls.body:
+            if not isinstance(stmt, ast.AnnAssign):
+                continue
+            if not isinstance(stmt.target, ast.Name):
+                continue
+            annotation = stmt.annotation
+            chain = attribute_chain(annotation)
+            if chain and chain[-1] == "ClassVar":
+                continue
+            if isinstance(annotation, ast.Subscript):
+                base_chain = attribute_chain(annotation.value)
+                if base_chain and base_chain[-1] == "ClassVar":
+                    continue
+            if not _annotation_serializable(annotation):
+                yield self.finding(
+                    ctx,
+                    stmt,
+                    f"{cls.name}.{stmt.target.id} annotation is not "
+                    "JSON-serializable (allowed: int/float/str/bool and "
+                    "Tuple/List/Dict/Optional compositions thereof)",
+                )

@@ -1,0 +1,145 @@
+"""REP003 — unit-suffixed quantities obey dimensional discipline.
+
+The paper's physics lives in names: Eq. 5's CPU frequencies are
+``*_hz``, Eq. 7's payloads are ``*_bits``, Eqs. 10–14's delays are
+``*_seconds``, and Eqs. 9/11's energies are ``*_joules``. Nothing in
+Python checks those dimensions, so two silent bug classes slip
+through: float equality against a unit-carrying quantity (timeline
+arithmetic accumulates rounding error, so ``delay_seconds == 1.5``
+is a latent flake), and addition/subtraction across different units
+(``compute_seconds + bandwidth_hz`` type-checks and is always wrong).
+This rule flags both.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.checks.context import ModuleContext
+from repro.checks.findings import Finding
+from repro.checks.rules.base import Rule
+
+__all__ = ["UnitDisciplineRule", "unit_suffix"]
+
+UNIT_SUFFIXES = ("_hz", "_bits", "_seconds", "_joules")
+
+
+def unit_suffix(name: str) -> Optional[str]:
+    """The unit suffix carried by ``name``, or ``None``."""
+    lowered = name.lower()
+    for suffix in UNIT_SUFFIXES:
+        if lowered.endswith(suffix):
+            return suffix
+    return None
+
+
+def _node_unit(node: ast.AST) -> Optional[str]:
+    """Unit suffix of a Name/Attribute expression's terminal identifier."""
+    if isinstance(node, ast.Name):
+        return unit_suffix(node.id)
+    if isinstance(node, ast.Attribute):
+        return unit_suffix(node.attr)
+    return None
+
+
+def _node_label(node: ast.AST) -> str:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return "<expr>"
+
+
+def _is_float_literal(node: ast.AST) -> bool:
+    if isinstance(node, ast.Constant):
+        return isinstance(node.value, float)
+    if isinstance(node, ast.UnaryOp) and isinstance(
+        node.op, (ast.USub, ast.UAdd)
+    ):
+        return _is_float_literal(node.operand)
+    return False
+
+
+class UnitDisciplineRule(Rule):
+    """No float equality on, and no cross-unit add/sub between,
+    ``_hz``/``_bits``/``_seconds``/``_joules`` quantities."""
+
+    rule_id = "REP003"
+    title = "unit discipline on _hz/_bits/_seconds/_joules names"
+    rationale = (
+        "The cost model's dimensions (Eq. 5 cycles/Hz, Eq. 7 bits, "
+        "Eqs. 10-14 seconds, Eqs. 9/11 joules) exist only as name "
+        "suffixes; float-equality on them is numerically fragile and "
+        "cross-unit addition is always a physics bug."
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        """Flag float equality and cross-unit add/sub on unit names."""
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Compare):
+                yield from self._check_compare(ctx, node)
+            elif isinstance(node, ast.BinOp) and isinstance(
+                node.op, (ast.Add, ast.Sub)
+            ):
+                yield from self._check_binop(ctx, node)
+            elif isinstance(node, ast.AugAssign) and isinstance(
+                node.op, (ast.Add, ast.Sub)
+            ):
+                target_unit = _node_unit(node.target)
+                value_unit = _node_unit(node.value)
+                if (
+                    target_unit
+                    and value_unit
+                    and target_unit != value_unit
+                ):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"augmented {_node_label(node.target)!r} "
+                        f"({target_unit}) with {_node_label(node.value)!r} "
+                        f"({value_unit}): different units never add",
+                    )
+
+    def _check_compare(self, ctx, node: ast.Compare) -> Iterator[Finding]:
+        operands = [node.left, *node.comparators]
+        for op, left, right in zip(node.ops, operands, operands[1:]):
+            if not isinstance(op, (ast.Eq, ast.NotEq)):
+                continue
+            for unit_side, other in ((left, right), (right, left)):
+                unit = _node_unit(unit_side)
+                if unit is None:
+                    continue
+                if _is_float_literal(other):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"float equality on {_node_label(unit_side)!r} "
+                        f"({unit}): physical quantities accumulate "
+                        "rounding error — compare with a tolerance "
+                        "(math.isclose / np.isclose)",
+                    )
+                    break
+            else:
+                left_unit, right_unit = _node_unit(left), _node_unit(right)
+                if left_unit and right_unit and left_unit != right_unit:
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"comparing {_node_label(left)!r} ({left_unit}) "
+                        f"with {_node_label(right)!r} ({right_unit}): "
+                        "different units are never comparable",
+                    )
+
+    def _check_binop(self, ctx, node: ast.BinOp) -> Iterator[Finding]:
+        left_unit = _node_unit(node.left)
+        right_unit = _node_unit(node.right)
+        if left_unit and right_unit and left_unit != right_unit:
+            op = "+" if isinstance(node.op, ast.Add) else "-"
+            yield self.finding(
+                ctx,
+                node,
+                f"{_node_label(node.left)!r} ({left_unit}) {op} "
+                f"{_node_label(node.right)!r} ({right_unit}): "
+                "different units never add or subtract",
+            )

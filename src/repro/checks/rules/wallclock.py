@@ -1,0 +1,114 @@
+"""REP004 — simulated time never reads the wall clock.
+
+Every second in the reproduction is *simulated*: round delays come
+from Eq. 10's TDMA timeline, deadlines from constraint (14). If
+library code reads the real clock (``time.time``, ``perf_counter``,
+``datetime.now``), traces stop replaying deterministically and the
+simulated timeline silently couples to host speed. The only sanctioned
+wall-clock user is :mod:`repro.obs` (stage timers measure *our* code,
+not the simulation, and are documented as observational only).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, Tuple
+
+from repro.checks.context import ModuleContext
+from repro.checks.findings import Finding
+from repro.checks.rules.base import Rule, attribute_chain
+
+__all__ = ["WallClockRule"]
+
+_BANNED: Dict[str, Tuple[str, ...]] = {
+    "time": (
+        "time",
+        "time_ns",
+        "monotonic",
+        "monotonic_ns",
+        "perf_counter",
+        "perf_counter_ns",
+        "process_time",
+        "process_time_ns",
+        "clock_gettime",
+    ),
+    "datetime": ("now", "utcnow", "today"),
+}
+
+_OBS_PACKAGE = "repro.obs"
+
+
+class WallClockRule(Rule):
+    """No real-clock reads outside ``repro.obs``."""
+
+    rule_id = "REP004"
+    title = "wall-clock hygiene: simulated time only outside repro.obs"
+    rationale = (
+        "Round delays are Eq. 10's simulated TDMA timeline; reading "
+        "the host clock in library code couples results to machine "
+        "speed and breaks deterministic trace replay. repro.obs stage "
+        "timers are the one sanctioned (observational) exception."
+    )
+
+    def applies(self, ctx: ModuleContext) -> bool:
+        """Library code outside the ``repro.obs`` package."""
+        if ctx.is_test:
+            return False
+        module = ctx.module or ""
+        return not (
+            module == _OBS_PACKAGE or module.startswith(_OBS_PACKAGE + ".")
+        )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        """Flag real-clock imports and calls."""
+        time_aliases = {"time"}
+        datetime_roots = {"datetime"}
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "time" and alias.asname:
+                        time_aliases.add(alias.asname)
+                    if alias.name == "datetime" and alias.asname:
+                        datetime_roots.add(alias.asname)
+            elif isinstance(node, ast.ImportFrom):
+                yield from self._check_import_from(ctx, node)
+            elif isinstance(node, ast.Call):
+                yield from self._check_call(
+                    ctx, node, time_aliases, datetime_roots
+                )
+
+    def _check_import_from(self, ctx, node: ast.ImportFrom) -> Iterator[Finding]:
+        if node.module == "time":
+            for alias in node.names:
+                if alias.name in _BANNED["time"]:
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"wall-clock import time.{alias.name}: simulated "
+                        "time must come from the timeline model (Eq. 10); "
+                        "only repro.obs may time real execution",
+                    )
+
+    def _check_call(
+        self, ctx, node: ast.Call, time_aliases, datetime_roots
+    ) -> Iterator[Finding]:
+        chain = attribute_chain(node.func)
+        if not chain or len(chain) < 2:
+            return
+        root, leaf = chain[0], chain[-1]
+        if root in time_aliases and len(chain) == 2 and leaf in _BANNED["time"]:
+            yield self.finding(
+                ctx,
+                node,
+                f"wall-clock read {'.'.join(chain)}(): simulated time "
+                "must come from the timeline model (Eq. 10); only "
+                "repro.obs may time real execution",
+            )
+        elif root in datetime_roots and leaf in _BANNED["datetime"]:
+            yield self.finding(
+                ctx,
+                node,
+                f"wall-clock read {'.'.join(chain)}(): traces must "
+                "replay deterministically; derive timestamps from the "
+                "simulated clock",
+            )

@@ -67,14 +67,14 @@ class CompressionPipeline:
     @classmethod
     def top_k(
         cls, fraction: float = 0.1, error_feedback: bool = True
-    ) -> "CompressionPipeline":
+    ) -> CompressionPipeline:
         """Top-k sparsification pipeline [5]."""
         return cls(lambda: TopKSparsifier(fraction, error_feedback))
 
     @classmethod
     def quantized(
         cls, bits: int = 8, stochastic: bool = False, seed=None
-    ) -> "CompressionPipeline":
+    ) -> CompressionPipeline:
         """Uniform k-bit quantization pipeline [6]."""
         counter = {"next": 0}
 

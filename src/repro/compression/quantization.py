@@ -17,6 +17,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import ConfigurationError
+from repro.rng import ensure_generator
 
 __all__ = ["QuantizedVector", "UniformQuantizer"]
 
@@ -60,7 +61,7 @@ class UniformQuantizer:
             raise ConfigurationError(f"bits must be in [1, 16], got {bits}")
         self.bits = int(bits)
         self.stochastic = bool(stochastic)
-        self._rng = np.random.default_rng(seed)
+        self._rng = ensure_generator(seed)
 
     @property
     def levels(self) -> int:

@@ -65,7 +65,7 @@ class ArrayDataset:
             num_classes = self.num_classes
         return np.bincount(self.labels, minlength=num_classes)[:num_classes]
 
-    def subset(self, indices: Sequence[int]) -> "ArrayDataset":
+    def subset(self, indices: Sequence[int]) -> ArrayDataset:
         """Return a new dataset holding the rows at ``indices``."""
         indices = np.asarray(indices, dtype=np.int64)
         if indices.size and (
@@ -76,13 +76,13 @@ class ArrayDataset:
             )
         return ArrayDataset(self.inputs[indices], self.labels[indices])
 
-    def shuffled(self, seed: SeedLike = None) -> "ArrayDataset":
+    def shuffled(self, seed: SeedLike = None) -> ArrayDataset:
         """Return a row-shuffled copy."""
         rng = ensure_generator(seed)
         order = rng.permutation(len(self))
         return self.subset(order)
 
-    def concat(self, other: "ArrayDataset") -> "ArrayDataset":
+    def concat(self, other: ArrayDataset) -> ArrayDataset:
         """Return the concatenation of this dataset with ``other``."""
         if len(self) == 0:
             return ArrayDataset(other.inputs.copy(), other.labels.copy())

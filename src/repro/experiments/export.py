@@ -51,10 +51,12 @@ def _write(path: PathLike, schema: str, payload: dict) -> None:
 
 def _read(path: PathLike, schema: str) -> dict:
     try:
-        with open(os.fspath(path), "r", encoding="utf-8") as handle:
+        with open(os.fspath(path), encoding="utf-8") as handle:
             document = json.load(handle)
     except (OSError, json.JSONDecodeError) as exc:
-        raise SerializationError(f"cannot read artifact {path!r}: {exc}")
+        raise SerializationError(
+            f"cannot read artifact {path!r}: {exc}"
+        ) from exc
     if not isinstance(document, dict) or "schema" not in document:
         raise SerializationError(f"{path!r} is not a repro artifact document")
     if document["schema"] != schema:

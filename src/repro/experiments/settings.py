@@ -150,7 +150,7 @@ class ExperimentSettings:
     # Profiles
     # ------------------------------------------------------------------
     @classmethod
-    def paper_scale(cls, **overrides) -> "ExperimentSettings":
+    def paper_scale(cls, **overrides) -> ExperimentSettings:
         """Settings at the paper's full scale.
 
         CIFAR-10-sized dataset (50 000 / 10 000) and a SqueezeNet-sized
@@ -168,7 +168,7 @@ class ExperimentSettings:
         return replace(base, **overrides)
 
     @classmethod
-    def quick(cls, **overrides) -> "ExperimentSettings":
+    def quick(cls, **overrides) -> ExperimentSettings:
         """A small fast profile for tests: 20 users, 30 rounds."""
         base = cls(
             num_users=20,

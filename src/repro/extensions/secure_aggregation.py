@@ -22,7 +22,7 @@ from typing import List, Sequence, Tuple
 import numpy as np
 
 from repro.errors import ConfigurationError, TrainingError
-from repro.rng import SeedLike, derive_seed
+from repro.rng import SeedLike, derive_seed, ensure_generator
 
 __all__ = ["SecureAggregator"]
 
@@ -68,7 +68,7 @@ class SecureAggregator:
     def _pair_mask(self, low_id: int, high_id: int) -> np.ndarray:
         """The shared mask of the client pair ``(low_id, high_id)``."""
         pair_seed = derive_seed(self.seed, "pairmask", f"{low_id}-{high_id}")
-        rng = np.random.default_rng(pair_seed)
+        rng = ensure_generator(pair_seed)
         return rng.normal(0.0, self.mask_scale, size=self.dimension)
 
     def mask(

@@ -136,7 +136,7 @@ class RoundResult:
             if u.payload_bits is not None
         }
 
-    def drop(self, device_ids) -> "RoundResult":
+    def drop(self, device_ids) -> RoundResult:
         """Return a copy without the given devices' updates."""
         dropped = set(device_ids)
         return replace(
@@ -256,7 +256,7 @@ class ExecutionBackend:
     def close(self) -> None:
         """Release worker resources (idempotent)."""
 
-    def __enter__(self) -> "ExecutionBackend":
+    def __enter__(self) -> ExecutionBackend:
         return self
 
     def __exit__(self, *exc_info) -> None:
@@ -413,10 +413,16 @@ _WORKER_STATE: dict = {}
 
 
 def _process_worker_init(model: Sequential, spec: LocalUpdateSpec, datasets):
-    """Build one worker's scratch model and dataset cache."""
-    _WORKER_STATE["scratch"] = model
-    _WORKER_STATE["spec"] = spec
-    _WORKER_STATE["datasets"] = datasets
+    """Build one worker's scratch model and dataset cache.
+
+    The writes below are the deliberate process-pool initializer
+    pattern: each pool *process* runs this exactly once, before any
+    task, so its copy of ``_WORKER_STATE`` is populated single-threaded
+    and never mutated again.
+    """
+    _WORKER_STATE["scratch"] = model  # repro: allow[REP005] per-process init, pre-task
+    _WORKER_STATE["spec"] = spec  # repro: allow[REP005] per-process init, pre-task
+    _WORKER_STATE["datasets"] = datasets  # repro: allow[REP005] per-process init, pre-task
 
 
 def _process_worker_run(task):

@@ -209,7 +209,7 @@ class TrainingHistory:
         return json.dumps(self.to_dict())
 
     @classmethod
-    def from_dict(cls, payload: dict) -> "TrainingHistory":
+    def from_dict(cls, payload: dict) -> TrainingHistory:
         """Rebuild a history from :meth:`to_dict` output."""
         history = cls(
             label=payload.get("label", ""),
@@ -239,6 +239,6 @@ class TrainingHistory:
         return history
 
     @classmethod
-    def from_json(cls, text: str) -> "TrainingHistory":
+    def from_json(cls, text: str) -> TrainingHistory:
         """Rebuild a history from :meth:`to_json` output."""
         return cls.from_dict(json.loads(text))

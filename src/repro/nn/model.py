@@ -125,7 +125,7 @@ class Sequential:
     # ------------------------------------------------------------------
     # Cloning / prediction helpers
     # ------------------------------------------------------------------
-    def clone(self) -> "Sequential":
+    def clone(self) -> Sequential:
         """Deep-copy the model (architecture, parameters, buffers)."""
         return copy.deepcopy(self)
 

@@ -52,7 +52,9 @@ def load_model_params(model: Sequential, path: Union[str, os.PathLike]) -> None:
     try:
         archive = np.load(path)
     except (OSError, ValueError) as exc:
-        raise SerializationError(f"cannot read model archive {path!r}: {exc}")
+        raise SerializationError(
+            f"cannot read model archive {path!r}: {exc}"
+        ) from exc
     with archive:
         for idx, name, param in model.named_parameters():
             key = f"{idx}.{name}"

@@ -47,7 +47,7 @@ class RunObserver:
         self.metrics = metrics if metrics is not None else MetricsRegistry()
 
     @classmethod
-    def to_path(cls, path: str) -> "RunObserver":
+    def to_path(cls, path: str) -> RunObserver:
         """An observer streaming a JSONL trace to ``path``."""
         return cls(sink=JsonlTraceSink(path))
 
@@ -69,7 +69,7 @@ class RunObserver:
         """Close the sink (idempotent)."""
         self.sink.close()
 
-    def __enter__(self) -> "RunObserver":
+    def __enter__(self) -> RunObserver:
         return self
 
     def __exit__(self, *exc_info) -> None:

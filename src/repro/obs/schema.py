@@ -152,5 +152,5 @@ def validate_trace_lines(lines: Iterable[str]) -> int:
 
 def validate_trace(path: str) -> int:
     """Validate a JSONL trace file; return the number of events."""
-    with open(path, "r", encoding="utf-8") as handle:
+    with open(path, encoding="utf-8") as handle:
         return validate_trace_lines(handle)

@@ -38,7 +38,7 @@ class EventSink:
     def close(self) -> None:
         """Release any resources (idempotent; no-op by default)."""
 
-    def __enter__(self) -> "EventSink":
+    def __enter__(self) -> EventSink:
         return self
 
     def __exit__(self, *exc_info) -> None:

@@ -1,0 +1,12 @@
+"""REP001 bad snippet: every RNG sin the determinism rule flags."""
+
+import random
+
+import numpy as np
+
+
+def draw():
+    np.random.seed(0)
+    value = np.random.normal()
+    rng = np.random.default_rng()
+    return random.random() + value + rng.normal()

@@ -1,0 +1,11 @@
+"""REP001 good snippet: RNGs flow through repro.rng."""
+
+import numpy as np
+
+from repro.rng import ensure_generator
+
+
+def draw(seed=None, rng: np.random.Generator = None):
+    if rng is None:
+        rng = ensure_generator(seed)
+    return rng.normal()

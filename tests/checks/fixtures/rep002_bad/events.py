@@ -1,0 +1,20 @@
+"""REP002 bad snippet: unfrozen, unregistered, unserializable events."""
+
+from dataclasses import dataclass
+
+
+@dataclass
+class MutableEvent:
+    kind = "mutable"
+
+    round_index: int
+
+
+@dataclass(frozen=True)
+class GhostEvent:
+    kind = "ghost"
+
+    payload: object
+
+
+EVENT_TYPES = {"mutable": MutableEvent}

@@ -1,0 +1,7 @@
+"""Schema sibling of the bad REP002 fixture: covers a kind no event
+produces and misses the 'ghost' kind."""
+
+EVENT_SCHEMAS = {
+    "mutable": {"round_index": int},
+    "orphan": {},
+}

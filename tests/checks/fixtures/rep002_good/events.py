@@ -1,0 +1,16 @@
+"""REP002 good snippet: frozen, serializable, registered event."""
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+
+@dataclass(frozen=True)
+class PingEvent:
+    kind = "ping"
+
+    round_index: int
+    selected_ids: Tuple[int, ...]
+    frequencies: Dict[int, float]
+
+
+EVENT_TYPES = {"ping": PingEvent}

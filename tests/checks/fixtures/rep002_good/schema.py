@@ -1,0 +1,9 @@
+"""Schema sibling of the good REP002 fixture."""
+
+EVENT_SCHEMAS = {
+    "ping": {
+        "round_index": int,
+        "selected_ids": list,
+        "frequencies": dict,
+    },
+}

@@ -1,0 +1,9 @@
+"""REP003 bad snippet: float equality and cross-unit arithmetic."""
+
+
+def cost(delay_seconds, payload_bits, bandwidth_hz, energy_joules):
+    if delay_seconds == 1.5:
+        return 0.0
+    total = payload_bits + bandwidth_hz
+    energy_joules -= delay_seconds
+    return total + energy_joules

@@ -1,0 +1,12 @@
+"""REP003 good snippet: tolerance compares, same-unit arithmetic."""
+
+import math
+
+
+def cost(delay_seconds, wait_seconds, payload_bits):
+    if math.isclose(delay_seconds, 1.5):
+        return 0.0
+    total_seconds = delay_seconds + wait_seconds
+    if payload_bits == 0:
+        return total_seconds
+    return total_seconds * payload_bits

@@ -1,0 +1,9 @@
+"""REP004 bad snippet: wall-clock reads in simulation code."""
+
+import time
+from time import perf_counter
+
+
+def stamp():
+    started = perf_counter()
+    return time.time() - started

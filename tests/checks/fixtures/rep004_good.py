@@ -1,0 +1,5 @@
+"""REP004 good snippet: time comes from the simulated timeline."""
+
+
+def advance(clock_seconds, round_delay_seconds):
+    return clock_seconds + round_delay_seconds

@@ -1,0 +1,18 @@
+"""REP005 bad snippet: pool workers writing module-level state."""
+
+from concurrent.futures import ThreadPoolExecutor
+
+_CACHE = {}
+_TOTAL = 0
+
+
+def worker(item):
+    global _TOTAL
+    _TOTAL = item
+    _CACHE[item] = item
+    return item
+
+
+def run(items):
+    with ThreadPoolExecutor() as pool:
+        return list(pool.map(worker, items))

@@ -1,0 +1,13 @@
+"""REP005 good snippet: pool workers stay pure of global writes."""
+
+from concurrent.futures import ThreadPoolExecutor
+
+
+def worker(item):
+    local = {"value": item}
+    return local["value"] * 2
+
+
+def run(items):
+    with ThreadPoolExecutor() as pool:
+        return list(pool.map(worker, items))

@@ -1,0 +1,86 @@
+"""CLI meta-tests: the shipped tree is clean, bad fixtures fail."""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.checks.cli import main
+
+REPO_ROOT = Path(__file__).parents[2]
+SRC_DIR = REPO_ROOT / "src"
+
+
+def run_cli(*args, cwd=None):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(SRC_DIR)] + env.get("PYTHONPATH", "").split(os.pathsep)
+    ).rstrip(os.pathsep)
+    return subprocess.run(
+        [sys.executable, "-m", "repro.checks", *args],
+        capture_output=True,
+        text=True,
+        cwd=str(cwd or REPO_ROOT),
+        env=env,
+    )
+
+
+class TestShippedTree:
+    def test_src_repro_is_clean(self):
+        result = run_cli("src/repro")
+        assert result.returncode == 0, result.stdout + result.stderr
+
+    def test_full_ci_path_set_is_clean(self):
+        result = run_cli("src", "tests", "benchmarks", "--format", "json")
+        assert result.returncode == 0, result.stdout + result.stderr
+        document = json.loads(result.stdout)
+        assert document["findings"] == []
+
+
+class TestBadFixture:
+    def test_import_random_fails_with_rep001(self, tmp_path):
+        snippet = tmp_path / "snippet.py"
+        snippet.write_text("import random\n", encoding="utf-8")
+        result = run_cli(str(snippet))
+        assert result.returncode == 1
+        assert "REP001" in result.stdout
+
+    def test_json_report_names_the_rule(self, tmp_path):
+        snippet = tmp_path / "snippet.py"
+        snippet.write_text("import random\n", encoding="utf-8")
+        result = run_cli(str(snippet), "--format", "json")
+        assert result.returncode == 1
+        document = json.loads(result.stdout)
+        assert [f["rule"] for f in document["findings"]] == ["REP001"]
+
+    def test_output_file(self, tmp_path):
+        snippet = tmp_path / "snippet.py"
+        snippet.write_text("import random\n", encoding="utf-8")
+        report_path = tmp_path / "report.json"
+        result = run_cli(
+            str(snippet), "--format", "json", "--output", str(report_path)
+        )
+        assert result.returncode == 1
+        document = json.loads(report_path.read_text(encoding="utf-8"))
+        assert document["findings"]
+
+
+class TestCliInterface:
+    def test_list_rules(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("REP001", "REP002", "REP003", "REP004", "REP005"):
+            assert rule_id in out
+
+    def test_missing_path_is_usage_error(self, capsys):
+        assert main(["does/not/exist.py"]) == 2
+        assert "no such path" in capsys.readouterr().err
+
+    def test_unknown_rule_is_usage_error(self, capsys):
+        assert main(["--rules", "REP999", "src/repro/rng.py"]) == 2
+
+    def test_rules_filter_in_process(self, tmp_path):
+        snippet = tmp_path / "snippet.py"
+        snippet.write_text("import random\nimport time\nt = time.time()\n")
+        assert main(["--rules", "REP004", str(snippet)]) == 1

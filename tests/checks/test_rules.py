@@ -1,0 +1,170 @@
+"""Good/bad fixture pair per rule: each rule fires on its bad snippet
+and stays silent on its good twin."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.checks import check_source
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def run_fixture(name, rule, module="repro.fixture"):
+    path = FIXTURES / name
+    return check_source(
+        path.read_text(encoding="utf-8"),
+        path=str(path),
+        module=module,
+        is_test=False,
+        rules=[rule],
+    )
+
+
+PAIRS = [
+    ("REP001", "rep001_good.py", "rep001_bad.py"),
+    ("REP003", "rep003_good.py", "rep003_bad.py"),
+    ("REP004", "rep004_good.py", "rep004_bad.py"),
+    ("REP005", "rep005_good.py", "rep005_bad.py"),
+]
+
+
+@pytest.mark.parametrize("rule,good,bad", PAIRS)
+def test_good_snippet_is_clean(rule, good, bad):
+    report = run_fixture(good, rule)
+    assert report.findings == ()
+    assert report.exit_code == 0
+
+
+@pytest.mark.parametrize("rule,good,bad", PAIRS)
+def test_bad_snippet_fires(rule, good, bad):
+    report = run_fixture(bad, rule)
+    assert report.findings, f"{rule} found nothing in {bad}"
+    assert {f.rule_id for f in report.findings} == {rule}
+    assert report.exit_code == 1
+
+
+class TestRep001Findings:
+    def test_flags_each_construct(self):
+        report = run_fixture("rep001_bad.py", "REP001")
+        messages = " ".join(f.message for f in report.findings)
+        assert "stdlib 'random'" in messages
+        assert "np.random.seed()" in messages
+        assert "np.random.normal()" in messages
+        assert "unseeded np.random.default_rng()" in messages
+        assert len(report.findings) == 4
+
+    def test_repro_rng_module_is_exempt(self):
+        source = "import numpy as np\nrng = np.random.default_rng(3)\n"
+        report = check_source(
+            source, module="repro.rng", is_test=False, rules=["REP001"]
+        )
+        assert report.findings == ()
+
+    def test_seeded_default_rng_still_flagged_elsewhere(self):
+        source = "import numpy as np\nrng = np.random.default_rng(3)\n"
+        report = check_source(
+            source, module="repro.devices.fleet", is_test=False, rules=["REP001"]
+        )
+        assert len(report.findings) == 1
+        assert "ensure_generator" in report.findings[0].message
+
+
+class TestRep002Findings:
+    def run(self, fixture_dir):
+        path = FIXTURES / fixture_dir / "events.py"
+        return check_source(
+            path.read_text(encoding="utf-8"),
+            path=str(path),
+            module="repro.obs.events",
+            is_test=False,
+            rules=["REP002"],
+        )
+
+    def test_good_pair_is_clean(self):
+        assert self.run("rep002_good").findings == ()
+
+    def test_bad_pair_fires_every_leg(self):
+        report = self.run("rep002_bad")
+        messages = " ".join(f.message for f in report.findings)
+        assert "frozen=True" in messages
+        assert "no EVENT_SCHEMAS entry" in messages
+        assert "not registered in EVENT_TYPES" in messages
+        assert "not JSON-serializable" in messages
+        assert "'orphan'" in messages
+
+    def test_shipped_events_module_is_clean(self):
+        repo_root = Path(__file__).parents[2]
+        events = repo_root / "src" / "repro" / "obs" / "events.py"
+        report = check_source(
+            events.read_text(encoding="utf-8"),
+            path=str(events),
+            module="repro.obs.events",
+            is_test=False,
+            rules=["REP002"],
+        )
+        assert report.findings == ()
+
+
+class TestRep003Findings:
+    def test_flags_each_construct(self):
+        report = run_fixture("rep003_bad.py", "REP003")
+        messages = [f.message for f in report.findings]
+        assert any("float equality" in m for m in messages)
+        assert any("never add or subtract" in m for m in messages)
+        assert any("augmented" in m for m in messages)
+        assert len(report.findings) == 3
+
+
+class TestRep004Findings:
+    def test_flags_import_and_call(self):
+        report = run_fixture("rep004_bad.py", "REP004")
+        messages = " ".join(f.message for f in report.findings)
+        assert "time.perf_counter" in messages
+        assert "time.time()" in messages
+
+    def test_obs_package_is_exempt(self):
+        source = "import time\nstart = time.perf_counter()\n"
+        report = check_source(
+            source, module="repro.obs.metrics", is_test=False, rules=["REP004"]
+        )
+        assert report.findings == ()
+
+
+class TestRep005Findings:
+    def test_flags_global_and_module_dict_writes(self):
+        report = run_fixture("rep005_bad.py", "REP005")
+        messages = " ".join(f.message for f in report.findings)
+        assert "assigns global '_TOTAL'" in messages
+        assert "mutates module-level '_CACHE'" in messages
+        assert len(report.findings) == 2
+
+    def test_undispatched_function_may_write_globals(self):
+        source = (
+            "_STATE = {}\n"
+            "def setup(value):\n"
+            "    _STATE['value'] = value\n"
+        )
+        report = check_source(
+            source, module="repro.fl.execution", is_test=False, rules=["REP005"]
+        )
+        assert report.findings == ()
+
+    def test_taint_follows_helper_calls(self):
+        source = (
+            "from concurrent.futures import ThreadPoolExecutor\n"
+            "_STATE = {}\n"
+            "def helper(item):\n"
+            "    _STATE['last'] = item\n"
+            "def worker(item):\n"
+            "    helper(item)\n"
+            "    return item\n"
+            "def run(items):\n"
+            "    with ThreadPoolExecutor() as pool:\n"
+            "        return list(pool.map(worker, items))\n"
+        )
+        report = check_source(
+            source, module="repro.fl.execution", is_test=False, rules=["REP005"]
+        )
+        assert len(report.findings) == 1
+        assert "'helper'" in report.findings[0].message
