@@ -4,7 +4,7 @@ install:
 	pip install -e . --no-build-isolation
 
 test:
-	pytest tests/
+	pytest tests/ --durations=15
 
 lint:
 	@if command -v ruff >/dev/null 2>&1; then \

@@ -1,0 +1,125 @@
+"""Chaos — training under the fault-injection subsystem.
+
+Quantifies what the fault layer costs and what degraded-round handling
+buys back:
+
+* **Injector overhead**: an *empty* plan must be free — the trainer
+  takes the exact faults-off path — and a busy plan's per-round
+  resolution must stay negligible next to a round's training work.
+* **Resilience**: under a lossy plan (dropouts, stragglers, outages)
+  HELCFL keeps training — every round aggregates the survivors — and
+  FedCS-style over-selection recovers most of the lost participation.
+"""
+
+from repro.experiments.runner import build_environment, run_strategy
+from repro.experiments.settings import ExperimentSettings
+from repro.faults import (
+    ChannelFault,
+    DropoutFault,
+    FaultInjector,
+    FaultPlan,
+    StragglerFault,
+)
+
+ROUNDS = 50
+
+
+def chaos_plan(seed=42):
+    """A lossy but survivable plan: ~13% of updates perturbed."""
+    return FaultPlan(
+        seed=seed,
+        faults=(
+            DropoutFault(phase="before_compute", probability=0.05),
+            DropoutFault(phase="during_compute", progress=0.6, probability=0.03),
+            StragglerFault(slowdown=2.5, probability=0.10),
+            ChannelFault(mode="outage", probability=0.05),
+        ),
+    )
+
+
+def run_pair():
+    """One clean and one chaos run on the identical environment."""
+    settings = ExperimentSettings.quick(seed=7, rounds=ROUNDS)
+    environment = build_environment(settings, iid=True)
+    clean = run_strategy(
+        "helcfl", settings, iid=True, environment=environment
+    )
+    chaos = run_strategy(
+        "helcfl",
+        settings,
+        iid=True,
+        environment=environment,
+        faults=chaos_plan(),
+    )
+    return clean, chaos
+
+
+def test_chaos_training_survives(benchmark):
+    """A lossy plan degrades rounds without derailing the run."""
+    clean, chaos = benchmark.pedantic(run_pair, rounds=1, iterations=1)
+
+    assert len(chaos) == len(clean) == ROUNDS
+    degraded = [r for r in chaos.records if r.dropped_ids]
+    assert degraded, "the plan's dropouts/outages never fired"
+    # Nearly every round still integrates at least one survivor at
+    # this loss rate (a small selection can occasionally lose everyone),
+    # so accuracy keeps climbing — within reach of the clean run.
+    aggregating = sum(1 for r in chaos.records if r.train_loss > 0.0)
+    assert aggregating >= 0.8 * ROUNDS
+    assert chaos.best_accuracy >= 0.5 * clean.best_accuracy
+    # Perturbed rounds spend differently, never identically.
+    assert chaos.total_energy != clean.total_energy
+
+
+def test_over_selection_recovers_participation(benchmark):
+    """N+margin selection restores the aggregate the dropouts cost."""
+
+    def run_margin():
+        settings = ExperimentSettings.quick(seed=7, rounds=ROUNDS)
+        environment = build_environment(settings, iid=True)
+        plan = FaultPlan(
+            seed=11,
+            faults=(DropoutFault(phase="before_compute", probability=0.2),),
+        )
+        bare = run_strategy(
+            "helcfl",
+            settings,
+            iid=True,
+            environment=environment,
+            faults=plan,
+        )
+        padded = run_strategy(
+            "helcfl",
+            settings,
+            iid=True,
+            environment=environment,
+            faults=plan,
+            config_overrides={"over_select_margin": 2},
+        )
+        return bare, padded
+
+    bare, padded = benchmark.pedantic(run_margin, rounds=1, iterations=1)
+    # Aggregated counts: planned minus drops, vs. margin absorbing them.
+    bare_kept = sum(
+        len(r.selected_ids) - len(r.dropped_ids) for r in bare.records
+    )
+    padded_kept = sum(
+        len(r.selected_ids) - len(r.dropped_ids) for r in padded.records
+    )
+    assert padded_kept > bare_kept
+
+
+def test_injector_resolution_is_cheap(benchmark):
+    """plan_round over a 100-device selection stays micro-scale."""
+    injector = FaultInjector(chaos_plan())
+    selected = tuple(range(100))
+
+    def resolve():
+        return [
+            injector.plan_round(round_index, selected)
+            for round_index in range(1, 101)
+        ]
+
+    rounds = benchmark(resolve)
+    assert len(rounds) == 100
+    assert any(r.injected for r in rounds)

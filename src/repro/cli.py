@@ -87,6 +87,25 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         default=None,
         help="enable library logging on stderr at this level",
     )
+    parser.add_argument(
+        "--faults",
+        type=str,
+        default=None,
+        metavar="PLAN",
+        help="JSON fault-plan file injecting seeded chaos (device "
+        "dropouts, stragglers, channel outages, battery deaths) into "
+        "every FL run; see examples/fault_plan.json. An empty plan is "
+        "bitwise identical to running without one",
+    )
+    parser.add_argument(
+        "--round-deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="hard per-round deadline in simulated seconds: clients "
+        "that cannot finish by it are cut off and excluded from "
+        "aggregation",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -139,6 +158,31 @@ def _backend_kwargs(args: argparse.Namespace) -> dict:
     return {"backend": args.backend, "workers": args.workers}
 
 
+def _faults_from(args: argparse.Namespace):
+    """Load the fault plan the flags ask for (None when chaos is off)."""
+    if not args.faults:
+        return None
+    from repro.faults import FaultPlan
+
+    plan = FaultPlan.load(args.faults)
+    print(
+        f"loaded fault plan {args.faults} "
+        f"(seed={plan.seed}, {len(plan.faults)} fault spec(s))"
+    )
+    return plan
+
+
+def _chaos_kwargs(args: argparse.Namespace) -> dict:
+    """Fault/deadline keyword arguments for the experiment runners."""
+    overrides = {}
+    if args.round_deadline is not None:
+        overrides["round_deadline_s"] = args.round_deadline
+    return {
+        "faults": _faults_from(args),
+        "config_overrides": overrides or None,
+    }
+
+
 def _observer_from(args: argparse.Namespace):
     """Build the run observer the flags ask for (None when untraced)."""
     from repro.obs import RunObserver, configure_logging
@@ -177,6 +221,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             iid=not args.noniid,
             observer=observer,
             **_backend_kwargs(args),
+            **_chaos_kwargs(args),
         )
     finally:
         _finish_trace(observer, args)
@@ -207,6 +252,7 @@ def _cmd_fig2(args: argparse.Namespace) -> int:
             iid=not args.noniid,
             observer=observer,
             **_backend_kwargs(args),
+            **_chaos_kwargs(args),
         )
     finally:
         _finish_trace(observer, args)
@@ -228,6 +274,7 @@ def _cmd_table1(args: argparse.Namespace) -> int:
             iid=not args.noniid,
             observer=observer,
             **_backend_kwargs(args),
+            **_chaos_kwargs(args),
         )
     finally:
         _finish_trace(observer, args)
@@ -249,6 +296,7 @@ def _cmd_fig3(args: argparse.Namespace) -> int:
             iid=not args.noniid,
             observer=observer,
             **_backend_kwargs(args),
+            **_chaos_kwargs(args),
         )
     finally:
         _finish_trace(observer, args)
@@ -280,6 +328,12 @@ def _cmd_report(args: argparse.Namespace) -> int:
     if args.trace:
         print(
             "note: --trace is not supported by 'report'; ignoring",
+            file=sys.stderr,
+        )
+    if args.faults or args.round_deadline is not None:
+        print(
+            "note: --faults/--round-deadline are not supported by "
+            "'report'; ignoring",
             file=sys.stderr,
         )
     settings = _settings_from(args)

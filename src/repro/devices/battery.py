@@ -66,6 +66,16 @@ class Battery:
         self.charge_joules = 0.0
         return False
 
+    def kill(self) -> None:
+        """Empty the battery instantly (fault-injected sudden death).
+
+        Unlike a failed :meth:`drain`, no energy demand is involved:
+        the device simply shuts down. With ``enforce_battery`` the
+        trainer then drops the device's future rounds until something
+        calls :meth:`recharge`.
+        """
+        self.charge_joules = 0.0
+
     def recharge(self, energy_joules: float | None = None) -> None:
         """Add charge (full recharge when ``energy_joules`` is None)."""
         if energy_joules is None:

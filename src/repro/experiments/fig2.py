@@ -80,6 +80,8 @@ def run_fig2(
     backend=None,
     workers: Optional[int] = None,
     observer=None,
+    faults=None,
+    config_overrides: Optional[Dict] = None,
 ) -> Fig2Result:
     """Reproduce one panel of Fig. 2.
 
@@ -94,6 +96,12 @@ def run_fig2(
         observer: optional :class:`repro.obs.RunObserver` shared by
             every strategy's run (the trace interleaves runs; each
             ends with its own ``run_stop`` event).
+        faults: optional :class:`repro.faults.FaultPlan` applied to
+            every FL strategy's run (each run resolves the same seeded
+            chaos). The ``sl`` baseline has no round lifecycle and
+            always runs undegraded.
+        config_overrides: keyword overrides for every run's trainer
+            config (e.g. ``{"round_deadline_s": 30.0}``).
 
     Returns:
         The panel's :class:`Fig2Result`.
@@ -115,6 +123,8 @@ def run_fig2(
                 environment=environment,
                 backend=backend,
                 observer=observer,
+                faults=faults if name != "sl" else None,
+                config_overrides=config_overrides,
             )
     finally:
         if owned_backend is not None:

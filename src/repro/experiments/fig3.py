@@ -83,6 +83,8 @@ def run_fig3(
     backend=None,
     workers: Optional[int] = None,
     observer=None,
+    faults=None,
+    config_overrides: Optional[Dict] = None,
 ) -> Fig3Result:
     """Reproduce one panel of Fig. 3.
 
@@ -100,6 +102,10 @@ def run_fig3(
         workers: pool size when ``backend`` is given by name.
         observer: optional :class:`repro.obs.RunObserver` shared by
             both fresh runs.
+        faults: optional :class:`repro.faults.FaultPlan` applied to
+            both fresh runs (ignored when ``histories`` is supplied).
+        config_overrides: keyword overrides for both fresh runs'
+            trainer config (ignored when ``histories`` is supplied).
 
     Returns:
         The panel's :class:`Fig3Result`.
@@ -121,6 +127,8 @@ def run_fig3(
                     environment=environment,
                     backend=backend,
                     observer=observer,
+                    faults=faults,
+                    config_overrides=config_overrides,
                 ),
                 "helcfl-nodvfs": run_strategy(
                     "helcfl-nodvfs",
@@ -129,6 +137,8 @@ def run_fig3(
                     environment=environment,
                     backend=backend,
                     observer=observer,
+                    faults=faults,
+                    config_overrides=config_overrides,
                 ),
             }
         finally:

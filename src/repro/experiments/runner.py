@@ -113,6 +113,7 @@ def run_strategy(
     backend: Union[ExecutionBackend, str, None] = None,
     workers: Optional[int] = None,
     observer: Optional[RunObserver] = None,
+    faults=None,
 ) -> TrainingHistory:
     """Run one named scheme end to end.
 
@@ -140,6 +141,10 @@ def run_strategy(
             the run's trace events and stage timers (caller owns the
             sink's lifetime). Ignored by the ``sl`` baseline, whose
             loop is not instrumented.
+        faults: optional :class:`repro.faults.FaultPlan` (or
+            pre-built :class:`repro.faults.FaultInjector`) injected
+            into the run. Rejected for the ``sl`` baseline, whose loop
+            has no round lifecycle to degrade.
 
     Returns:
         The run's :class:`~repro.fl.history.TrainingHistory`, labelled
@@ -156,6 +161,10 @@ def run_strategy(
     label = strategy_labels()[key]
 
     if key == "sl":
+        if faults is not None:
+            raise ConfigurationError(
+                "fault injection is not supported by the 'sl' baseline"
+            )
         runner = SeparatedLearningRunner(
             server,
             env.devices,
@@ -190,6 +199,7 @@ def run_strategy(
         label=label,
         backend=backend,
         observer=observer,
+        faults=faults,
     )
     try:
         return trainer.run()

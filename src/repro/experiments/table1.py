@@ -76,6 +76,8 @@ def run_table1(
     backend=None,
     workers: Optional[int] = None,
     observer=None,
+    faults=None,
+    config_overrides: Optional[Dict] = None,
 ) -> Table1Result:
     """Reproduce one half of Table I.
 
@@ -94,6 +96,10 @@ def run_table1(
         workers: pool size when ``backend`` is given by name.
         observer: optional :class:`repro.obs.RunObserver` forwarded to
             the fresh Fig. 2 runs.
+        faults: optional :class:`repro.faults.FaultPlan` forwarded to
+            the fresh Fig. 2 runs (ignored when ``fig2`` is supplied).
+        config_overrides: trainer-config overrides forwarded to the
+            fresh Fig. 2 runs (ignored when ``fig2`` is supplied).
 
     Returns:
         The :class:`Table1Result` for this regime.
@@ -102,7 +108,8 @@ def run_table1(
     if fig2 is None:
         fig2 = run_fig2(
             settings, iid=iid, strategies=strategies, backend=backend,
-            workers=workers, observer=observer,
+            workers=workers, observer=observer, faults=faults,
+            config_overrides=config_overrides,
         )
     histories = fig2.histories
     if "helcfl" not in histories:

@@ -1,0 +1,61 @@
+"""Deterministic fault injection for chaos experiments.
+
+HELCFL assumes battery-powered heterogeneous devices in an MEC system,
+yet an idealized reproduction lets every selected device finish every
+round. This package models what real deployments must survive —
+dropouts, stragglers, channel outages and degradations, and batteries
+dying mid-round — as declarative, seeded :class:`FaultPlan` data
+resolved round by round through a :class:`FaultInjector`.
+
+All randomness flows through :mod:`repro.rng` from the plan seed, so a
+chaos run is exactly as reproducible as a clean one: the same plan and
+seed produce the identical degraded
+:class:`~repro.fl.history.TrainingHistory` under every execution
+backend. An *empty* plan is a strict no-op — the trainer's outputs are
+bitwise identical to running without fault injection at all.
+
+Typical use::
+
+    from repro.faults import DropoutFault, FaultPlan
+
+    plan = FaultPlan(seed=11, faults=(
+        DropoutFault(probability=0.1),             # any device, any round
+        DropoutFault(device_id=3, rounds=(5,)),    # targeted
+    ))
+    trainer = FederatedTrainer(..., faults=plan)
+
+From the CLI the same is ``python -m repro run helcfl --faults
+plan.json`` (see ``examples/fault_plan.json``).
+"""
+
+from repro.faults.injector import FaultInjector, InjectedFault, RoundFaults
+from repro.faults.plan import (
+    FAULT_TYPES,
+    MODE_DEGRADE,
+    MODE_OUTAGE,
+    PHASE_BEFORE_COMPUTE,
+    PHASE_DURING_COMPUTE,
+    BatteryDeathFault,
+    ChannelFault,
+    DropoutFault,
+    FaultPlan,
+    FaultSpec,
+    StragglerFault,
+)
+
+__all__ = [
+    "FaultSpec",
+    "DropoutFault",
+    "StragglerFault",
+    "ChannelFault",
+    "BatteryDeathFault",
+    "FaultPlan",
+    "FAULT_TYPES",
+    "PHASE_BEFORE_COMPUTE",
+    "PHASE_DURING_COMPUTE",
+    "MODE_OUTAGE",
+    "MODE_DEGRADE",
+    "FaultInjector",
+    "InjectedFault",
+    "RoundFaults",
+]

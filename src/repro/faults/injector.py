@@ -1,0 +1,237 @@
+"""The runtime engine turning a :class:`FaultPlan` into per-round effects.
+
+:class:`FaultInjector` is consulted by the trainer once per round with
+the selected device ids and returns a :class:`RoundFaults` — the
+resolved, composed set of perturbations the round must suffer. The
+resolution is *pure*: decisions depend only on ``(plan seed, spec
+position, round index, device id)``, never on evaluation order or on
+prior rounds, so the same plan and seed reproduce the same chaos under
+every execution backend and across resumed runs.
+
+Composition rules when several specs hit one device in one round:
+
+* straggler slowdowns multiply (two independent 2x contentions make a
+  4x one);
+* channel degradations multiply on the delay axis the same way;
+* terminal compute faults dominate: a before-compute dropout shadows
+  everything else, a during-compute dropout shadows upload faults
+  (the device never reaches the channel);
+* a channel outage shadows a degradation on the same upload;
+* battery death composes with everything (the battery empties at the
+  round's end regardless of what else happened).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.faults.plan import (
+    MODE_DEGRADE,
+    MODE_OUTAGE,
+    PHASE_BEFORE_COMPUTE,
+    BatteryDeathFault,
+    ChannelFault,
+    DropoutFault,
+    FaultPlan,
+    StragglerFault,
+)
+from repro.rng import derive_seed, ensure_generator
+
+__all__ = ["InjectedFault", "RoundFaults", "FaultInjector"]
+
+
+@dataclass(frozen=True)
+class InjectedFault:
+    """One fault that fired: the payload of a ``fault_injected`` event.
+
+    Attributes:
+        device_id: the victim device.
+        fault: the spec ``kind`` (``"dropout"``, ``"straggler"``,
+            ``"channel"``, ``"battery_death"``).
+        detail: the phase/mode qualifier (e.g. ``"before_compute"``,
+            ``"degrade"``); empty for battery death.
+        magnitude: the fault's scalar — dropout progress, straggler
+            slowdown, channel rate scale; 1.0 where meaningless.
+        spec_index: position of the firing spec inside the plan.
+    """
+
+    device_id: int
+    fault: str
+    detail: str
+    magnitude: float
+    spec_index: int
+
+
+@dataclass(frozen=True)
+class RoundFaults:
+    """The composed fault effects of one round.
+
+    Attributes:
+        round_index: the 1-based round these effects apply to.
+        injected: every fault that fired, in (spec, device) order.
+        drop_before: devices that never start their local update.
+        drop_during: device id to compute-progress fraction at death.
+        compute_scale: device id to composed straggler slowdown.
+        upload_outage: devices whose upload the channel kills.
+        upload_scale: device id to composed upload-delay multiplier
+            (``1 / rate_scale``; always ``> 1``).
+        battery_death: devices whose battery empties this round.
+    """
+
+    round_index: int
+    injected: Tuple[InjectedFault, ...] = ()
+    drop_before: FrozenSet[int] = frozenset()
+    drop_during: Dict[int, float] = field(default_factory=dict)
+    compute_scale: Dict[int, float] = field(default_factory=dict)
+    upload_outage: FrozenSet[int] = frozenset()
+    upload_scale: Dict[int, float] = field(default_factory=dict)
+    battery_death: FrozenSet[int] = frozenset()
+
+    def __bool__(self) -> bool:
+        return bool(self.injected)
+
+    @property
+    def lost_before_upload(self) -> FrozenSet[int]:
+        """Devices whose update cannot reach the server this round."""
+        return (
+            self.drop_before
+            | frozenset(self.drop_during)
+            | self.upload_outage
+        )
+
+
+class FaultInjector:
+    """Resolves a :class:`FaultPlan` round by round.
+
+    Args:
+        plan: the fault plan to execute. An empty plan resolves every
+            round to an empty :class:`RoundFaults`, and the trainer
+            guarantees that path is bitwise identical to running with
+            no injector at all.
+    """
+
+    def __init__(self, plan: FaultPlan) -> None:
+        if not isinstance(plan, FaultPlan):
+            raise ConfigurationError(
+                f"plan must be a FaultPlan, got {type(plan).__name__}"
+            )
+        self.plan = plan
+
+    def _fires(self, spec_index: int, round_index: int, device_id: int) -> bool:
+        """Deterministic coin flip for one armed (spec, round, device)."""
+        probability = self.plan.faults[spec_index].probability
+        if probability >= 1.0:
+            return True
+        rng = ensure_generator(
+            derive_seed(
+                self.plan.seed,
+                "fault",
+                str(spec_index),
+                str(round_index),
+                str(device_id),
+            )
+        )
+        return float(rng.random()) < probability
+
+    def plan_round(
+        self, round_index: int, selected_ids: Sequence[int]
+    ) -> RoundFaults:
+        """Resolve the faults striking ``round_index``.
+
+        Args:
+            round_index: 1-based FL round index ``j``.
+            selected_ids: ids of the round's selected devices, in
+                selection order (untargeted specs strike any of them).
+        """
+        if round_index <= 0:
+            raise ConfigurationError(
+                f"round_index must be positive, got {round_index}"
+            )
+        if self.plan.is_empty:
+            return RoundFaults(round_index=round_index)
+
+        selected = list(selected_ids)
+        selected_set = set(selected)
+        injected = []
+        drop_before = set()
+        drop_during: Dict[int, float] = {}
+        compute_scale: Dict[int, float] = {}
+        upload_outage = set()
+        upload_scale: Dict[int, float] = {}
+        battery_death = set()
+
+        for spec_index, spec in enumerate(self.plan.faults):
+            if not spec.armed_in_round(round_index):
+                continue
+            if spec.device_id is not None:
+                if spec.device_id not in selected_set:
+                    continue
+                targets = [spec.device_id]
+            else:
+                targets = selected
+            for device_id in targets:
+                if not self._fires(spec_index, round_index, device_id):
+                    continue
+                if isinstance(spec, DropoutFault):
+                    if spec.phase == PHASE_BEFORE_COMPUTE:
+                        drop_before.add(device_id)
+                    else:
+                        drop_during.setdefault(device_id, spec.progress)
+                    detail, magnitude = spec.phase, spec.progress
+                elif isinstance(spec, StragglerFault):
+                    compute_scale[device_id] = (
+                        compute_scale.get(device_id, 1.0) * spec.slowdown
+                    )
+                    detail, magnitude = "slowdown", spec.slowdown
+                elif isinstance(spec, ChannelFault):
+                    if spec.mode == MODE_OUTAGE:
+                        upload_outage.add(device_id)
+                    else:
+                        upload_scale[device_id] = (
+                            upload_scale.get(device_id, 1.0)
+                            / spec.rate_scale
+                        )
+                    detail, magnitude = spec.mode, spec.rate_scale
+                elif isinstance(spec, BatteryDeathFault):
+                    battery_death.add(device_id)
+                    detail, magnitude = "", 1.0
+                else:  # pragma: no cover - registry and branches agree
+                    raise ConfigurationError(
+                        f"unhandled fault type {type(spec).__name__}"
+                    )
+                injected.append(
+                    InjectedFault(
+                        device_id=device_id,
+                        fault=spec.kind,
+                        detail=detail,
+                        magnitude=float(magnitude),
+                        spec_index=spec_index,
+                    )
+                )
+
+        # Precedence: a device that never computes has no other effects;
+        # a device that dies computing never reaches the channel; an
+        # upload outage shadows a degradation.
+        for dead in drop_before:
+            drop_during.pop(dead, None)
+            compute_scale.pop(dead, None)
+            upload_outage.discard(dead)
+            upload_scale.pop(dead, None)
+        for dying in drop_during:
+            upload_outage.discard(dying)
+            upload_scale.pop(dying, None)
+        for out in upload_outage:
+            upload_scale.pop(out, None)
+
+        return RoundFaults(
+            round_index=round_index,
+            injected=tuple(injected),
+            drop_before=frozenset(drop_before),
+            drop_during=drop_during,
+            compute_scale=compute_scale,
+            upload_outage=frozenset(upload_outage),
+            upload_scale=upload_scale,
+            battery_death=frozenset(battery_death),
+        )

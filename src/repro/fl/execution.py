@@ -42,6 +42,9 @@ from repro.nn.model import Sequential
 from repro.rng import derive_seed
 
 __all__ = [
+    "STATUS_OK",
+    "STATUS_DROPPED",
+    "STATUS_TIMEOUT",
     "ClientUpdate",
     "RoundResult",
     "LocalUpdateSpec",
@@ -57,6 +60,12 @@ __all__ = [
 # ----------------------------------------------------------------------
 # Round data containers
 # ----------------------------------------------------------------------
+STATUS_OK = "ok"
+STATUS_DROPPED = "dropped"
+STATUS_TIMEOUT = "timeout"
+"""Client round outcomes (shared vocabulary with the TDMA timeline)."""
+
+
 @dataclass(frozen=True)
 class ClientUpdate:
     """One client's contribution to a round.
@@ -71,6 +80,10 @@ class ClientUpdate:
             statistical-utility selection strategies).
         payload_bits: actual transmitted bits when compression ran;
             ``None`` means the nominal ``C_model`` payload applies.
+        status: the round outcome — ``"ok"`` reached the server,
+            ``"dropped"`` lost to a fault or battery, ``"timeout"``
+            cut off by the round deadline. Only ``"ok"`` updates are
+            aggregated.
     """
 
     device_id: int
@@ -78,6 +91,14 @@ class ClientUpdate:
     weight: float
     loss: float
     payload_bits: Optional[float] = None
+    status: str = STATUS_OK
+
+    def __post_init__(self) -> None:
+        if self.status not in (STATUS_OK, STATUS_DROPPED, STATUS_TIMEOUT):
+            raise ConfigurationError(
+                f"status must be one of ('{STATUS_OK}', '{STATUS_DROPPED}', "
+                f"'{STATUS_TIMEOUT}'), got {self.status!r}"
+            )
 
 
 @dataclass(frozen=True)
@@ -144,6 +165,65 @@ class RoundResult:
             updates=tuple(
                 u for u in self.updates if u.device_id not in dropped
             ),
+        )
+
+    # -- degraded-round helpers ----------------------------------------
+    def with_statuses(self, statuses: Dict[int, str]) -> RoundResult:
+        """Return a copy with per-device statuses applied.
+
+        Devices absent from ``statuses`` keep their current status;
+        when nothing changes the result is ``self`` (so the faults-off
+        path shares the exact same object).
+        """
+        if all(
+            statuses.get(u.device_id, u.status) == u.status
+            for u in self.updates
+        ):
+            return self
+        return replace(
+            self,
+            updates=tuple(
+                replace(u, status=statuses[u.device_id])
+                if statuses.get(u.device_id, u.status) != u.status
+                else u
+                for u in self.updates
+            ),
+        )
+
+    def survivors(self) -> RoundResult:
+        """The updates that reached the server (``status == "ok"``).
+
+        Returns ``self`` when every update survived, so an undegraded
+        round pays nothing for the filter.
+        """
+        if all(u.status == STATUS_OK for u in self.updates):
+            return self
+        return replace(
+            self,
+            updates=tuple(
+                u for u in self.updates if u.status == STATUS_OK
+            ),
+        )
+
+    def first(self, count: int) -> RoundResult:
+        """The first ``count`` updates in selection order.
+
+        The FedCS-style over-selection fallback aggregates the first
+        ``N`` survivors of an ``N + margin`` selection; ``self`` is
+        returned unchanged when nothing needs trimming.
+        """
+        if count < 0:
+            raise ConfigurationError(
+                f"count must be non-negative, got {count}"
+            )
+        if len(self.updates) <= count:
+            return self
+        return replace(self, updates=self.updates[:count])
+
+    def ids_with_status(self, status: str) -> Tuple[int, ...]:
+        """Device ids carrying ``status``, in selection order."""
+        return tuple(
+            u.device_id for u in self.updates if u.status == status
         )
 
 

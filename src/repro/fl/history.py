@@ -43,7 +43,11 @@ class RoundRecord:
             without evaluation).
         test_loss: global-model test loss (None without evaluation).
         dropped_ids: devices whose update was lost this round (battery
-            depletion injection), empty otherwise.
+            depletion, injected dropout/outage/battery-death faults),
+            empty otherwise.
+        timeout_ids: devices cut off by the per-round deadline this
+            round (their partial work was spent but never aggregated),
+            empty otherwise. Disjoint from ``dropped_ids``.
     """
 
     round_index: int
@@ -60,6 +64,7 @@ class RoundRecord:
     test_accuracy: Optional[float] = None
     test_loss: Optional[float] = None
     dropped_ids: Tuple[int, ...] = ()
+    timeout_ids: Tuple[int, ...] = ()
 
 
 @dataclass
@@ -199,6 +204,7 @@ class TrainingHistory:
                     "test_accuracy": r.test_accuracy,
                     "test_loss": r.test_loss,
                     "dropped_ids": list(r.dropped_ids),
+                    "timeout_ids": list(r.timeout_ids),
                 }
                 for r in self.records
             ],
@@ -234,6 +240,7 @@ class TrainingHistory:
                     test_accuracy=raw.get("test_accuracy"),
                     test_loss=raw.get("test_loss"),
                     dropped_ids=tuple(raw.get("dropped_ids", ())),
+                    timeout_ids=tuple(raw.get("timeout_ids", ())),
                 )
             )
         return history

@@ -26,6 +26,7 @@ __all__ = [
     "FullParticipation",
     "MaxFrequencyPolicy",
     "selection_count",
+    "over_selection_extras",
 ]
 
 
@@ -44,6 +45,45 @@ def selection_count(num_users: int, fraction: float) -> int:
     if not 0.0 < fraction <= 1.0:
         raise SelectionError(f"fraction must be in (0, 1], got {fraction}")
     return min(num_users, max(int(num_users * fraction), 1))
+
+
+def over_selection_extras(
+    devices: Sequence[UserDevice],
+    selected: Sequence[UserDevice],
+    margin: int,
+    payload_bits: float,
+    bandwidth_hz: float,
+) -> List[UserDevice]:
+    """FedCS-style over-selection padding for dropout resilience.
+
+    When the trainer expects dropouts it selects ``N + margin`` devices
+    and aggregates the first ``N`` survivors. The padding devices are
+    the *fastest* not-yet-selected ones by the Eq. (9) round delay at
+    ``f_max`` (ties by id) — the FedCS heuristic: devices most likely
+    to finish inside the round.
+
+    Args:
+        devices: the full population ``V``.
+        selected: the strategy's own pick ``Gamma_j``.
+        margin: extra devices to add (capped by the remaining pool).
+        payload_bits: model payload ``C_model`` in bits.
+        bandwidth_hz: uplink resource blocks ``Z`` in Hz.
+
+    Returns:
+        Up to ``margin`` padding devices, deterministic for a fixed
+        population.
+    """
+    if margin < 0:
+        raise SelectionError(f"margin must be non-negative, got {margin}")
+    chosen = {device.device_id for device in selected}
+    pool = [device for device in devices if device.device_id not in chosen]
+    pool.sort(
+        key=lambda d: (
+            d.total_delay(payload_bits, bandwidth_hz),
+            d.device_id,
+        )
+    )
+    return pool[:margin]
 
 
 class SelectionStrategy:

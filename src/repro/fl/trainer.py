@@ -19,8 +19,12 @@ from typing import Optional, Sequence, Tuple
 
 from repro.devices.device import UserDevice
 from repro.errors import ConfigurationError, TrainingError
+from repro.faults import FaultInjector, FaultPlan, RoundFaults
 from repro.fl.client import LocalTrainer
 from repro.fl.execution import (
+    STATUS_DROPPED,
+    STATUS_OK,
+    STATUS_TIMEOUT,
     ExecutionBackend,
     LocalUpdateSpec,
     RoundResult,
@@ -28,13 +32,21 @@ from repro.fl.execution import (
 )
 from repro.fl.history import RoundRecord, TrainingHistory
 from repro.fl.server import FederatedServer
-from repro.fl.strategy import FrequencyPolicy, MaxFrequencyPolicy, SelectionStrategy
-from repro.network.tdma import simulate_tdma_round
+from repro.fl.strategy import (
+    FrequencyPolicy,
+    MaxFrequencyPolicy,
+    SelectionStrategy,
+    over_selection_extras,
+)
+from repro.network.tdma import RoundTimeline, simulate_tdma_round
 from repro.obs import (
     AggregationEvent,
     BatteryDropEvent,
+    ClientDroppedEvent,
     EvalEvent,
+    FaultInjectedEvent,
     FrequencyAssignmentEvent,
+    RoundDegradedEvent,
     RunObserver,
     RunStopEvent,
     SelectionEvent,
@@ -88,6 +100,17 @@ class TrainerConfig:
             sampling seeds when ``batch_size`` is set, so stochastic
             local updates reproduce identically under every execution
             backend.
+        round_deadline_s: hard per-round deadline (seconds of simulated
+            time). Clients whose upload cannot complete by it are cut
+            off (``"timeout"``), charged only the energy they actually
+            spent, and excluded from aggregation; the round then lasts
+            exactly this long. ``None`` (the default) disables the
+            cut-off.
+        over_select_margin: FedCS-style dropout insurance — select this
+            many extra users beyond the strategy's pick and aggregate
+            only the first ``N`` survivors (selection order), where
+            ``N`` is the strategy's own count. 0 (the default) disables
+            over-selection.
     """
 
     rounds: int = 300
@@ -105,6 +128,8 @@ class TrainerConfig:
     keep_best_model: bool = False
     enforce_battery: bool = False
     minibatch_seed: int = 0
+    round_deadline_s: Optional[float] = None
+    over_select_margin: int = 0
 
     def __post_init__(self) -> None:
         if self.rounds <= 0:
@@ -142,6 +167,16 @@ class TrainerConfig:
         if self.lr_decay_period <= 0:
             raise ConfigurationError(
                 f"lr_decay_period must be positive, got {self.lr_decay_period}"
+            )
+        if self.round_deadline_s is not None and self.round_deadline_s <= 0:
+            raise ConfigurationError(
+                "round_deadline_s must be positive when set, got "
+                f"{self.round_deadline_s}"
+            )
+        if self.over_select_margin < 0:
+            raise ConfigurationError(
+                "over_select_margin must be non-negative, got "
+                f"{self.over_select_margin}"
             )
 
     def learning_rate_at(self, round_index: int) -> float:
@@ -204,6 +239,13 @@ class FederatedTrainer:
             into a private registry with tracing off. Observation is
             read-only: enabling it leaves the returned history bitwise
             identical.
+        faults: an optional :class:`repro.faults.FaultPlan` (or a
+            pre-built :class:`repro.faults.FaultInjector`) describing
+            the seeded chaos to inject into the run — device dropouts,
+            stragglers, channel outages/degradations, battery deaths.
+            ``None`` (the default) and an *empty* plan both take the
+            exact faults-off code path, so they are bitwise identical
+            to each other.
 
     Attributes:
         ledger: an :class:`repro.energy.EnergyLedger` accumulating
@@ -225,9 +267,21 @@ class FederatedTrainer:
         channel_models=None,
         backend: Optional[ExecutionBackend] = None,
         observer: Optional[RunObserver] = None,
+        faults=None,
     ) -> None:
         if not devices:
             raise TrainingError("cannot train with an empty device population")
+        if faults is None:
+            self.fault_injector: Optional[FaultInjector] = None
+        elif isinstance(faults, FaultInjector):
+            self.fault_injector = faults
+        elif isinstance(faults, FaultPlan):
+            self.fault_injector = FaultInjector(faults)
+        else:
+            raise ConfigurationError(
+                "faults must be a FaultPlan or FaultInjector, got "
+                f"{type(faults).__name__}"
+            )
         self.server = server
         self.devices = list(devices)
         self.selection = selection
@@ -289,7 +343,13 @@ class FederatedTrainer:
     def _apply_battery(
         self, selected: Sequence[UserDevice], timeline, result: RoundResult
     ) -> Tuple[RoundResult, Tuple[int, ...]]:
-        """Drop updates from devices whose battery cannot pay the round."""
+        """Drain batteries; mark devices that cannot pay as dropped.
+
+        Every device pays the energy its timeline entry says it spent —
+        including fault-lost devices' partial work. Only devices whose
+        update would otherwise have reached the server show up in the
+        returned battery-drop tuple (a fault already claimed the rest).
+        """
         if not self.config.enforce_battery:
             return result, ()
         per_device = timeline.by_device()
@@ -298,10 +358,64 @@ class FederatedTrainer:
         for update in result:
             device = device_index[update.device_id]
             battery = device.battery
+            if battery is None:
+                continue
             entry = per_device[update.device_id]
-            if battery is not None and not battery.drain(entry.total_energy):
+            paid = battery.drain(entry.total_energy)
+            if not paid and update.status == STATUS_OK:
                 dropped.append(update.device_id)
-        return result.drop(dropped), tuple(dropped)
+        statuses = {device_id: STATUS_DROPPED for device_id in dropped}
+        return result.with_statuses(statuses), tuple(dropped)
+
+    def _emit_client_drops(
+        self,
+        round_index: int,
+        fault_round: Optional[RoundFaults],
+        timeline: RoundTimeline,
+        battery_dropped: Tuple[int, ...],
+        dropped_ids: Tuple[int, ...],
+        timeout_ids: Tuple[int, ...],
+    ) -> None:
+        """Emit one :class:`ClientDroppedEvent` per lost client."""
+        causes = {}
+        if fault_round is not None:
+            for device_id in fault_round.drop_before:
+                causes[device_id] = ("dropout", "before_compute")
+            for device_id in fault_round.drop_during:
+                causes[device_id] = ("dropout", "compute")
+            for device_id in fault_round.upload_outage:
+                causes[device_id] = ("channel_outage", "upload")
+        for device_id in battery_dropped:
+            causes.setdefault(device_id, ("battery", "round"))
+        if fault_round is not None:
+            for device_id in fault_round.battery_death:
+                causes.setdefault(device_id, ("battery_death", "round"))
+        per_device = timeline.by_device()
+        for device_id in dropped_ids:
+            cause, phase = causes.get(device_id, ("dropout", "round"))
+            self.observer.emit(
+                ClientDroppedEvent(
+                    round_index=round_index,
+                    device_id=device_id,
+                    cause=cause,
+                    phase=phase,
+                )
+            )
+        for device_id in timeout_ids:
+            entry = per_device.get(device_id)
+            phase = "compute"
+            if entry is not None and (
+                entry.slack > 0.0 or entry.upload_delay > 0.0
+            ):
+                phase = "upload"
+            self.observer.emit(
+                ClientDroppedEvent(
+                    round_index=round_index,
+                    device_id=device_id,
+                    cause="round_deadline",
+                    phase=phase,
+                )
+            )
 
     def run(self) -> TrainingHistory:
         """Execute the full training loop and return its history."""
@@ -341,169 +455,354 @@ class FederatedTrainer:
 
         stop_reason = StopReason.ROUNDS_EXHAUSTED
         round_index = 0
-        for round_index in range(1, config.rounds + 1):
-            # Per-round fading: refresh mapped devices' channel gains
-            # before selection so the FLCC plans with current info.
-            for device_id, model in self.channel_models.items():
-                device = device_index.get(device_id)
-                if device is not None:
-                    device.radio.channel_gain = float(model.sample_gain())
+        injector = self.fault_injector
+        if injector is not None and injector.plan.is_empty:
+            # An empty plan is contractually a no-op: take the exact
+            # faults-off code path so histories and traces stay bitwise
+            # identical to a run with no injector at all.
+            injector = None
+        chaos_active = (
+            injector is not None or config.round_deadline_s is not None
+        )
+        try:
+            for round_index in range(1, config.rounds + 1):
+                # Per-round fading: refresh mapped devices' channel gains
+                # before selection so the FLCC plans with current info.
+                for device_id, model in self.channel_models.items():
+                    device = device_index.get(device_id)
+                    if device is not None:
+                        device.radio.channel_gain = float(model.sample_gain())
 
-            with observer.timer("selection"):
-                selected = self.selection.select(round_index, self.devices)
-            if not selected:
-                raise TrainingError(
-                    f"selection produced no users in round {round_index}"
-                )
-            selected_ids = tuple(d.device_id for d in selected)
-            observer.emit(
-                SelectionEvent(
-                    round_index=round_index, selected_ids=selected_ids
-                )
-            )
-            self.local_trainer.learning_rate = config.learning_rate_at(
-                round_index
-            )
-            with observer.timer("frequency_assignment"):
-                frequencies = self.frequency_policy.assign(
-                    selected,
-                    self.server.payload_bits,
-                    config.bandwidth_hz,
-                    round_index=round_index,
-                )
-            observer.emit(
-                FrequencyAssignmentEvent(
-                    round_index=round_index, frequencies=dict(frequencies)
-                )
-            )
-            result = self._run_clients(round_index, selected)
-            timeline = simulate_tdma_round(
-                selected,
-                self.server.payload_bits,
-                config.bandwidth_hz,
-                frequencies,
-                payloads=result.payloads or None,
-            )
-            result, dropped = self._apply_battery(selected, timeline, result)
-            if dropped:
+                with observer.timer("selection"):
+                    selected = self.selection.select(round_index, self.devices)
+                if not selected:
+                    raise TrainingError(
+                        f"selection produced no users in round {round_index}"
+                    )
+                target_count = len(selected)
+                if config.over_select_margin > 0:
+                    selected = list(selected) + over_selection_extras(
+                        self.devices,
+                        selected,
+                        config.over_select_margin,
+                        self.server.payload_bits,
+                        config.bandwidth_hz,
+                    )
+                selected_ids = tuple(d.device_id for d in selected)
                 observer.emit(
-                    BatteryDropEvent(
-                        round_index=round_index, dropped_ids=dropped
+                    SelectionEvent(
+                        round_index=round_index, selected_ids=selected_ids
                     )
                 )
-                observer.metrics.inc("clients_dropped", float(len(dropped)))
-            # Feedback hook for statistical-utility strategies (e.g.
-            # the Oort extension): report the observed losses of the
-            # clients that survived battery enforcement — updates the
-            # server never integrated must not shape future selection.
-            self.selection.observe_losses(result.losses)
-            self.ledger.record_round(timeline)
-            if result:
-                with observer.timer("aggregation"):
-                    self.server.aggregate(result.params, result.weights)
-            observer.emit(
-                AggregationEvent(
-                    round_index=round_index,
-                    num_updates=len(result),
-                    total_weight=float(sum(result.weights)),
+                self.local_trainer.learning_rate = config.learning_rate_at(
+                    round_index
                 )
-            )
-
-            cumulative_time += timeline.round_delay
-            cumulative_energy += timeline.total_energy
-            observer.emit(
-                TimelineEvent(
-                    round_index=round_index,
-                    round_delay=timeline.round_delay,
-                    round_energy=timeline.total_energy,
-                    compute_energy=timeline.total_compute_energy,
-                    upload_energy=timeline.total_upload_energy,
-                    slack=timeline.total_slack,
-                    cumulative_time=cumulative_time,
-                    cumulative_energy=cumulative_energy,
-                )
-            )
-            observer.metrics.inc("rounds")
-            observer.metrics.inc("clients_selected", float(len(selected)))
-
-            # Train loss is weighted over the updates the server
-            # actually integrated: battery-dropped clients trained,
-            # but their contribution never reached the global model.
-            total_weight = sum(u.weight for u in result)
-            train_loss = (
-                sum(u.loss * u.weight for u in result) / total_weight
-                if total_weight
-                else 0.0
-            )
-
-            should_eval = (
-                round_index % config.eval_every == 0
-                or round_index == config.rounds
-            )
-            test_loss = test_accuracy = None
-            if should_eval and self.server.test_dataset is not None:
-                test_loss, test_accuracy = self.server.evaluate()
-                observer.emit(
-                    EvalEvent(
+                with observer.timer("frequency_assignment"):
+                    frequencies = self.frequency_policy.assign(
+                        selected,
+                        self.server.payload_bits,
+                        config.bandwidth_hz,
                         round_index=round_index,
-                        test_loss=test_loss,
-                        test_accuracy=test_accuracy,
+                    )
+                observer.emit(
+                    FrequencyAssignmentEvent(
+                        round_index=round_index, frequencies=dict(frequencies)
                     )
                 )
-                observer.metrics.inc("evaluations")
-                if config.keep_best_model and (
-                    self.best_model_params is None
-                    or test_accuracy > self.best_model_accuracy
-                ):
-                    self.best_model_params = self.server.broadcast()
-                    self.best_model_accuracy = test_accuracy
 
-            history.append(
-                RoundRecord(
+                fault_round = (
+                    injector.plan_round(round_index, selected_ids)
+                    if injector is not None
+                    else None
+                )
+                if fault_round:
+                    for injected in fault_round.injected:
+                        observer.emit(
+                            FaultInjectedEvent(
+                                round_index=round_index,
+                                device_id=injected.device_id,
+                                fault=injected.fault,
+                                detail=injected.detail,
+                                magnitude=injected.magnitude,
+                            )
+                        )
+                    observer.metrics.inc(
+                        "faults_injected", float(len(fault_round.injected))
+                    )
+
+                pre_dropped = (
+                    fault_round.drop_before if fault_round else frozenset()
+                )
+                active = [
+                    d for d in selected if d.device_id not in pre_dropped
+                ]
+                reassigned = False
+                if pre_dropped and active:
+                    # Algorithm 3's slack chain planned around the
+                    # dropped devices' uploads: recompute the schedule
+                    # over the survivors so successors do not idle at
+                    # stale frequencies.
+                    with observer.timer("frequency_assignment"):
+                        frequencies = self.frequency_policy.assign(
+                            active,
+                            self.server.payload_bits,
+                            config.bandwidth_hz,
+                            round_index=round_index,
+                        )
+                    observer.emit(
+                        FrequencyAssignmentEvent(
+                            round_index=round_index,
+                            frequencies=dict(frequencies),
+                        )
+                    )
+                    observer.metrics.inc("frequency_reassignments")
+                    reassigned = True
+
+                if active:
+                    result = self._run_clients(round_index, active)
+                    timeline = simulate_tdma_round(
+                        active,
+                        self.server.payload_bits,
+                        config.bandwidth_hz,
+                        frequencies,
+                        payloads=result.payloads or None,
+                        compute_scale=(
+                            fault_round.compute_scale if fault_round else None
+                        ),
+                        drop_during=(
+                            fault_round.drop_during if fault_round else None
+                        ),
+                        upload_outage=(
+                            fault_round.upload_outage if fault_round else None
+                        ),
+                        upload_scale=(
+                            fault_round.upload_scale if fault_round else None
+                        ),
+                        round_deadline=config.round_deadline_s,
+                    )
+                    result = result.with_statuses(timeline.outcomes())
+                else:
+                    # Every selected device dropped before computing:
+                    # the round happens but costs nothing and changes
+                    # nothing.
+                    result = RoundResult(round_index=round_index, updates=())
+                    timeline = RoundTimeline(
+                        users=(),
+                        round_delay=0.0,
+                        total_energy=0.0,
+                        total_compute_energy=0.0,
+                        total_upload_energy=0.0,
+                        total_slack=0.0,
+                    )
+                result, battery_dropped = self._apply_battery(
+                    active, timeline, result
+                )
+                if fault_round and fault_round.battery_death:
+                    # The battery empties at the round's end, killing
+                    # the device's contribution whatever else happened.
+                    for device_id in fault_round.battery_death:
+                        device = device_index[device_id]
+                        if device.battery is not None:
+                            device.battery.kill()
+                    result = result.with_statuses(
+                        {
+                            device_id: STATUS_DROPPED
+                            for device_id in fault_round.battery_death
+                        }
+                    )
+                if battery_dropped:
+                    observer.emit(
+                        BatteryDropEvent(
+                            round_index=round_index,
+                            dropped_ids=battery_dropped,
+                        )
+                    )
+
+                integrated = result.survivors()
+                if config.over_select_margin > 0:
+                    integrated = integrated.first(target_count)
+
+                status_by_id = {u.device_id: u.status for u in result}
+                for device_id in pre_dropped:
+                    status_by_id[device_id] = STATUS_DROPPED
+                dropped_ids = tuple(
+                    device_id
+                    for device_id in selected_ids
+                    if status_by_id.get(device_id) == STATUS_DROPPED
+                )
+                timeout_ids = tuple(
+                    device_id
+                    for device_id in selected_ids
+                    if status_by_id.get(device_id) == STATUS_TIMEOUT
+                )
+                if dropped_ids:
+                    observer.metrics.inc(
+                        "clients_dropped", float(len(dropped_ids))
+                    )
+                if timeout_ids:
+                    observer.metrics.inc(
+                        "clients_timeout", float(len(timeout_ids))
+                    )
+                if chaos_active:
+                    self._emit_client_drops(
+                        round_index,
+                        fault_round,
+                        timeline,
+                        battery_dropped,
+                        dropped_ids,
+                        timeout_ids,
+                    )
+                    if (
+                        dropped_ids
+                        or timeout_ids
+                        or reassigned
+                        or len(integrated) < target_count
+                    ):
+                        observer.emit(
+                            RoundDegradedEvent(
+                                round_index=round_index,
+                                planned=len(selected),
+                                aggregated=len(integrated),
+                                dropped_ids=dropped_ids,
+                                timeout_ids=timeout_ids,
+                                reassigned_frequencies=reassigned,
+                            )
+                        )
+                        observer.metrics.inc("rounds_degraded")
+
+                # Feedback hook for statistical-utility strategies (e.g.
+                # the Oort extension): report the observed losses of the
+                # clients the server actually integrated — updates it
+                # never saw must not shape future selection.
+                self.selection.observe_losses(integrated.losses)
+                self.ledger.record_round(timeline)
+                if integrated:
+                    with observer.timer("aggregation"):
+                        self.server.aggregate(
+                            integrated.params, integrated.weights
+                        )
+                observer.emit(
+                    AggregationEvent(
+                        round_index=round_index,
+                        num_updates=len(integrated),
+                        total_weight=float(sum(integrated.weights)),
+                    )
+                )
+
+                cumulative_time += timeline.round_delay
+                cumulative_energy += timeline.total_energy
+                observer.emit(
+                    TimelineEvent(
+                        round_index=round_index,
+                        round_delay=timeline.round_delay,
+                        round_energy=timeline.total_energy,
+                        compute_energy=timeline.total_compute_energy,
+                        upload_energy=timeline.total_upload_energy,
+                        slack=timeline.total_slack,
+                        cumulative_time=cumulative_time,
+                        cumulative_energy=cumulative_energy,
+                    )
+                )
+                observer.metrics.inc("rounds")
+                observer.metrics.inc("clients_selected", float(len(selected)))
+
+                # Train loss is weighted over the updates the server
+                # actually integrated: dropped clients may have trained,
+                # but their contribution never reached the global model.
+                total_weight = sum(u.weight for u in integrated)
+                train_loss = (
+                    sum(u.loss * u.weight for u in integrated) / total_weight
+                    if total_weight
+                    else 0.0
+                )
+
+                should_eval = (
+                    round_index % config.eval_every == 0
+                    or round_index == config.rounds
+                )
+                test_loss = test_accuracy = None
+                if should_eval and self.server.test_dataset is not None:
+                    test_loss, test_accuracy = self.server.evaluate()
+                    observer.emit(
+                        EvalEvent(
+                            round_index=round_index,
+                            test_loss=test_loss,
+                            test_accuracy=test_accuracy,
+                        )
+                    )
+                    observer.metrics.inc("evaluations")
+                    if config.keep_best_model and (
+                        self.best_model_params is None
+                        or test_accuracy > self.best_model_accuracy
+                    ):
+                        self.best_model_params = self.server.broadcast()
+                        self.best_model_accuracy = test_accuracy
+
+                history.append(
+                    RoundRecord(
+                        round_index=round_index,
+                        selected_ids=selected_ids,
+                        frequencies=dict(frequencies),
+                        round_delay=timeline.round_delay,
+                        round_energy=timeline.total_energy,
+                        compute_energy=timeline.total_compute_energy,
+                        upload_energy=timeline.total_upload_energy,
+                        slack=timeline.total_slack,
+                        cumulative_time=cumulative_time,
+                        cumulative_energy=cumulative_energy,
+                        train_loss=train_loss,
+                        test_accuracy=test_accuracy,
+                        test_loss=test_loss,
+                        dropped_ids=dropped_ids,
+                        timeout_ids=timeout_ids,
+                    )
+                )
+                _LOGGER.debug(
+                    "round %d: %d selected, %d dropped, %d timed out, "
+                    "delay %.4fs, energy %.4fJ, train_loss %.5f",
+                    round_index,
+                    len(selected),
+                    len(dropped_ids),
+                    len(timeout_ids),
+                    timeline.round_delay,
+                    timeline.total_energy,
+                    train_loss,
+                )
+
+                if (
+                    config.deadline_s is not None
+                    and cumulative_time >= config.deadline_s
+                ):
+                    stop_reason = StopReason.DEADLINE
+                    break
+                if (
+                    config.target_accuracy is not None
+                    and test_accuracy is not None
+                    and test_accuracy >= config.target_accuracy
+                ):
+                    stop_reason = StopReason.TARGET_ACCURACY
+                    break
+                if (
+                    plateau is not None
+                    and test_loss is not None
+                    and plateau.update(test_loss)
+                ):
+                    stop_reason = StopReason.PLATEAU
+                    break
+        except Exception:
+            # Leave a terminal marker in the trace before propagating,
+            # so a crashed chaos run's JSONL still ends with a typed
+            # run_stop instead of cutting off mid-round.
+            observer.emit(
+                RunStopEvent(
                     round_index=round_index,
-                    selected_ids=selected_ids,
-                    frequencies=dict(frequencies),
-                    round_delay=timeline.round_delay,
-                    round_energy=timeline.total_energy,
-                    compute_energy=timeline.total_compute_energy,
-                    upload_energy=timeline.total_upload_energy,
-                    slack=timeline.total_slack,
+                    reason=StopReason.ERROR.value,
                     cumulative_time=cumulative_time,
                     cumulative_energy=cumulative_energy,
-                    train_loss=train_loss,
-                    test_accuracy=test_accuracy,
-                    test_loss=test_loss,
-                    dropped_ids=dropped,
+                    label=self.label,
                 )
             )
-            _LOGGER.debug(
-                "round %d: %d selected, %d dropped, delay %.4fs, "
-                "energy %.4fJ, train_loss %.5f",
-                round_index,
-                len(selected),
-                len(dropped),
-                timeline.round_delay,
-                timeline.total_energy,
-                train_loss,
-            )
-
-            if config.deadline_s is not None and cumulative_time >= config.deadline_s:
-                stop_reason = StopReason.DEADLINE
-                break
-            if (
-                config.target_accuracy is not None
-                and test_accuracy is not None
-                and test_accuracy >= config.target_accuracy
-            ):
-                stop_reason = StopReason.TARGET_ACCURACY
-                break
-            if (
-                plateau is not None
-                and test_loss is not None
-                and plateau.update(test_loss)
-            ):
-                stop_reason = StopReason.PLATEAU
-                break
+            raise
 
         history.stop_reason = stop_reason.value
         observer.emit(

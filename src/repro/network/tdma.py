@@ -13,17 +13,39 @@ windows, slack, and energies, plus the synchronized round delay
 (Eq. 10) and round energy (Eq. 11). It is both the execution engine of
 the FL trainer and the independent oracle the tests use to verify
 Algorithm 3.
+
+The simulator also accepts the per-device *perturbations* the fault
+layer (:mod:`repro.faults`) resolves — straggler compute-delay
+multipliers, during-compute deaths, channel outages/degradations, and
+a hard round deadline. Each perturbed user carries an ``outcome``
+(``"ok"``, ``"dropped"``, ``"timeout"``) and only the energy it
+actually spent; with no perturbations the timeline is bitwise
+identical to the unperturbed simulation.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import AbstractSet, Dict, List, Optional, Sequence, Tuple
 
 from repro.devices.device import UserDevice
 from repro.errors import NetworkError
 
-__all__ = ["UserTimeline", "RoundTimeline", "simulate_tdma_round"]
+__all__ = [
+    "OUTCOME_OK",
+    "OUTCOME_DROPPED",
+    "OUTCOME_TIMEOUT",
+    "CLIENT_OUTCOMES",
+    "UserTimeline",
+    "RoundTimeline",
+    "simulate_tdma_round",
+]
+
+OUTCOME_OK = "ok"
+OUTCOME_DROPPED = "dropped"
+OUTCOME_TIMEOUT = "timeout"
+CLIENT_OUTCOMES: Tuple[str, ...] = (OUTCOME_OK, OUTCOME_DROPPED, OUTCOME_TIMEOUT)
+"""The per-user round outcomes shared with ``ClientUpdate.status``."""
 
 
 @dataclass(frozen=True)
@@ -41,6 +63,13 @@ class UserTimeline:
         slack: idle wait between compute end and upload start.
         compute_energy: Eq. (5) at ``frequency``.
         upload_energy: Eq. (8).
+        outcome: ``"ok"`` for a completed upload, ``"dropped"`` for a
+            device lost to a fault (during-compute death or channel
+            outage), ``"timeout"`` for one cut off by the round
+            deadline. For non-``"ok"`` users the delay/energy fields
+            cover only the portion actually executed (a user dead at
+            40% of its compute shows 40% of the delay and energy, and
+            zero upload cost).
     """
 
     device_id: int
@@ -53,6 +82,7 @@ class UserTimeline:
     slack: float
     compute_energy: float
     upload_energy: float
+    outcome: str = OUTCOME_OK
 
     @property
     def total_energy(self) -> float:
@@ -89,6 +119,23 @@ class RoundTimeline:
         """Index the per-user timelines by device id."""
         return {entry.device_id: entry for entry in self.users}
 
+    def outcomes(self) -> Dict[int, str]:
+        """Map each device id to its round outcome."""
+        return {entry.device_id: entry.outcome for entry in self.users}
+
+    def ids_with_outcome(self, outcome: str) -> Tuple[int, ...]:
+        """Device ids with the given outcome, in timeline order."""
+        return tuple(
+            entry.device_id
+            for entry in self.users
+            if entry.outcome == outcome
+        )
+
+    @property
+    def completed_ids(self) -> Tuple[int, ...]:
+        """Devices whose upload reached the server, in grant order."""
+        return self.ids_with_outcome(OUTCOME_OK)
+
 
 def simulate_tdma_round(
     devices: Sequence[UserDevice],
@@ -96,6 +143,12 @@ def simulate_tdma_round(
     bandwidth_hz: float,
     frequencies: Optional[Dict[int, float]] = None,
     payloads: Optional[Dict[int, float]] = None,
+    *,
+    compute_scale: Optional[Dict[int, float]] = None,
+    drop_during: Optional[Dict[int, float]] = None,
+    upload_outage: Optional[AbstractSet[int]] = None,
+    upload_scale: Optional[Dict[int, float]] = None,
+    round_deadline: Optional[float] = None,
 ) -> RoundTimeline:
     """Simulate one synchronous TDMA round.
 
@@ -113,36 +166,190 @@ def simulate_tdma_round(
             validated against each device's range.
         payloads: optional per-device payload override in bits (e.g.
             compressed updates); missing devices use ``payload_bits``.
+        compute_scale: straggler multipliers ``>= 1`` per device id;
+            the device's compute delay *and* energy stretch by the
+            factor (the CPU stays busy at the operating frequency for
+            the contended window).
+        drop_during: per-device compute progress in ``(0, 1]`` at which
+            the device dies: it spends that fraction of its (possibly
+            stretched) compute delay and energy, never uploads, and
+            never contends for the channel.
+        upload_outage: devices whose upload fails at their channel
+            grant — full compute energy and slack are spent, no upload
+            energy, and the channel is not occupied.
+        upload_scale: channel-degradation multipliers ``>= 1`` per
+            device id applied to upload delay and energy (the inverse
+            of the achieved rate fraction).
+        round_deadline: hard per-round deadline in seconds. Users whose
+            upload cannot complete by it are cut off with outcome
+            ``"timeout"``, charged only the energy of the work executed
+            before the cut, and the synchronous round lasts exactly
+            until the deadline whenever anyone was cut.
 
     Returns:
-        The full :class:`RoundTimeline`.
+        The full :class:`RoundTimeline`. Perturbed users appear with a
+        non-``"ok"`` :attr:`UserTimeline.outcome`; users dead before
+        reaching the channel queue are listed after the queued users.
+        With every perturbation argument at its default the result is
+        bitwise identical to the unperturbed simulation.
 
     Raises:
-        NetworkError: for an empty selection.
+        NetworkError: for an empty selection or a non-positive
+            ``round_deadline``.
         FrequencyRangeError: if an assigned frequency is out of range.
     """
     if not devices:
         raise NetworkError("cannot simulate a round with no selected devices")
+    if round_deadline is not None and round_deadline <= 0:
+        raise NetworkError(
+            f"round_deadline must be positive when set, got {round_deadline}"
+        )
     frequencies = frequencies or {}
     payloads = payloads or {}
+    compute_scale = compute_scale or {}
+    drop_during = drop_during or {}
+    upload_outage = upload_outage or frozenset()
+    upload_scale = upload_scale or {}
 
     staged: List[Tuple[float, int, UserDevice, float]] = []
     for device in devices:
         freq = frequencies.get(device.device_id, device.cpu.f_max)
         freq = device.cpu.validate_frequency(freq)
         compute_delay = device.compute_delay(freq)
+        slowdown = compute_scale.get(device.device_id)
+        if slowdown is not None:
+            compute_delay *= slowdown
         staged.append((compute_delay, device.device_id, device, freq))
 
     # Channel-grant order: first-come first-served on compute finish.
     staged.sort(key=lambda item: (item[0], item[1]))
 
     entries: List[UserTimeline] = []
+    lost_entries: List[UserTimeline] = []
     channel_free_at = 0.0
+    deadline_hit = False
     for compute_delay, device_id, device, freq in staged:
-        device_payload = payloads.get(device_id, payload_bits)
-        upload_delay = device.upload_delay(device_payload, bandwidth_hz)
+        compute_energy = device.compute_energy(freq)
+        slowdown = compute_scale.get(device_id)
+        if slowdown is not None:
+            compute_energy *= slowdown
+
+        progress = drop_during.get(device_id)
+        if progress is not None:
+            # Death mid-compute: partial compute cost, no channel use.
+            spent = progress * compute_delay
+            lost_entries.append(
+                UserTimeline(
+                    device_id=device_id,
+                    frequency=freq,
+                    compute_delay=spent,
+                    compute_end=spent,
+                    upload_start=spent,
+                    upload_end=spent,
+                    upload_delay=0.0,
+                    slack=0.0,
+                    compute_energy=progress * compute_energy,
+                    upload_energy=0.0,
+                    outcome=OUTCOME_DROPPED,
+                )
+            )
+            continue
+
+        if round_deadline is not None and compute_delay >= round_deadline:
+            # Still computing when the server cut the round off.
+            fraction = round_deadline / compute_delay
+            lost_entries.append(
+                UserTimeline(
+                    device_id=device_id,
+                    frequency=freq,
+                    compute_delay=round_deadline,
+                    compute_end=round_deadline,
+                    upload_start=round_deadline,
+                    upload_end=round_deadline,
+                    upload_delay=0.0,
+                    slack=0.0,
+                    compute_energy=fraction * compute_energy,
+                    upload_energy=0.0,
+                    outcome=OUTCOME_TIMEOUT,
+                )
+            )
+            deadline_hit = True
+            continue
+
         upload_start = max(compute_delay, channel_free_at)
+        if device_id in upload_outage:
+            # The link dies at the grant: no upload cost, channel free.
+            entries.append(
+                UserTimeline(
+                    device_id=device_id,
+                    frequency=freq,
+                    compute_delay=compute_delay,
+                    compute_end=compute_delay,
+                    upload_start=upload_start,
+                    upload_end=upload_start,
+                    upload_delay=0.0,
+                    slack=upload_start - compute_delay,
+                    compute_energy=compute_energy,
+                    upload_energy=0.0,
+                    outcome=OUTCOME_DROPPED,
+                )
+            )
+            continue
+
+        if round_deadline is not None and upload_start >= round_deadline:
+            # Queued behind the channel until the deadline passed.
+            entries.append(
+                UserTimeline(
+                    device_id=device_id,
+                    frequency=freq,
+                    compute_delay=compute_delay,
+                    compute_end=compute_delay,
+                    upload_start=round_deadline,
+                    upload_end=round_deadline,
+                    upload_delay=0.0,
+                    slack=round_deadline - compute_delay,
+                    compute_energy=compute_energy,
+                    upload_energy=0.0,
+                    outcome=OUTCOME_TIMEOUT,
+                )
+            )
+            deadline_hit = True
+            continue
+
+        upload_delay = device.upload_delay(
+            payloads.get(device_id, payload_bits), bandwidth_hz
+        )
+        upload_energy = device.upload_energy(
+            payloads.get(device_id, payload_bits), bandwidth_hz
+        )
+        degradation = upload_scale.get(device_id)
+        if degradation is not None:
+            upload_delay *= degradation
+            upload_energy *= degradation
         upload_end = upload_start + upload_delay
+
+        if round_deadline is not None and upload_end > round_deadline:
+            # Cut off mid-upload: the channel was held until the cut.
+            fraction = (round_deadline - upload_start) / upload_delay
+            entries.append(
+                UserTimeline(
+                    device_id=device_id,
+                    frequency=freq,
+                    compute_delay=compute_delay,
+                    compute_end=compute_delay,
+                    upload_start=upload_start,
+                    upload_end=round_deadline,
+                    upload_delay=round_deadline - upload_start,
+                    slack=upload_start - compute_delay,
+                    compute_energy=compute_energy,
+                    upload_energy=fraction * upload_energy,
+                    outcome=OUTCOME_TIMEOUT,
+                )
+            )
+            channel_free_at = round_deadline
+            deadline_hit = True
+            continue
+
         channel_free_at = upload_end
         entries.append(
             UserTimeline(
@@ -154,18 +361,32 @@ def simulate_tdma_round(
                 upload_end=upload_end,
                 upload_delay=upload_delay,
                 slack=upload_start - compute_delay,
-                compute_energy=device.compute_energy(freq),
-                upload_energy=device.upload_energy(
-                    device_payload, bandwidth_hz
-                ),
+                compute_energy=compute_energy,
+                upload_energy=upload_energy,
             )
         )
+
+    entries.extend(lost_entries)
+    # The synchronous round lasts until the last successful upload —
+    # or exactly until the deadline whenever the server cut anyone off.
+    # Devices lost to faults do not gate the round (the FLCC observes
+    # the disconnect); if *nothing* survived, the round's window is the
+    # time the last doomed device was still spending energy.
+    completed_ends = [
+        e.upload_end for e in entries if e.outcome == OUTCOME_OK
+    ]
+    if deadline_hit:
+        round_delay = round_deadline
+    elif completed_ends:
+        round_delay = max(completed_ends)
+    else:
+        round_delay = max(e.upload_end for e in entries)
 
     total_compute = sum(e.compute_energy for e in entries)
     total_upload = sum(e.upload_energy for e in entries)
     return RoundTimeline(
         users=tuple(entries),
-        round_delay=max(e.upload_end for e in entries),
+        round_delay=round_delay,
         total_energy=total_compute + total_upload,
         total_compute_energy=total_compute,
         total_upload_energy=total_upload,

@@ -30,9 +30,12 @@ from repro.obs.events import (
     EVENT_TYPES,
     AggregationEvent,
     BatteryDropEvent,
+    ClientDroppedEvent,
     EvalEvent,
     Event,
+    FaultInjectedEvent,
     FrequencyAssignmentEvent,
+    RoundDegradedEvent,
     RunStopEvent,
     SelectionEvent,
     StopReason,
@@ -52,8 +55,11 @@ __all__ = [
     "Event",
     "SelectionEvent",
     "FrequencyAssignmentEvent",
+    "FaultInjectedEvent",
+    "ClientDroppedEvent",
     "TimelineEvent",
     "BatteryDropEvent",
+    "RoundDegradedEvent",
     "AggregationEvent",
     "EvalEvent",
     "RunStopEvent",

@@ -1,10 +1,12 @@
 """Typed per-round events of a federated training run.
 
 Every observable step of Algorithm 1 emits one event: the selection of
-``Gamma_j``, the DVFS frequency assignment, the simulated TDMA
-timeline, battery-driven update drops, the FedAvg aggregation, each
+``Gamma_j``, the DVFS frequency assignment, injected faults and the
+clients they cost, the simulated TDMA timeline, battery-driven update
+drops, round-degradation summaries, the FedAvg aggregation, each
 global-model evaluation, and finally the run's stop (with the reason —
-deadline, target accuracy, plateau, or round-budget exhaustion).
+deadline, target accuracy, plateau, round-budget exhaustion, or an
+escaped error).
 
 Events are frozen dataclasses with a stable string ``kind`` and a
 :meth:`Event.to_dict` JSON-friendly form; :mod:`repro.obs.schema`
@@ -24,8 +26,11 @@ __all__ = [
     "Event",
     "SelectionEvent",
     "FrequencyAssignmentEvent",
+    "FaultInjectedEvent",
+    "ClientDroppedEvent",
     "TimelineEvent",
     "BatteryDropEvent",
+    "RoundDegradedEvent",
     "AggregationEvent",
     "EvalEvent",
     "RunStopEvent",
@@ -44,12 +49,17 @@ class StopReason(str, Enum):
         PLATEAU: the test loss stopped improving for
             ``convergence_patience`` evaluations (Algorithm 1's
             convergence check).
+        ERROR: an exception escaped the round loop; the trainer emits
+            the terminal ``run_stop`` event before re-raising so a
+            crashed (e.g. chaos) run still leaves a well-terminated
+            trace.
     """
 
     ROUNDS_EXHAUSTED = "rounds_exhausted"
     DEADLINE = "deadline"
     TARGET_ACCURACY = "target_accuracy"
     PLATEAU = "plateau"
+    ERROR = "error"
 
 
 def _plain(value):
@@ -111,6 +121,61 @@ class FrequencyAssignmentEvent(Event):
 
 
 @dataclass(frozen=True)
+class FaultInjectedEvent(Event):
+    """One fault from the active :class:`repro.faults.FaultPlan` fired.
+
+    Emitted before the round's local updates run, once per firing
+    fault, in (spec, device) order.
+
+    Attributes:
+        round_index: 1-based FL round index ``j``.
+        device_id: the victim device.
+        fault: the fault kind (``"dropout"``, ``"straggler"``,
+            ``"channel"``, ``"battery_death"``).
+        detail: phase/mode qualifier (e.g. ``"before_compute"``,
+            ``"degrade"``); empty when the kind needs none.
+        magnitude: the fault's scalar (progress, slowdown, rate
+            scale); 1.0 where meaningless.
+    """
+
+    kind = "fault_injected"
+
+    round_index: int
+    device_id: int
+    fault: str
+    detail: str
+    magnitude: float
+
+
+@dataclass(frozen=True)
+class ClientDroppedEvent(Event):
+    """One selected client's update was lost in a degraded round.
+
+    Emitted once per lost client on rounds where fault injection or
+    the round deadline is active, covering every loss cause (the
+    battery-specific aggregate :class:`BatteryDropEvent` is still
+    emitted alongside for battery-caused drops).
+
+    Attributes:
+        round_index: 1-based FL round index ``j``.
+        device_id: the client whose update was lost.
+        cause: why — ``"dropout"``, ``"channel_outage"``,
+            ``"battery_death"``, ``"battery"`` (natural depletion), or
+            ``"round_deadline"``.
+        phase: where in the round — ``"before_compute"``,
+            ``"compute"``, ``"upload"``, or ``"round"`` (losses only
+            resolvable at round granularity, e.g. battery accounting).
+    """
+
+    kind = "client_dropped"
+
+    round_index: int
+    device_id: int
+    cause: str
+    phase: str
+
+
+@dataclass(frozen=True)
 class TimelineEvent(Event):
     """The simulated TDMA cost of one round (Eqs. 10–11).
 
@@ -154,6 +219,38 @@ class BatteryDropEvent(Event):
 
     round_index: int
     dropped_ids: Tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class RoundDegradedEvent(Event):
+    """A round ended with fewer integrated updates than planned.
+
+    Emitted at most once per round, after battery enforcement and
+    before aggregation, on rounds where fault injection, the round
+    deadline, or battery enforcement lost at least one planned update
+    — or where a pre-compute dropout forced the DVFS slack schedule to
+    be recomputed.
+
+    Attributes:
+        round_index: 1-based FL round index ``j``.
+        planned: clients originally selected (after over-selection).
+        aggregated: surviving updates the server integrated.
+        dropped_ids: clients lost to faults or batteries, in selection
+            order.
+        timeout_ids: clients cut off by the round deadline, in
+            selection order.
+        reassigned_frequencies: whether the frequency policy re-ran
+            over the survivors after a pre-compute dropout.
+    """
+
+    kind = "round_degraded"
+
+    round_index: int
+    planned: int
+    aggregated: int
+    dropped_ids: Tuple[int, ...]
+    timeout_ids: Tuple[int, ...]
+    reassigned_frequencies: bool
 
 
 @dataclass(frozen=True)
@@ -218,8 +315,11 @@ EVENT_TYPES: Dict[str, type] = {
     for cls in (
         SelectionEvent,
         FrequencyAssignmentEvent,
+        FaultInjectedEvent,
+        ClientDroppedEvent,
         TimelineEvent,
         BatteryDropEvent,
+        RoundDegradedEvent,
         AggregationEvent,
         EvalEvent,
         RunStopEvent,

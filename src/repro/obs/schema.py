@@ -49,11 +49,36 @@ def _is_stop_reason(value) -> bool:
     return _is_str(value) and value in {reason.value for reason in StopReason}
 
 
+def _is_bool(value) -> bool:
+    return isinstance(value, bool)
+
+
 EVENT_SCHEMAS: Dict[str, Dict[str, Callable[[object], bool]]] = {
     "selection": {"round_index": _is_int, "selected_ids": _is_id_list},
     "frequency_assignment": {
         "round_index": _is_int,
         "frequencies": _is_frequency_map,
+    },
+    "fault_injected": {
+        "round_index": _is_int,
+        "device_id": _is_int,
+        "fault": _is_str,
+        "detail": _is_str,
+        "magnitude": _is_num,
+    },
+    "client_dropped": {
+        "round_index": _is_int,
+        "device_id": _is_int,
+        "cause": _is_str,
+        "phase": _is_str,
+    },
+    "round_degraded": {
+        "round_index": _is_int,
+        "planned": _is_int,
+        "aggregated": _is_int,
+        "dropped_ids": _is_id_list,
+        "timeout_ids": _is_id_list,
+        "reassigned_frequencies": _is_bool,
     },
     "timeline": {
         "round_index": _is_int,

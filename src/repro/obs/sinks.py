@@ -7,7 +7,10 @@ a run emits, in order. Three implementations cover the standard needs:
 * :class:`CollectingSink` — keeps events in memory (tests, notebooks);
 * :class:`JsonlTraceSink` — streams one JSON object per event to a
   file, flushed per event so a crashed run still leaves a usable
-  trace (validate it with ``python -m repro.obs.validate``).
+  trace (validate it with ``python -m repro.obs.validate``). Use it
+  as a context manager (or close it in ``try``/``finally``) so the
+  stream is flushed and closed even when a round raises mid-trace —
+  chaos runs rely on never losing the tail of a trace.
 
 Sinks only observe: they must never mutate events or feed anything
 back into the training loop.
@@ -91,17 +94,34 @@ class JsonlTraceSink(EventSink):
         self.events_written = 0
 
     def emit(self, event: Event) -> None:
-        """Serialize and write one event, then flush."""
+        """Serialize and write one event, then flush.
+
+        The serialized line is built *before* anything is written, so
+        an unserializable event can never leave a truncated line
+        behind; the flush then makes the line durable even if the run
+        dies before :meth:`close`.
+        """
         if self._handle is None:
             raise SerializationError(
                 "JsonlTraceSink is closed; cannot emit further events"
             )
-        self._handle.write(json.dumps(event.to_dict()) + "\n")
+        line = json.dumps(event.to_dict()) + "\n"
+        self._handle.write(line)
         self._handle.flush()
         self.events_written += 1
 
     def close(self) -> None:
-        """Close the underlying handle if this sink opened it."""
-        if self._handle is not None and self._owns_handle:
-            self._handle.close()
+        """Flush, then close the handle if this sink opened it.
+
+        Idempotent, and safe mid-exception: borrowed handles (e.g.
+        ``sys.stdout``) are flushed but left open for their owner.
+        """
+        if self._handle is None:
+            return
+        handle, owns = self._handle, self._owns_handle
         self._handle = None
+        try:
+            handle.flush()
+        finally:
+            if owns:
+                handle.close()

@@ -1,0 +1,231 @@
+"""Unit tests for the fault injector: determinism and composition."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.faults import (
+    BatteryDeathFault,
+    ChannelFault,
+    DropoutFault,
+    FaultInjector,
+    FaultPlan,
+    RoundFaults,
+    StragglerFault,
+)
+
+SELECTED = (0, 1, 2, 3, 4)
+
+
+def injector(*faults, seed=42):
+    return FaultInjector(FaultPlan(seed=seed, faults=tuple(faults)))
+
+
+class TestValidation:
+    def test_plan_type_checked(self):
+        with pytest.raises(ConfigurationError, match="FaultPlan"):
+            FaultInjector({"seed": 0})
+
+    def test_round_index_must_be_positive(self):
+        with pytest.raises(ConfigurationError, match="round_index"):
+            injector().plan_round(0, SELECTED)
+
+
+class TestEmptyPlan:
+    def test_resolves_to_empty_round(self):
+        faults = injector().plan_round(3, SELECTED)
+        assert faults == RoundFaults(round_index=3)
+        assert not faults
+        assert faults.lost_before_upload == frozenset()
+
+
+class TestDeterminism:
+    def plan(self, seed=42):
+        return FaultPlan(
+            seed=seed,
+            faults=(
+                DropoutFault(phase="before_compute", probability=0.3),
+                StragglerFault(slowdown=2.0, probability=0.4),
+                ChannelFault(mode="outage", probability=0.3),
+            ),
+        )
+
+    def test_same_plan_same_chaos(self):
+        a = FaultInjector(self.plan())
+        b = FaultInjector(self.plan())
+        for round_index in range(1, 30):
+            assert a.plan_round(round_index, SELECTED) == b.plan_round(
+                round_index, SELECTED
+            )
+
+    def test_firing_is_order_independent(self):
+        a = injector(DropoutFault(probability=0.5), seed=7)
+        forward = a.plan_round(5, SELECTED)
+        backward = a.plan_round(5, tuple(reversed(SELECTED)))
+        assert forward.drop_before == backward.drop_before
+
+    def test_seed_changes_the_chaos(self):
+        spec = DropoutFault(probability=0.5)
+        rounds = range(1, 40)
+        a = [
+            injector(spec, seed=1).plan_round(j, SELECTED).drop_before
+            for j in rounds
+        ]
+        b = [
+            injector(spec, seed=2).plan_round(j, SELECTED).drop_before
+            for j in rounds
+        ]
+        assert a != b
+
+    def test_probability_one_always_fires(self):
+        faults = injector(DropoutFault(probability=1.0)).plan_round(
+            1, SELECTED
+        )
+        assert faults.drop_before == frozenset(SELECTED)
+
+    def test_probability_controls_rate(self):
+        spec = StragglerFault(slowdown=2.0, probability=0.25)
+        fired = sum(
+            len(injector(spec).plan_round(j, SELECTED).compute_scale)
+            for j in range(1, 101)
+        )
+        # 500 coin flips at p=0.25: far from both 0 and 500.
+        assert 60 <= fired <= 190
+
+
+class TestTargeting:
+    def test_device_targeting(self):
+        faults = injector(
+            DropoutFault(device_id=2, probability=1.0)
+        ).plan_round(1, SELECTED)
+        assert faults.drop_before == {2}
+
+    def test_unselected_target_is_skipped(self):
+        faults = injector(
+            DropoutFault(device_id=99, probability=1.0)
+        ).plan_round(1, SELECTED)
+        assert not faults
+
+    def test_round_targeting(self):
+        inj = injector(
+            BatteryDeathFault(device_id=3, rounds=(2, 4), probability=1.0)
+        )
+        assert inj.plan_round(1, SELECTED).battery_death == frozenset()
+        assert inj.plan_round(2, SELECTED).battery_death == {3}
+        assert inj.plan_round(3, SELECTED).battery_death == frozenset()
+        assert inj.plan_round(4, SELECTED).battery_death == {3}
+
+    def test_injected_records_spec_and_device_order(self):
+        faults = injector(
+            StragglerFault(slowdown=2.0, probability=1.0, device_id=4),
+            DropoutFault(device_id=1, probability=1.0),
+        ).plan_round(1, SELECTED)
+        assert [(i.spec_index, i.device_id) for i in faults.injected] == [
+            (0, 4),
+            (1, 1),
+        ]
+        assert faults.injected[0].fault == "straggler"
+        assert faults.injected[0].detail == "slowdown"
+        assert faults.injected[0].magnitude == 2.0
+
+
+class TestComposition:
+    def test_stragglers_multiply(self):
+        faults = injector(
+            StragglerFault(slowdown=2.0, probability=1.0, device_id=1),
+            StragglerFault(slowdown=3.0, probability=1.0, device_id=1),
+        ).plan_round(1, SELECTED)
+        assert faults.compute_scale == {1: 6.0}
+
+    def test_degradations_multiply_as_delay(self):
+        faults = injector(
+            ChannelFault(
+                mode="degrade", rate_scale=0.5, probability=1.0, device_id=1
+            ),
+            ChannelFault(
+                mode="degrade", rate_scale=0.25, probability=1.0, device_id=1
+            ),
+        ).plan_round(1, SELECTED)
+        assert faults.upload_scale == {1: pytest.approx(8.0)}
+
+    def test_drop_before_shadows_everything(self):
+        faults = injector(
+            StragglerFault(slowdown=2.0, probability=1.0, device_id=1),
+            DropoutFault(
+                phase="during_compute", device_id=1, probability=1.0
+            ),
+            ChannelFault(mode="outage", probability=1.0, device_id=1),
+            ChannelFault(mode="degrade", probability=1.0, device_id=1),
+            DropoutFault(
+                phase="before_compute", device_id=1, probability=1.0
+            ),
+        ).plan_round(1, SELECTED)
+        assert faults.drop_before == {1}
+        assert faults.drop_during == {}
+        assert faults.compute_scale == {}
+        assert faults.upload_outage == frozenset()
+        assert faults.upload_scale == {}
+        # The shadowed firings are still reported as injected.
+        assert len(faults.injected) == 5
+
+    def test_drop_during_shadows_upload_faults(self):
+        faults = injector(
+            DropoutFault(
+                phase="during_compute",
+                progress=0.7,
+                device_id=1,
+                probability=1.0,
+            ),
+            ChannelFault(mode="outage", probability=1.0, device_id=1),
+            ChannelFault(mode="degrade", probability=1.0, device_id=1),
+        ).plan_round(1, SELECTED)
+        assert faults.drop_during == {1: 0.7}
+        assert faults.upload_outage == frozenset()
+        assert faults.upload_scale == {}
+
+    def test_outage_shadows_degradation(self):
+        faults = injector(
+            ChannelFault(mode="degrade", probability=1.0, device_id=1),
+            ChannelFault(mode="outage", probability=1.0, device_id=1),
+        ).plan_round(1, SELECTED)
+        assert faults.upload_outage == {1}
+        assert faults.upload_scale == {}
+
+    def test_first_during_compute_death_wins(self):
+        faults = injector(
+            DropoutFault(
+                phase="during_compute",
+                progress=0.3,
+                device_id=1,
+                probability=1.0,
+            ),
+            DropoutFault(
+                phase="during_compute",
+                progress=0.9,
+                device_id=1,
+                probability=1.0,
+            ),
+        ).plan_round(1, SELECTED)
+        assert faults.drop_during == {1: 0.3}
+
+    def test_battery_death_composes_with_everything(self):
+        faults = injector(
+            DropoutFault(
+                phase="before_compute", device_id=1, probability=1.0
+            ),
+            BatteryDeathFault(device_id=1, probability=1.0),
+        ).plan_round(1, SELECTED)
+        assert faults.drop_before == {1}
+        assert faults.battery_death == {1}
+
+    def test_lost_before_upload_unions_terminal_faults(self):
+        faults = injector(
+            DropoutFault(
+                phase="before_compute", device_id=0, probability=1.0
+            ),
+            DropoutFault(
+                phase="during_compute", device_id=1, probability=1.0
+            ),
+            ChannelFault(mode="outage", probability=1.0, device_id=2),
+            StragglerFault(slowdown=2.0, probability=1.0, device_id=3),
+        ).plan_round(1, SELECTED)
+        assert faults.lost_before_upload == {0, 1, 2}

@@ -10,8 +10,11 @@ from repro.obs import (
     EVENT_TYPES,
     AggregationEvent,
     BatteryDropEvent,
+    ClientDroppedEvent,
     EvalEvent,
+    FaultInjectedEvent,
     FrequencyAssignmentEvent,
+    RoundDegradedEvent,
     RunStopEvent,
     SelectionEvent,
     StopReason,
@@ -23,6 +26,24 @@ from repro.obs import (
 SAMPLE_EVENTS = [
     SelectionEvent(round_index=1, selected_ids=(3, 1, 2)),
     FrequencyAssignmentEvent(round_index=1, frequencies={3: 1.5e9, 1: 0.7e9}),
+    FaultInjectedEvent(
+        round_index=1,
+        device_id=3,
+        fault="straggler",
+        detail="slowdown",
+        magnitude=2.5,
+    ),
+    ClientDroppedEvent(
+        round_index=1, device_id=3, cause="dropout", phase="compute"
+    ),
+    RoundDegradedEvent(
+        round_index=1,
+        planned=3,
+        aggregated=2,
+        dropped_ids=(3,),
+        timeout_ids=(),
+        reassigned_frequencies=False,
+    ),
     TimelineEvent(
         round_index=1,
         round_delay=2.0,
@@ -72,6 +93,7 @@ class TestEventShape:
             "deadline",
             "target_accuracy",
             "plateau",
+            "error",
         }
 
 

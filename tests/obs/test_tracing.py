@@ -149,6 +149,141 @@ class TestTraceReconstruction:
             assert event.total_weight == expected
 
 
+class TestDegradedRoundTrace:
+    """A faulted run's trace reconstructs its degraded rounds exactly."""
+
+    def run_chaos(self, tmp_path):
+        from repro.faults import ChannelFault, DropoutFault, FaultPlan
+
+        path = tmp_path / "chaos.jsonl"
+        server, devices = make_setup(num_devices=5, seed=4)
+        victims = (devices[1].device_id, devices[3].device_id)
+        plan = FaultPlan(
+            seed=6,
+            faults=(
+                DropoutFault(
+                    phase="before_compute",
+                    device_id=victims[0],
+                    rounds=(2,),
+                    probability=1.0,
+                ),
+                ChannelFault(
+                    mode="outage",
+                    device_id=victims[1],
+                    rounds=(3,),
+                    probability=1.0,
+                ),
+            ),
+        )
+        observer = RunObserver(sink=JsonlTraceSink(str(path)))
+        trainer = FederatedTrainer(
+            server=server,
+            devices=devices,
+            selection=FullParticipation(),
+            config=TrainerConfig(
+                rounds=3, bandwidth_hz=2e6, learning_rate=0.2
+            ),
+            label="chaos-run",
+            observer=observer,
+            faults=plan,
+        )
+        history = trainer.run()
+        observer.close()
+        payloads = [
+            json.loads(line) for line in path.read_text().splitlines()
+        ]
+        for payload in payloads:
+            validate_event(payload)
+        return history, payloads, victims
+
+    def test_trace_reconstructs_degraded_rounds(self, tmp_path):
+        history, payloads, victims = self.run_chaos(tmp_path)
+
+        injected = [p for p in payloads if p["event"] == "fault_injected"]
+        assert [(p["round_index"], p["device_id"], p["fault"]) for p in injected] == [
+            (2, victims[0], "dropout"),
+            (3, victims[1], "channel"),
+        ]
+
+        # Every dropped id in the history is explained by exactly one
+        # client_dropped event of the same round, and vice versa.
+        drops_by_round = {}
+        for p in payloads:
+            if p["event"] == "client_dropped":
+                drops_by_round.setdefault(p["round_index"], []).append(p)
+        for record in history.records:
+            dropped = drops_by_round.get(record.round_index, [])
+            assert tuple(p["device_id"] for p in dropped) == record.dropped_ids
+        assert drops_by_round[2][0]["cause"] == "dropout"
+        assert drops_by_round[2][0]["phase"] == "before_compute"
+        assert drops_by_round[3][0]["cause"] == "channel_outage"
+        assert drops_by_round[3][0]["phase"] == "upload"
+
+        # round_degraded reconciles the planned selection with the
+        # partial aggregate the server actually integrated.
+        degraded = events_by_round(payloads, "round_degraded")
+        selections = events_by_round(payloads, "selection")
+        aggregations = events_by_round(payloads, "aggregation")
+        assert set(degraded) == {2, 3}
+        for j, event in degraded.items():
+            assert event["planned"] == len(selections[j]["selected_ids"])
+            assert event["aggregated"] == aggregations[j]["num_updates"]
+            assert event["aggregated"] == event["planned"] - 1
+            assert tuple(event["dropped_ids"]) == history.records[
+                j - 1
+            ].dropped_ids
+            assert event["timeout_ids"] == []
+        # Only the before-compute dropout re-plans the DVFS schedule.
+        assert degraded[2]["reassigned_frequencies"] is True
+        assert degraded[3]["reassigned_frequencies"] is False
+
+    def test_clean_rounds_emit_no_degradation(self, tmp_path):
+        _, payloads, _ = self.run_chaos(tmp_path)
+        degraded = events_by_round(payloads, "round_degraded")
+        assert 1 not in degraded
+
+
+class TestCrashedRunTrace:
+    """A raising round still leaves a complete, validating trace."""
+
+    def test_trace_tail_survives_a_mid_round_crash(self, tmp_path):
+        path = tmp_path / "crash.jsonl"
+        server, devices = make_setup(num_devices=4, seed=1)
+
+        calls = {"n": 0}
+        original = server.evaluate
+
+        def failing_evaluate(*args, **kwargs):
+            calls["n"] += 1
+            if calls["n"] >= 2:
+                raise RuntimeError("simulated mid-round failure")
+            return original(*args, **kwargs)
+
+        server.evaluate = failing_evaluate
+        observer = RunObserver(sink=JsonlTraceSink(str(path)))
+        trainer = make_trainer(server, devices, observer=observer, rounds=5)
+        with pytest.raises(RuntimeError, match="simulated"):
+            try:
+                trainer.run()
+            finally:
+                observer.close()
+
+        payloads = [
+            json.loads(line) for line in path.read_text().splitlines()
+        ]
+        assert payloads, "the trace must not be empty"
+        for payload in payloads:
+            validate_event(payload)
+        assert payloads[-1]["event"] == "run_stop"
+        assert payloads[-1]["reason"] == StopReason.ERROR.value
+        assert payloads[-1]["round_index"] == 2
+
+    def test_sink_close_is_idempotent_after_crash(self, tmp_path):
+        sink = JsonlTraceSink(str(tmp_path / "t.jsonl"))
+        sink.close()
+        sink.close()  # must not raise
+
+
 class TestTracingIsReadOnly:
     @pytest.mark.parametrize("backend_name", ["serial", "thread", "process"])
     def test_history_parity_tracing_on_vs_off(self, backend_name, tmp_path):
