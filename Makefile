@@ -1,4 +1,4 @@
-.PHONY: install test bench bench-artifacts examples lint check all
+.PHONY: install test bench bench-artifacts examples lint check report all
 
 install:
 	pip install -e . --no-build-isolation
@@ -15,6 +15,10 @@ lint:
 
 check:
 	PYTHONPATH=src python -m repro.checks src tests benchmarks examples
+
+report:
+	PYTHONPATH=src python -m repro run helcfl --quick --rounds 5 --trace run-trace.jsonl
+	PYTHONPATH=src python -m repro.obs.report run-trace.jsonl
 
 bench:
 	pytest benchmarks/ --benchmark-only -s

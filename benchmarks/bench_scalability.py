@@ -126,9 +126,21 @@ def _backend_settings(num_users: int = 100, rounds: int = 3) -> ExperimentSettin
 
 
 def run_backend_study(
-    backends=BACKEND_NAMES, num_users: int = 100, rounds: int = 3, workers=None
+    backends=BACKEND_NAMES,
+    num_users: int = 100,
+    rounds: int = 3,
+    workers=None,
+    snapshot_prefix=None,
 ):
     """Time one identical training run per backend; return the results.
+
+    Args:
+        snapshot_prefix: when set, each backend's run is traced to
+            ``{prefix}-{backend}.trace.jsonl`` and its analytics
+            snapshot written to ``{prefix}-{backend}.json`` — inputs
+            ``python -m repro.obs.report --compare`` consumes, so CI
+            can assert zero drift between backends from the artifacts
+            alone.
 
     Returns:
         Mapping from backend name to ``(wall_seconds, history,
@@ -141,22 +153,40 @@ def run_backend_study(
     env = build_environment(settings, iid=True)
     results = {}
     for name in backends:
-        observer = RunObserver()
+        if snapshot_prefix is not None:
+            observer = RunObserver.to_path(f"{snapshot_prefix}-{name}.trace.jsonl")
+        else:
+            observer = RunObserver()
         start = time.perf_counter()
-        history = run_strategy(
-            "helcfl",
-            settings,
-            iid=True,
-            environment=env,
-            backend=name,
-            workers=workers,
-            observer=observer,
-        )
+        try:
+            history = run_strategy(
+                "helcfl",
+                settings,
+                iid=True,
+                environment=env,
+                backend=name,
+                workers=workers,
+                observer=observer,
+            )
+        finally:
+            if snapshot_prefix is not None:
+                observer.close()
         results[name] = (
             time.perf_counter() - start,
             history,
             observer.metrics,
         )
+        if snapshot_prefix is not None:
+            from repro.obs.analysis import compute_run_stats, load_trace
+
+            trace_path = f"{snapshot_prefix}-{name}.trace.jsonl"
+            stats = compute_run_stats(
+                load_trace(trace_path).events, source=trace_path
+            )
+            with open(
+                f"{snapshot_prefix}-{name}.json", "w", encoding="utf-8"
+            ) as handle:
+                handle.write(stats.to_json() + "\n")
     return results
 
 
@@ -214,6 +244,13 @@ def _main() -> int:
     parser.add_argument("--workers", type=int, default=None)
     parser.add_argument("--users", type=int, default=100)
     parser.add_argument("--rounds", type=int, default=3)
+    parser.add_argument(
+        "--snapshot",
+        metavar="PREFIX",
+        default=None,
+        help="trace each backend run and write PREFIX-<backend>.json "
+        "analytics snapshots for 'python -m repro.obs.report --compare'",
+    )
     args = parser.parse_args()
 
     names = ("serial",) if args.backend == "serial" else ("serial", args.backend)
@@ -222,7 +259,11 @@ def _main() -> int:
         num_users=args.users,
         rounds=args.rounds,
         workers=args.workers,
+        snapshot_prefix=args.snapshot,
     )
+    if args.snapshot:
+        for name in names:
+            print(f"wrote {args.snapshot}-{name}.json")
     serial_time, serial_history, _ = results["serial"]
     print(f"cores available: {os.cpu_count()}")
     for name, (wall, history, metrics) in results.items():

@@ -6,6 +6,8 @@ Commands:
 * ``fig2`` — regenerate a Fig. 2 panel (accuracy comparison);
 * ``table1`` — regenerate a Table I half (delay to accuracy);
 * ``fig3`` — regenerate a Fig. 3 panel (DVFS energy reduction);
+* ``trace-report`` — analyze a recorded JSONL trace;
+* ``trace-compare`` — diff two traces, non-zero exit on regression;
 * ``info`` — print the resolved experiment settings.
 
 Every command accepts ``--quick`` (20 users, fast) or ``--full``
@@ -126,6 +128,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="scheme to train",
     )
     _add_common(run_parser)
+    run_parser.add_argument(
+        "--report",
+        action="store_true",
+        help="after the run, analyze the recorded trace and print the "
+        "per-round/per-device report (requires --trace)",
+    )
 
     for name, help_text in (
         ("fig2", "accuracy comparison of all schemes (paper Fig. 2)"),
@@ -139,6 +147,64 @@ def build_parser() -> argparse.ArgumentParser:
         "report", help="run the full evaluation (both regimes) and print it"
     )
     _add_common(report_parser)
+
+    trace_report = sub.add_parser(
+        "trace-report",
+        help="analyze a recorded JSONL trace (per-round energy, DVFS "
+        "savings, fairness, faults)",
+    )
+    trace_report.add_argument(
+        "path", help="trace file (.jsonl, .jsonl.gz, or snapshot JSON)"
+    )
+    trace_report.add_argument(
+        "--format",
+        choices=("table", "markdown", "json"),
+        default="table",
+        help="output format (default: table)",
+    )
+    trace_report.add_argument(
+        "--output", default=None, help="write the report to this file"
+    )
+    trace_report.add_argument(
+        "--top-devices", type=int, default=10, metavar="N",
+        help="device-table size (default: 10)",
+    )
+    trace_report.add_argument(
+        "--run", type=int, default=None, metavar="N",
+        help="0-based run index for multi-run traces",
+    )
+
+    trace_compare = sub.add_parser(
+        "trace-compare",
+        help="diff two recorded traces; exits 1 when the second "
+        "regresses past the thresholds",
+    )
+    trace_compare.add_argument("base", help="baseline trace/snapshot")
+    trace_compare.add_argument("other", help="candidate trace/snapshot")
+    trace_compare.add_argument(
+        "--strict",
+        action="store_true",
+        help="any metric difference is a regression (backend parity)",
+    )
+    trace_compare.add_argument(
+        "--energy-threshold", type=float, default=0.02, metavar="REL",
+        help="allowed relative total-energy increase (default: 0.02)",
+    )
+    trace_compare.add_argument(
+        "--time-threshold", type=float, default=0.02, metavar="REL",
+        help="allowed relative total-time increase (default: 0.02)",
+    )
+    trace_compare.add_argument(
+        "--accuracy-threshold", type=float, default=0.02, metavar="ABS",
+        help="allowed absolute final-accuracy drop (default: 0.02)",
+    )
+    trace_compare.add_argument(
+        "--output", default=None, help="write the comparison to this file"
+    )
+    trace_compare.add_argument(
+        "--run", type=int, default=None, metavar="N",
+        help="0-based run index for multi-run traces",
+    )
 
     info_parser = sub.add_parser("info", help="print resolved settings")
     _add_common(info_parser)
@@ -208,6 +274,9 @@ def _finish_trace(observer, args: argparse.Namespace) -> None:
 
 def _cmd_run(args: argparse.Namespace) -> int:
     settings = _settings_from(args)
+    if args.report and not args.trace:
+        print("error: --report requires --trace PATH", file=sys.stderr)
+        return 2
     label = strategy_labels().get(args.strategy, args.strategy)
     print(
         f"Training {label} ({'non-IID' if args.noniid else 'IID'}) "
@@ -240,7 +309,44 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
         save_history(history, args.output)
         print(f"saved history to {args.output}")
+    if args.report:
+        from repro.obs.report import main as trace_report_main
+
+        print()
+        return trace_report_main([args.trace])
     return 0
+
+
+def _cmd_trace_report(args: argparse.Namespace) -> int:
+    from repro.obs.report import main as trace_report_main
+
+    argv = [args.path, "--format", args.format,
+            "--top-devices", str(args.top_devices)]
+    if args.output:
+        argv += ["--output", args.output]
+    if args.run is not None:
+        argv += ["--run", str(args.run)]
+    return trace_report_main(argv)
+
+
+def _cmd_trace_compare(args: argparse.Namespace) -> int:
+    from repro.obs.report import main as trace_report_main
+
+    argv = [
+        args.base,
+        args.other,
+        "--compare",
+        "--energy-threshold", str(args.energy_threshold),
+        "--time-threshold", str(args.time_threshold),
+        "--accuracy-threshold", str(args.accuracy_threshold),
+    ]
+    if args.strict:
+        argv.append("--strict")
+    if args.output:
+        argv += ["--output", args.output]
+    if args.run is not None:
+        argv += ["--run", str(args.run)]
+    return trace_report_main(argv)
 
 
 def _cmd_fig2(args: argparse.Namespace) -> int:
@@ -352,6 +458,8 @@ _COMMANDS = {
     "table1": _cmd_table1,
     "fig3": _cmd_fig3,
     "report": _cmd_report,
+    "trace-report": _cmd_trace_report,
+    "trace-compare": _cmd_trace_compare,
     "info": _cmd_info,
 }
 

@@ -43,6 +43,7 @@ from repro.obs import (
     AggregationEvent,
     BatteryDropEvent,
     ClientDroppedEvent,
+    DeviceRoundEvent,
     EvalEvent,
     FaultInjectedEvent,
     FrequencyAssignmentEvent,
@@ -691,6 +692,21 @@ class FederatedTrainer:
 
                 cumulative_time += timeline.round_delay
                 cumulative_energy += timeline.total_energy
+                for entry in timeline.users:
+                    observer.emit(
+                        DeviceRoundEvent(
+                            round_index=round_index,
+                            device_id=entry.device_id,
+                            frequency=entry.frequency,
+                            f_max=device_index[entry.device_id].cpu.f_max,
+                            compute_delay=entry.compute_delay,
+                            upload_delay=entry.upload_delay,
+                            slack=entry.slack,
+                            compute_energy=entry.compute_energy,
+                            upload_energy=entry.upload_energy,
+                            outcome=entry.outcome,
+                        )
+                    )
                 observer.emit(
                     TimelineEvent(
                         round_index=round_index,

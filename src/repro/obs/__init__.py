@@ -23,14 +23,26 @@ Typical use::
 
 From the CLI the same is ``python -m repro run helcfl --trace
 run.jsonl``; validate a trace with ``python -m repro.obs.validate
-run.jsonl``.
+run.jsonl``. Analyze a finished trace with ``python -m
+repro.obs.report run.jsonl`` (or diff two runs with ``--compare``);
+the underlying analytics live in :mod:`repro.obs.analysis`.
 """
 
+from repro.obs.analysis import (
+    LoadedTrace,
+    RunStats,
+    compare_stats,
+    compute_run_stats,
+    load_trace,
+    render_report,
+    split_runs,
+)
 from repro.obs.events import (
     EVENT_TYPES,
     AggregationEvent,
     BatteryDropEvent,
     ClientDroppedEvent,
+    DeviceRoundEvent,
     EvalEvent,
     Event,
     FaultInjectedEvent,
@@ -49,7 +61,13 @@ from repro.obs.schema import (
     validate_trace,
     validate_trace_lines,
 )
-from repro.obs.sinks import CollectingSink, EventSink, JsonlTraceSink, NullSink
+from repro.obs.sinks import (
+    CollectingSink,
+    EventSink,
+    JsonlTraceSink,
+    NullSink,
+    open_trace_file,
+)
 
 __all__ = [
     "Event",
@@ -57,6 +75,7 @@ __all__ = [
     "FrequencyAssignmentEvent",
     "FaultInjectedEvent",
     "ClientDroppedEvent",
+    "DeviceRoundEvent",
     "TimelineEvent",
     "BatteryDropEvent",
     "RoundDegradedEvent",
@@ -77,4 +96,12 @@ __all__ = [
     "NullSink",
     "CollectingSink",
     "JsonlTraceSink",
+    "open_trace_file",
+    "LoadedTrace",
+    "RunStats",
+    "load_trace",
+    "split_runs",
+    "compute_run_stats",
+    "render_report",
+    "compare_stats",
 ]

@@ -1,0 +1,318 @@
+"""Diff two runs' analytics and flag regressions for CI.
+
+The comparator works on :class:`~repro.obs.analysis.round_stats.RunStats`
+— either freshly computed from traces or rebuilt from snapshot JSON —
+so a nightly job can compare today's run against a committed baseline
+without re-running the baseline.
+
+Regressions are *directional*: more energy or time than the baseline
+is bad, less accuracy is bad; improvements never fail the gate. In
+``strict`` mode (backend-parity checks) any difference at all is a
+regression, because the three execution backends are contractually
+bitwise-identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.obs.analysis.round_stats import RunStats
+
+__all__ = [
+    "CompareThresholds",
+    "MetricDrift",
+    "RunComparison",
+    "compare_stats",
+    "render_comparison",
+]
+
+
+@dataclass(frozen=True)
+class CompareThresholds:
+    """Drift tolerances for :func:`compare_stats`.
+
+    Attributes:
+        energy_rel: allowed relative increase in total energy (0.02 =
+            2% more than baseline passes).
+        time_rel: allowed relative increase in total simulated time.
+        accuracy_abs: allowed absolute decrease in final accuracy.
+        strict: when True, thresholds are ignored and *any* metric
+            difference (in either direction) is a regression — the
+            backend-parity mode.
+    """
+
+    energy_rel: float = 0.02
+    time_rel: float = 0.02
+    accuracy_abs: float = 0.02
+    strict: bool = False
+
+    def __post_init__(self) -> None:
+        for name in ("energy_rel", "time_rel", "accuracy_abs"):
+            value = getattr(self, name)
+            if value < 0:
+                raise ConfigurationError(
+                    f"compare threshold {name} must be non-negative, "
+                    f"got {value}"
+                )
+
+
+@dataclass(frozen=True)
+class MetricDrift:
+    """One compared metric: baseline vs. other, and the verdict.
+
+    Attributes:
+        metric: metric name (``total_energy``, ``final_accuracy``, ...).
+        base: baseline value (None when the baseline lacks it).
+        other: candidate value.
+        delta: ``other - base`` (None when either side is missing).
+        regression: whether this drift fails the configured gate.
+        note: human-readable explanation of the verdict.
+    """
+
+    metric: str
+    base: Optional[float]
+    other: Optional[float]
+    delta: Optional[float]
+    regression: bool
+    note: str
+
+
+@dataclass(frozen=True)
+class RunComparison:
+    """The full diff of two runs.
+
+    Attributes:
+        base_label: the baseline run's label/source.
+        other_label: the candidate run's label/source.
+        drifts: every compared metric, in fixed order.
+        thresholds: the gate the comparison was judged against.
+    """
+
+    base_label: str
+    other_label: str
+    drifts: Tuple[MetricDrift, ...]
+    thresholds: CompareThresholds = field(default_factory=CompareThresholds)
+
+    @property
+    def regressions(self) -> Tuple[MetricDrift, ...]:
+        """The drifts that fail the gate."""
+        return tuple(d for d in self.drifts if d.regression)
+
+    @property
+    def ok(self) -> bool:
+        """True when no compared metric regressed."""
+        return not self.regressions
+
+
+def _rel_delta(base: float, other: float) -> float:
+    """Relative change of ``other`` vs. ``base`` (0 when base is 0)."""
+    if base == 0.0:
+        return 0.0 if other == 0.0 else float("inf")
+    return (other - base) / abs(base)
+
+
+def _drift(
+    metric: str,
+    base: Optional[float],
+    other: Optional[float],
+    thresholds: CompareThresholds,
+    *,
+    rel_limit: Optional[float] = None,
+    abs_limit: Optional[float] = None,
+    bad_direction: int = 0,
+) -> MetricDrift:
+    """Judge one metric pair against the gate.
+
+    ``bad_direction`` is +1 when increases regress (energy, time), -1
+    when decreases regress (accuracy), 0 for informational metrics
+    that never fail a non-strict gate.
+    """
+    if base is None or other is None:
+        missing = "baseline" if base is None else "candidate"
+        present = other if base is None else base
+        regression = thresholds.strict and base != other
+        return MetricDrift(
+            metric=metric,
+            base=base,
+            other=other,
+            delta=None,
+            regression=regression,
+            note=f"missing in {missing}" if present is not None else "absent",
+        )
+    delta = other - base
+    if thresholds.strict:
+        if delta != 0.0:
+            return MetricDrift(
+                metric, base, other, delta, True, "strict: values differ"
+            )
+        return MetricDrift(metric, base, other, delta, False, "identical")
+    if bad_direction == 0 or delta == 0.0:
+        return MetricDrift(metric, base, other, delta, False, "ok")
+    adverse = delta * bad_direction > 0.0
+    if not adverse:
+        return MetricDrift(metric, base, other, delta, False, "improved")
+    if rel_limit is not None:
+        rel = abs(_rel_delta(base, other))
+        if rel > rel_limit:
+            return MetricDrift(
+                metric,
+                base,
+                other,
+                delta,
+                True,
+                f"{100 * rel:.2f}% worse > {100 * rel_limit:.2f}% allowed",
+            )
+        return MetricDrift(
+            metric, base, other, delta, False,
+            f"{100 * rel:.2f}% worse, within {100 * rel_limit:.2f}%",
+        )
+    if abs_limit is not None:
+        if abs(delta) > abs_limit:
+            return MetricDrift(
+                metric,
+                base,
+                other,
+                delta,
+                True,
+                f"{abs(delta):.4f} worse > {abs_limit:.4f} allowed",
+            )
+        return MetricDrift(
+            metric, base, other, delta, False,
+            f"{abs(delta):.4f} worse, within {abs_limit:.4f}",
+        )
+    return MetricDrift(metric, base, other, delta, False, "ok")
+
+
+def compare_stats(
+    base: RunStats,
+    other: RunStats,
+    thresholds: Optional[CompareThresholds] = None,
+) -> RunComparison:
+    """Compare a candidate run against a baseline run.
+
+    Args:
+        base: the reference run.
+        other: the run under test.
+        thresholds: the gate; defaults to :class:`CompareThresholds`.
+
+    Returns:
+        A :class:`RunComparison` whose :attr:`~RunComparison.ok` drives
+        the CLI exit code.
+    """
+    t = thresholds if thresholds is not None else CompareThresholds()
+    drifts: List[MetricDrift] = [
+        _drift(
+            "rounds", float(base.num_rounds), float(other.num_rounds), t
+        ),
+        _drift(
+            "total_energy",
+            base.total_energy,
+            other.total_energy,
+            t,
+            rel_limit=t.energy_rel,
+            bad_direction=+1,
+        ),
+        _drift(
+            "total_time",
+            base.total_time,
+            other.total_time,
+            t,
+            rel_limit=t.time_rel,
+            bad_direction=+1,
+        ),
+        _drift(
+            "final_accuracy",
+            base.final_accuracy,
+            other.final_accuracy,
+            t,
+            abs_limit=t.accuracy_abs,
+            bad_direction=-1,
+        ),
+        _drift(
+            "best_accuracy",
+            base.best_accuracy,
+            other.best_accuracy,
+            t,
+            abs_limit=t.accuracy_abs,
+            bad_direction=-1,
+        ),
+        _drift(
+            "compute_energy",
+            base.total_compute_energy,
+            other.total_compute_energy,
+            t,
+        ),
+        _drift(
+            "upload_energy",
+            base.total_upload_energy,
+            other.total_upload_energy,
+            t,
+        ),
+        _drift("dvfs_savings", base.dvfs_savings, other.dvfs_savings, t),
+        _drift("jain_selection", base.jain_selection, other.jain_selection, t),
+        _drift(
+            "clients_dropped",
+            float(base.clients_dropped),
+            float(other.clients_dropped),
+            t,
+        ),
+        _drift(
+            "clients_timeout",
+            float(base.clients_timeout),
+            float(other.clients_timeout),
+            t,
+        ),
+    ]
+    return RunComparison(
+        base_label=base.label or base.source or "base",
+        other_label=other.label or other.source or "other",
+        drifts=tuple(drifts),
+        thresholds=t,
+    )
+
+
+def _fmt(value: Optional[float]) -> str:
+    if value is None:
+        return "—"
+    if value == int(value) and abs(value) < 1e9:
+        return str(int(value))
+    return f"{value:.6g}"
+
+
+def render_comparison(comparison: RunComparison) -> str:
+    """Render a comparison as a deterministic terminal table."""
+    lines = [
+        f"run comparison: {comparison.base_label} (base) vs "
+        f"{comparison.other_label}",
+        (
+            "mode: strict (any difference fails)"
+            if comparison.thresholds.strict
+            else (
+                "thresholds: "
+                f"energy +{100 * comparison.thresholds.energy_rel:.1f}%  "
+                f"time +{100 * comparison.thresholds.time_rel:.1f}%  "
+                f"accuracy -{comparison.thresholds.accuracy_abs:.3f}"
+            )
+        ),
+        "",
+        f"{'metric':18s} {'base':>14s} {'other':>14s} "
+        f"{'delta':>12s}  verdict",
+    ]
+    for d in comparison.drifts:
+        verdict = "REGRESSION" if d.regression else "ok"
+        lines.append(
+            f"{d.metric:18s} {_fmt(d.base):>14s} {_fmt(d.other):>14s} "
+            f"{_fmt(d.delta):>12s}  {verdict} ({d.note})"
+        )
+    lines.append("")
+    if comparison.ok:
+        lines.append("RESULT: PASS — no regressions")
+    else:
+        names = ", ".join(d.metric for d in comparison.regressions)
+        lines.append(
+            f"RESULT: FAIL — {len(comparison.regressions)} "
+            f"regression(s): {names}"
+        )
+    return "\n".join(lines)

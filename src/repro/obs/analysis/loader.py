@@ -1,0 +1,139 @@
+"""Reconstruct typed events from a JSONL trace.
+
+The trace format is the contract :mod:`repro.obs.schema` validates;
+this module closes the loop by turning validated JSON objects back
+into the frozen :mod:`repro.obs.events` dataclasses, so analytics code
+works with the same types the trainer emitted.
+
+Crash tolerance: the :class:`~repro.obs.sinks.JsonlTraceSink` builds
+each line before writing and flushes per event, so a crashed run's
+trace is whole-line atomic — but a run killed mid-write (``kill -9``,
+full disk) can still leave a torn final line. The loader therefore
+treats a malformed *last* line as a truncated tail (recorded, not
+fatal) while a malformed line anywhere else is a hard error.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, fields
+from typing import Iterable, List, Optional, Tuple
+
+from repro.errors import SerializationError
+from repro.obs.events import EVENT_TYPES, Event
+from repro.obs.schema import validate_event
+from repro.obs.sinks import open_trace_file
+
+__all__ = ["LoadedTrace", "event_from_payload", "load_trace", "load_trace_lines"]
+
+
+def _coerce(type_name: str, value):
+    """Convert a JSON value back to the declared dataclass field type.
+
+    Field annotations are the string forms the event dataclasses
+    declare (``from __future__ import annotations``): scalars plus
+    ``Tuple[int, ...]`` id-lists and ``Dict[int, float]`` frequency
+    maps. The registry meta-test pins every event kind through this
+    function, so a new field shape cannot ship unsupported.
+    """
+    if type_name == "int":
+        return int(value)
+    if type_name == "float":
+        return float(value)
+    if type_name in ("str", "bool"):
+        return value
+    if type_name == "Tuple[int, ...]":
+        return tuple(int(v) for v in value)
+    if type_name == "Dict[int, float]":
+        return {int(k): float(v) for k, v in value.items()}
+    raise SerializationError(
+        f"no loader coercion for event field type {type_name!r}"
+    )
+
+
+def event_from_payload(payload: dict) -> Event:
+    """Rebuild the typed event a parsed trace object serializes.
+
+    The payload is schema-validated first, so the returned dataclass
+    round-trips: ``event_from_payload(e.to_dict()) == e``.
+
+    Raises:
+        SerializationError: when the payload fails schema validation
+            or a field type has no coercion.
+    """
+    kind = validate_event(payload)
+    cls = EVENT_TYPES[kind]
+    kwargs = {
+        spec.name: _coerce(spec.type, payload[spec.name])
+        for spec in fields(cls)
+    }
+    return cls(**kwargs)
+
+
+@dataclass(frozen=True)
+class LoadedTrace:
+    """A trace file read back as typed events.
+
+    Attributes:
+        events: the reconstructed events, in emission order.
+        source: where the trace came from (path or caller label).
+        truncated_tail: the raw text of a torn final line a killed run
+            left behind; ``None`` for a cleanly written trace.
+    """
+
+    events: Tuple[Event, ...]
+    source: str
+    truncated_tail: Optional[str] = None
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def of_kind(self, kind: str) -> Tuple[Event, ...]:
+        """The loaded events whose ``kind`` matches, in order."""
+        return tuple(e for e in self.events if e.kind == kind)
+
+    @property
+    def complete(self) -> bool:
+        """Whether the trace ends with a terminal ``run_stop`` event."""
+        return bool(self.events) and self.events[-1].kind == "run_stop"
+
+
+def load_trace_lines(
+    lines: Iterable[str], source: str = "<lines>"
+) -> LoadedTrace:
+    """Load JSONL lines into a :class:`LoadedTrace`.
+
+    Blank lines are skipped. A line that fails to parse or validate is
+    tolerated only as the *final* non-blank line (a crash tail) — the
+    offending text is preserved in :attr:`LoadedTrace.truncated_tail`.
+
+    Raises:
+        SerializationError: for a malformed line that is not the last.
+    """
+    stripped = [
+        (number, text)
+        for number, raw in enumerate(lines, start=1)
+        if (text := raw.strip())
+    ]
+    events: List[Event] = []
+    truncated_tail: Optional[str] = None
+    for position, (line_number, text) in enumerate(stripped):
+        try:
+            events.append(event_from_payload(json.loads(text)))
+        except (json.JSONDecodeError, SerializationError) as exc:
+            if position == len(stripped) - 1:
+                truncated_tail = text
+                break
+            raise SerializationError(
+                f"{source}: trace line {line_number} is malformed "
+                f"mid-stream (not a crash tail): {exc}"
+            ) from exc
+    return LoadedTrace(
+        events=tuple(events), source=source, truncated_tail=truncated_tail
+    )
+
+
+def load_trace(path: str) -> LoadedTrace:
+    """Load a ``.jsonl`` / ``.jsonl.gz`` trace file from ``path``."""
+    with open_trace_file(path) as handle:
+        return load_trace_lines(handle, source=str(path))

@@ -1,0 +1,295 @@
+"""Render run analytics as terminal tables, markdown, or JSON.
+
+Rendering is a pure function of the :class:`RunStats` — no wall clock,
+no environment probing — so the same trace always renders to the same
+bytes, which is what lets CI diff reports across execution backends.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.errors import ConfigurationError
+from repro.obs.analysis.round_stats import RunStats
+
+__all__ = ["render_report", "REPORT_FORMATS"]
+
+REPORT_FORMATS = ("table", "markdown", "json")
+"""Formats :func:`render_report` accepts."""
+
+
+def _num(value: Optional[float], digits: int = 4) -> str:
+    if value is None:
+        return "—"
+    return f"{value:.{digits}f}"
+
+
+def _pct(value: Optional[float]) -> str:
+    if value is None:
+        return "—"
+    return f"{100 * value:.2f}%"
+
+
+def _ids(ids) -> str:
+    return ",".join(str(i) for i in ids) if ids else "—"
+
+
+def _summary_rows(stats: RunStats) -> List[tuple]:
+    rows = [
+        ("label", stats.label or "—"),
+        ("source", stats.source or "—"),
+        (
+            "stop reason",
+            stats.stop_reason or "(truncated — no run_stop)",
+        ),
+        ("rounds", str(stats.num_rounds)),
+        ("devices seen", str(len(stats.devices))),
+        ("total time (s)", _num(stats.total_time)),
+        ("total energy (J)", _num(stats.total_energy)),
+        ("compute energy (J)", _num(stats.total_compute_energy)),
+        ("upload energy (J)", _num(stats.total_upload_energy)),
+        ("total slack (s)", _num(stats.total_slack)),
+        ("evaluations", str(stats.evaluations)),
+        ("final accuracy", _num(stats.final_accuracy)),
+        ("best accuracy", _num(stats.best_accuracy)),
+        ("final test loss", _num(stats.final_test_loss)),
+    ]
+    return rows
+
+
+def _dvfs_rows(stats: RunStats) -> List[tuple]:
+    return [
+        (
+            "all-f_max compute energy (J)",
+            _num(stats.fmax_compute_energy),
+        ),
+        ("actual compute energy (J)", _num(stats.total_compute_energy)),
+        ("DVFS savings (J)", _num(stats.dvfs_savings)),
+        ("DVFS savings (%)", _pct(stats.dvfs_saving_fraction)),
+        ("slack utilization", _pct(stats.slack_utilization)),
+    ]
+
+
+def _fairness_rows(stats: RunStats) -> List[tuple]:
+    return [
+        ("Jain index (selection)", _num(stats.jain_selection)),
+        ("Jain index (energy)", _num(stats.jain_energy)),
+        ("clients dropped", str(stats.clients_dropped)),
+        ("clients timed out", str(stats.clients_timeout)),
+    ]
+
+
+def _fault_rows(stats: RunStats) -> List[tuple]:
+    rows = [
+        ("degraded rounds", str(stats.degraded_rounds)),
+        ("battery-drop rounds", str(stats.battery_drop_rounds)),
+    ]
+    for fault, count in sorted(stats.fault_counts.items()):
+        rows.append((f"fault: {fault}", str(count)))
+    for cause, count in sorted(stats.drop_causes.items()):
+        rows.append((f"drop cause: {cause}", str(count)))
+    return rows
+
+
+_ROUND_HEADER = (
+    "round",
+    "sel",
+    "agg",
+    "drop",
+    "t/o",
+    "delay (s)",
+    "energy (J)",
+    "savings (J)",
+    "slack use",
+    "accuracy",
+)
+
+
+def _round_row(r) -> tuple:
+    return (
+        str(r.round_index),
+        str(r.planned),
+        "—" if r.aggregated is None else str(r.aggregated),
+        str(len(r.dropped_ids)),
+        str(len(r.timeout_ids)),
+        _num(r.round_delay),
+        _num(r.round_energy),
+        _num(r.dvfs_savings),
+        _pct(r.slack_utilization),
+        _num(r.test_accuracy),
+    )
+
+
+_DEVICE_HEADER = (
+    "device",
+    "f_max",
+    "sel",
+    "done",
+    "drop",
+    "t/o",
+    "energy (J)",
+    "savings (J)",
+    "slack (s)",
+)
+
+
+def _device_row(d) -> tuple:
+    return (
+        str(d.device_id),
+        f"{d.f_max:.3g}",
+        str(d.selected),
+        str(d.completed),
+        str(d.dropped),
+        str(d.timeouts),
+        _num(d.total_joules),
+        _num(d.dvfs_savings),
+        _num(d.slack_seconds),
+    )
+
+
+def _top_devices(stats: RunStats, top_devices: int):
+    """The ``top_devices`` highest-energy devices, energy-descending.
+
+    Ties break on device id so the listing stays deterministic.
+    """
+    ordered = sorted(
+        stats.devices, key=lambda d: (-d.total_joules, d.device_id)
+    )
+    return ordered[:top_devices]
+
+
+def _text_table(header, rows) -> List[str]:
+    widths = [
+        max(len(str(header[i])), *(len(row[i]) for row in rows))
+        if rows
+        else len(str(header[i]))
+        for i in range(len(header))
+    ]
+    lines = [
+        "  ".join(str(h).rjust(widths[i]) for i, h in enumerate(header)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in rows:
+        lines.append(
+            "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row))
+        )
+    return lines
+
+
+def _render_table(stats: RunStats, top_devices: int) -> str:
+    out: List[str] = []
+
+    def section(title: str, rows: List[tuple]) -> None:
+        out.append(title)
+        out.append("-" * len(title))
+        width = max(len(name) for name, _ in rows)
+        for name, value in rows:
+            out.append(f"  {name:{width}s}  {value}")
+        out.append("")
+
+    section("Run summary", _summary_rows(stats))
+    section("DVFS energy attribution (Eq. 5 counterfactual)",
+            _dvfs_rows(stats))
+    section("Fairness (Jain index, Eq. 20 selection pressure)",
+            _fairness_rows(stats))
+    if (
+        stats.fault_counts
+        or stats.drop_causes
+        or stats.degraded_rounds
+        or stats.battery_drop_rounds
+    ):
+        section("Faults & degradation", _fault_rows(stats))
+
+    out.append("Per-round")
+    out.append("---------")
+    out.extend(
+        _text_table(_ROUND_HEADER, [_round_row(r) for r in stats.rounds])
+    )
+    out.append("")
+
+    shown = _top_devices(stats, top_devices)
+    title = f"Top {len(shown)} devices by energy"
+    out.append(title)
+    out.append("-" * len(title))
+    out.extend(_text_table(_DEVICE_HEADER, [_device_row(d) for d in shown]))
+    out.append("")
+    return "\n".join(out)
+
+
+def _md_table(header, rows) -> List[str]:
+    lines = [
+        "| " + " | ".join(str(h) for h in header) + " |",
+        "| " + " | ".join("---" for _ in header) + " |",
+    ]
+    for row in rows:
+        lines.append("| " + " | ".join(row) + " |")
+    return lines
+
+
+def _render_markdown(stats: RunStats, top_devices: int) -> str:
+    out: List[str] = [f"# Trace report: {stats.label or stats.source or 'run'}", ""]
+
+    def section(title: str, rows: List[tuple]) -> None:
+        out.append(f"## {title}")
+        out.append("")
+        out.extend(
+            _md_table(("metric", "value"), [(n, v) for n, v in rows])
+        )
+        out.append("")
+
+    section("Run summary", _summary_rows(stats))
+    section("DVFS energy attribution (Eq. 5 counterfactual)",
+            _dvfs_rows(stats))
+    section("Fairness", _fairness_rows(stats))
+    if (
+        stats.fault_counts
+        or stats.drop_causes
+        or stats.degraded_rounds
+        or stats.battery_drop_rounds
+    ):
+        section("Faults & degradation", _fault_rows(stats))
+
+    out.append("## Per-round")
+    out.append("")
+    out.extend(
+        _md_table(_ROUND_HEADER, [_round_row(r) for r in stats.rounds])
+    )
+    out.append("")
+
+    shown = _top_devices(stats, top_devices)
+    out.append(f"## Top {len(shown)} devices by energy")
+    out.append("")
+    out.extend(_md_table(_DEVICE_HEADER, [_device_row(d) for d in shown]))
+    out.append("")
+    return "\n".join(out)
+
+
+def render_report(
+    stats: RunStats, fmt: str = "table", top_devices: int = 10
+) -> str:
+    """Render a :class:`RunStats` in the requested format.
+
+    Args:
+        stats: the analytics to render.
+        fmt: ``table`` (terminal), ``markdown``, or ``json``.
+        top_devices: how many devices the device table shows (highest
+            total energy first; the JSON format always contains all).
+
+    Raises:
+        ConfigurationError: for an unknown format or a non-positive
+            ``top_devices``.
+    """
+    if fmt not in REPORT_FORMATS:
+        raise ConfigurationError(
+            f"unknown report format {fmt!r}; expected one of "
+            f"{', '.join(REPORT_FORMATS)}"
+        )
+    if top_devices <= 0:
+        raise ConfigurationError(
+            f"top_devices must be positive, got {top_devices}"
+        )
+    if fmt == "json":
+        return stats.to_json()
+    if fmt == "markdown":
+        return _render_markdown(stats, top_devices)
+    return _render_table(stats, top_devices)

@@ -28,6 +28,7 @@ __all__ = [
     "FrequencyAssignmentEvent",
     "FaultInjectedEvent",
     "ClientDroppedEvent",
+    "DeviceRoundEvent",
     "TimelineEvent",
     "BatteryDropEvent",
     "RoundDegradedEvent",
@@ -176,6 +177,48 @@ class ClientDroppedEvent(Event):
 
 
 @dataclass(frozen=True)
+class DeviceRoundEvent(Event):
+    """One selected user's cost breakdown within a TDMA round.
+
+    The per-user complement of :class:`TimelineEvent`: one event per
+    entry of the round's :class:`~repro.network.tdma.RoundTimeline`,
+    in channel-grant order (fault-lost users trail the queued ones).
+    Carrying both the operating frequency and the device's ``f_max``
+    makes the trace self-contained for DVFS attribution: Eq. (5)
+    scales compute energy by ``f^2`` and Eq. (4) scales compute delay
+    by ``1/f``, so :mod:`repro.obs.analysis` can recompute the
+    all-``f_max`` counterfactual without the device objects.
+
+    Attributes:
+        round_index: 1-based FL round index ``j``.
+        device_id: the user's id.
+        frequency: CPU operating frequency used this round (Hz).
+        f_max: the device's maximum CPU frequency (Hz).
+        compute_delay: Eq. (4) seconds actually spent computing (partial
+            for users lost mid-compute).
+        upload_delay: Eq. (7) seconds actually spent uploading.
+        slack: idle wait between compute end and channel grant, seconds.
+        compute_energy: Eq. (5) joules actually spent computing.
+        upload_energy: Eq. (8) joules actually spent uploading.
+        outcome: ``"ok"``, ``"dropped"``, or ``"timeout"`` (the shared
+            :data:`repro.network.tdma.CLIENT_OUTCOMES` vocabulary).
+    """
+
+    kind = "device_round"
+
+    round_index: int
+    device_id: int
+    frequency: float
+    f_max: float
+    compute_delay: float
+    upload_delay: float
+    slack: float
+    compute_energy: float
+    upload_energy: float
+    outcome: str
+
+
+@dataclass(frozen=True)
 class TimelineEvent(Event):
     """The simulated TDMA cost of one round (Eqs. 10–11).
 
@@ -317,6 +360,7 @@ EVENT_TYPES: Dict[str, type] = {
         FrequencyAssignmentEvent,
         FaultInjectedEvent,
         ClientDroppedEvent,
+        DeviceRoundEvent,
         TimelineEvent,
         BatteryDropEvent,
         RoundDegradedEvent,

@@ -22,17 +22,27 @@ from __future__ import annotations
 import threading
 import time
 from contextlib import contextmanager
-from dataclasses import dataclass
-from typing import Dict, Iterator
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List
 
 from repro.errors import ConfigurationError
 
 __all__ = ["TimerStat", "MetricsRegistry"]
 
+_RESERVOIR_CAP = 256
+"""Maximum retained samples per timer before stride-decimation."""
+
 
 @dataclass
 class TimerStat:
     """Aggregated wall-clock observations of one named timer.
+
+    Besides the running aggregates, a bounded *deterministic* reservoir
+    of observations is kept for tail percentiles: once
+    ``_RESERVOIR_CAP`` samples are held, every other retained sample is
+    discarded and the sampling stride doubles, so the reservoir stays
+    an evenly spaced subsample of the observation stream with no RNG
+    involved (the registry must stay reproducible run to run).
 
     Attributes:
         count: number of recorded durations.
@@ -45,6 +55,8 @@ class TimerStat:
     total_s: float = 0.0
     min_s: float = float("inf")
     max_s: float = 0.0
+    samples: List[float] = field(default_factory=list, repr=False)
+    _stride: int = field(default=1, repr=False)
 
     @property
     def mean_s(self) -> float:
@@ -57,10 +69,45 @@ class TimerStat:
             raise ConfigurationError(
                 f"timer observations must be non-negative, got {seconds}"
             )
+        if (self.count % self._stride) == 0:
+            self.samples.append(seconds)
+            if len(self.samples) > _RESERVOIR_CAP:
+                del self.samples[::2]
+                self._stride *= 2
         self.count += 1
         self.total_s += seconds
         self.min_s = min(self.min_s, seconds)
         self.max_s = max(self.max_s, seconds)
+
+    def percentile(self, q: float) -> float:
+        """Nearest-rank percentile over the retained samples.
+
+        Args:
+            q: the percentile in ``[0, 100]``.
+
+        Returns:
+            0.0 before any observation. With decimation active the
+            value is computed over the evenly spaced subsample.
+        """
+        if not 0.0 <= q <= 100.0:
+            raise ConfigurationError(
+                f"percentile must be in [0, 100], got {q}"
+            )
+        if not self.samples:
+            return 0.0
+        ordered = sorted(self.samples)
+        rank = max(1, -(-len(ordered) * q // 100))  # ceil without math
+        return ordered[int(rank) - 1]
+
+    @property
+    def p50_s(self) -> float:
+        """Median duration (0.0 before any observation)."""
+        return self.percentile(50.0)
+
+    @property
+    def p95_s(self) -> float:
+        """95th-percentile duration (0.0 before any observation)."""
+        return self.percentile(95.0)
 
 
 class MetricsRegistry:
@@ -139,6 +186,8 @@ class MetricsRegistry:
                         "mean_s": stat.mean_s,
                         "min_s": stat.min_s if stat.count else 0.0,
                         "max_s": stat.max_s,
+                        "p50_s": stat.p50_s,
+                        "p95_s": stat.p95_s,
                     }
                     for name, stat in self._timers.items()
                 },
@@ -158,6 +207,8 @@ class MetricsRegistry:
             return "(no timers recorded)"
         return "\n".join(
             f"{name:24s} {stat.total_s:9.4f}s total  "
-            f"{1e3 * stat.mean_s:8.3f}ms mean  x{stat.count}"
+            f"{1e3 * stat.mean_s:8.3f}ms mean  "
+            f"{1e3 * stat.p50_s:8.3f}ms p50  "
+            f"{1e3 * stat.p95_s:8.3f}ms p95  x{stat.count}"
             for name, stat in items
         )

@@ -1,0 +1,236 @@
+"""Command-line trace analytics: ``python -m repro.obs.report``.
+
+Two modes:
+
+* ``python -m repro.obs.report TRACE`` — render one run's analytics
+  (terminal table, markdown, or JSON snapshot);
+* ``python -m repro.obs.report --compare BASE OTHER`` — diff two runs
+  and exit non-zero on regression, for CI gates.
+
+Inputs may be JSONL traces (``.jsonl`` / ``.jsonl.gz``) or analytics
+snapshots previously written with ``--format json`` — the two are told
+apart by the snapshot's ``schema`` marker, so a nightly job can
+compare a fresh trace against a committed baseline snapshot.
+
+Exit codes: 0 success / no regression, 1 regression found by
+``--compare``, 2 unreadable or invalid input.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from dataclasses import replace
+from typing import List, Optional
+
+from repro.errors import ConfigurationError, SerializationError
+from repro.obs.analysis.compare import (
+    CompareThresholds,
+    compare_stats,
+    render_comparison,
+)
+from repro.obs.analysis.loader import load_trace
+from repro.obs.analysis.report import REPORT_FORMATS, render_report
+from repro.obs.analysis.round_stats import (
+    ANALYSIS_SCHEMA,
+    RunStats,
+    compute_run_stats,
+    split_runs,
+)
+from repro.obs.sinks import open_trace_file
+
+__all__ = ["build_parser", "load_stats", "main"]
+
+
+def load_stats(path: str, run: Optional[int] = None) -> RunStats:
+    """Load analytics from a trace file or a stats-snapshot JSON.
+
+    A file whose entire contents parse as one JSON object carrying the
+    :data:`ANALYSIS_SCHEMA` marker is a snapshot; anything else is
+    treated as a JSONL trace.
+
+    Args:
+        path: the input file.
+        run: for multi-run traces (e.g. a traced ``fig2``), which
+            0-based run segment to analyze; default is the only
+            segment, and it is an error to omit it when the trace
+            holds several.
+
+    Raises:
+        SerializationError: unreadable/invalid input, or an ambiguous
+            multi-run trace without ``run``.
+    """
+    try:
+        with open_trace_file(path) as handle:
+            text = handle.read()
+    except OSError as exc:
+        raise SerializationError(f"{path}: cannot read: {exc}") from exc
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError:
+        payload = None
+    if isinstance(payload, dict) and payload.get("schema") == ANALYSIS_SCHEMA:
+        stats = RunStats.from_dict(payload)
+        if stats.source:
+            return stats
+        return replace(stats, source=str(path))
+
+    trace = load_trace(path)
+    segments = split_runs(trace.events)
+    if not segments:
+        raise SerializationError(f"{path}: trace contains no events")
+    if run is None:
+        if len(segments) > 1:
+            raise SerializationError(
+                f"{path}: trace holds {len(segments)} runs; pick one "
+                "with --run N"
+            )
+        run = 0
+    if not 0 <= run < len(segments):
+        raise SerializationError(
+            f"{path}: --run {run} out of range (trace holds "
+            f"{len(segments)} run(s))"
+        )
+    return compute_run_stats(segments[run], source=str(path))
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``python -m repro.obs.report`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.report",
+        description=(
+            "Analyze a JSONL run trace: render per-round / per-device "
+            "analytics, or compare two runs and fail on regression."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="+",
+        metavar="PATH",
+        help=(
+            "one trace (report mode) or, with --compare, BASE and "
+            "OTHER; traces may be .jsonl, .jsonl.gz, or analytics "
+            "snapshot JSON"
+        ),
+    )
+    parser.add_argument(
+        "--compare",
+        action="store_true",
+        help="diff two inputs (BASE OTHER) instead of reporting one",
+    )
+    parser.add_argument(
+        "--format",
+        choices=REPORT_FORMATS,
+        default="table",
+        help="report output format (default: table)",
+    )
+    parser.add_argument(
+        "--output",
+        metavar="FILE",
+        default=None,
+        help="write the report/comparison there instead of stdout",
+    )
+    parser.add_argument(
+        "--top-devices",
+        type=int,
+        default=10,
+        metavar="N",
+        help="device-table size in report mode (default: 10)",
+    )
+    parser.add_argument(
+        "--run",
+        type=int,
+        default=None,
+        metavar="N",
+        help="0-based run index for multi-run traces",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="compare mode: any metric difference is a regression",
+    )
+    parser.add_argument(
+        "--energy-threshold",
+        type=float,
+        default=0.02,
+        metavar="REL",
+        help="allowed relative total-energy increase (default: 0.02)",
+    )
+    parser.add_argument(
+        "--time-threshold",
+        type=float,
+        default=0.02,
+        metavar="REL",
+        help="allowed relative total-time increase (default: 0.02)",
+    )
+    parser.add_argument(
+        "--accuracy-threshold",
+        type=float,
+        default=0.02,
+        metavar="ABS",
+        help="allowed absolute final-accuracy drop (default: 0.02)",
+    )
+    return parser
+
+
+def _emit(text: str, output: Optional[str]) -> None:
+    if output is None:
+        try:
+            print(text)
+        except BrokenPipeError:
+            # Downstream pager/head closed the pipe; not an analysis
+            # error. Detach stdout so the interpreter's shutdown flush
+            # does not raise a second time.
+            sys.stdout = open(os.devnull, "w", encoding="utf-8")
+    else:
+        with open(output, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.compare:
+        if len(args.paths) != 2:
+            parser.error("--compare takes exactly two inputs: BASE OTHER")
+    elif len(args.paths) != 1:
+        parser.error(
+            "report mode takes exactly one input (use --compare for two)"
+        )
+
+    try:
+        if args.compare:
+            base = load_stats(args.paths[0], run=args.run)
+            other = load_stats(args.paths[1], run=args.run)
+            thresholds = CompareThresholds(
+                energy_rel=args.energy_threshold,
+                time_rel=args.time_threshold,
+                accuracy_abs=args.accuracy_threshold,
+                strict=args.strict,
+            )
+            comparison = compare_stats(base, other, thresholds)
+            _emit(render_comparison(comparison), args.output)
+            return 0 if comparison.ok else 1
+        stats = load_stats(args.paths[0], run=args.run)
+        _emit(
+            render_report(
+                stats, fmt=args.format, top_devices=args.top_devices
+            ),
+            args.output,
+        )
+        return 0
+    except (ConfigurationError, SerializationError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    try:
+        sys.exit(main())
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe; not an analysis error.
+        sys.exit(0)

@@ -53,6 +53,12 @@ def _is_bool(value) -> bool:
     return isinstance(value, bool)
 
 
+# Mirrors repro.network.tdma.CLIENT_OUTCOMES (kept literal so the trace
+# schema has no dependency on the simulator; a meta-test pins the two).
+def _is_outcome(value) -> bool:
+    return _is_str(value) and value in {"ok", "dropped", "timeout"}
+
+
 EVENT_SCHEMAS: Dict[str, Dict[str, Callable[[object], bool]]] = {
     "selection": {"round_index": _is_int, "selected_ids": _is_id_list},
     "frequency_assignment": {
@@ -79,6 +85,18 @@ EVENT_SCHEMAS: Dict[str, Dict[str, Callable[[object], bool]]] = {
         "dropped_ids": _is_id_list,
         "timeout_ids": _is_id_list,
         "reassigned_frequencies": _is_bool,
+    },
+    "device_round": {
+        "round_index": _is_int,
+        "device_id": _is_int,
+        "frequency": _is_num,
+        "f_max": _is_num,
+        "compute_delay": _is_num,
+        "upload_delay": _is_num,
+        "slack": _is_num,
+        "compute_energy": _is_num,
+        "upload_energy": _is_num,
+        "outcome": _is_outcome,
     },
     "timeline": {
         "round_index": _is_int,
@@ -176,6 +194,8 @@ def validate_trace_lines(lines: Iterable[str]) -> int:
 
 
 def validate_trace(path: str) -> int:
-    """Validate a JSONL trace file; return the number of events."""
-    with open(path, encoding="utf-8") as handle:
+    """Validate a JSONL trace file (``.gz``-aware); return the event count."""
+    from repro.obs.sinks import open_trace_file
+
+    with open_trace_file(path) as handle:
         return validate_trace_lines(handle)

@@ -18,13 +18,41 @@ back into the training loop.
 
 from __future__ import annotations
 
+import gzip
 import json
 from typing import List, Union
 
 from repro.errors import SerializationError
 from repro.obs.events import Event
 
-__all__ = ["EventSink", "NullSink", "CollectingSink", "JsonlTraceSink"]
+__all__ = [
+    "EventSink",
+    "NullSink",
+    "CollectingSink",
+    "JsonlTraceSink",
+    "open_trace_file",
+]
+
+
+def open_trace_file(path, mode: str = "r"):
+    """Open a JSONL trace path as a text stream, gzip-aware.
+
+    Paths ending in ``.gz`` are transparently (de)compressed — chaos
+    matrices produce large traces, and every trace consumer
+    (:class:`JsonlTraceSink`, the validator, the analysis loader)
+    shares this suffix convention.
+
+    Args:
+        path: the trace file path.
+        mode: ``"r"`` or ``"w"`` (text mode is implied).
+    """
+    if mode not in ("r", "w"):
+        raise SerializationError(
+            f"trace files open in 'r' or 'w' mode only, got {mode!r}"
+        )
+    if str(path).endswith(".gz"):
+        return gzip.open(path, mode + "t", encoding="utf-8")
+    return open(path, mode, encoding="utf-8")
 
 
 class EventSink:
@@ -74,14 +102,15 @@ class JsonlTraceSink(EventSink):
     """Stream events as JSON Lines: one JSON object per event.
 
     Args:
-        target: a path to open for writing, or an already-open text
-            handle (e.g. ``sys.stdout``). The sink owns — and
-            :meth:`close` closes — only handles it opened itself.
+        target: a path to open for writing (``.gz`` suffixes stream
+            through gzip), or an already-open text handle (e.g.
+            ``sys.stdout``). The sink owns — and :meth:`close` closes —
+            only handles it opened itself.
     """
 
     def __init__(self, target: Union[str, "object"]) -> None:
         if isinstance(target, (str, bytes)) or hasattr(target, "__fspath__"):
-            self._handle = open(target, "w", encoding="utf-8")
+            self._handle = open_trace_file(target, "w")
             self._owns_handle = True
         elif hasattr(target, "write"):
             self._handle = target

@@ -1,9 +1,11 @@
 """Command-line trace validator: ``python -m repro.obs.validate``.
 
-Checks every line of one or more JSONL trace files against the event
-schema (:mod:`repro.obs.schema`) and reports the event count per
-file. Exits non-zero on the first malformed line — CI runs this over
-a traced smoke run to keep the trace format honest.
+Checks every line of one or more JSONL trace files (``.jsonl`` or
+``.jsonl.gz``) against the event schema (:mod:`repro.obs.schema`) and
+reports a verdict and event count per file. Every path is validated —
+an invalid file never hides the verdicts of the paths after it — and
+the exit code is non-zero if *any* file failed. CI runs this over
+traced smoke runs to keep the trace format honest.
 """
 
 from __future__ import annotations
@@ -28,14 +30,16 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("paths", nargs="+", help="trace files to validate")
     args = parser.parse_args(argv)
 
+    failures = 0
     for path in args.paths:
         try:
             count = validate_trace(path)
         except (OSError, SerializationError) as exc:
             print(f"{path}: INVALID — {exc}", file=sys.stderr)
-            return 1
+            failures += 1
+            continue
         print(f"{path}: OK ({count} events)")
-    return 0
+    return 1 if failures else 0
 
 
 if __name__ == "__main__":

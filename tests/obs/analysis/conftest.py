@@ -1,0 +1,74 @@
+"""Shared harness: small traced HELCFL runs for the analysis tests."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.registry import build_strategy
+from repro.data.dataset import ArrayDataset
+from repro.fl.server import FederatedServer
+from repro.fl.trainer import FederatedTrainer, TrainerConfig
+from repro.nn.architectures import build_mlp
+from repro.obs import JsonlTraceSink, RunObserver
+from tests.conftest import make_heterogeneous_devices
+
+
+def run_traced_helcfl(
+    path,
+    num_devices=6,
+    rounds=5,
+    seed=3,
+    backend=None,
+    faults=None,
+    **config_kwargs,
+):
+    """Run a small traced HELCFL training and return its artifacts.
+
+    Returns:
+        ``(history, trainer, devices)`` — the trainer is returned so
+        tests can cross-check analytics against its
+        :class:`~repro.energy.accounting.EnergyLedger`.
+    """
+    devices = make_heterogeneous_devices(num_devices, seed=seed)
+    rng = np.random.default_rng(seed + 100)
+    test = ArrayDataset(rng.normal(size=(40, 4)), rng.integers(0, 3, size=40))
+    model = build_mlp(4, 3, hidden_sizes=(8,), seed=seed)
+    server = FederatedServer(model, test_dataset=test, payload_bits=1e6)
+    selection, policy = build_strategy(
+        "helcfl",
+        devices=devices,
+        fraction=0.5,
+        payload_bits=1e6,
+        bandwidth_hz=2e6,
+        decay=0.9,
+        seed=seed,
+    )
+    config = TrainerConfig(
+        rounds=rounds,
+        bandwidth_hz=2e6,
+        learning_rate=0.2,
+        eval_every=2,
+        **config_kwargs,
+    )
+    observer = RunObserver(sink=JsonlTraceSink(str(path)))
+    trainer = FederatedTrainer(
+        server=server,
+        devices=devices,
+        selection=selection,
+        frequency_policy=policy,
+        config=config,
+        label="helcfl-test",
+        observer=observer,
+        backend=backend,
+        faults=faults,
+    )
+    history = trainer.run()
+    observer.close()
+    return history, trainer, devices
+
+
+@pytest.fixture(scope="module")
+def traced_run(tmp_path_factory):
+    """One traced 5-round HELCFL run shared across a test module."""
+    path = tmp_path_factory.mktemp("trace") / "helcfl.jsonl"
+    history, trainer, devices = run_traced_helcfl(path)
+    return path, history, trainer, devices

@@ -1,0 +1,84 @@
+"""Registry meta-test: every event kind survives the full wire cycle.
+
+``to_dict()`` → JSON → schema validation → loader reconstruction must
+be the identity for *every* kind in ``EVENT_TYPES`` — including kinds
+added after this test was written, because instances are synthesized
+from the dataclass field declarations rather than hand-listed. A new
+event whose field types the loader cannot coerce, or whose schema
+entry disagrees with its dataclass, fails here before it can ship.
+"""
+
+from dataclasses import fields
+
+import json
+
+import pytest
+
+from repro.network.tdma import CLIENT_OUTCOMES
+from repro.obs import EVENT_SCHEMAS, EVENT_TYPES, StopReason, validate_event
+from repro.obs.analysis import event_from_payload
+from repro.obs.schema import _is_outcome
+
+# Values schema validators accept, per declared field type; fields
+# with constrained vocabularies get a valid member by name.
+_VALUES_BY_TYPE = {
+    "int": 3,
+    "float": 1.5,
+    "str": "x",
+    "bool": True,
+    "Tuple[int, ...]": (2, 1),
+    "Dict[int, float]": {4: 1.5e9},
+}
+_VALUES_BY_NAME = {
+    "reason": StopReason.DEADLINE.value,
+    "outcome": "ok",
+}
+
+
+def synthesize(cls):
+    """Build an instance of an event class from its field declarations."""
+    kwargs = {}
+    for spec in fields(cls):
+        if spec.name in _VALUES_BY_NAME:
+            kwargs[spec.name] = _VALUES_BY_NAME[spec.name]
+        else:
+            assert spec.type in _VALUES_BY_TYPE, (
+                f"{cls.__name__}.{spec.name}: no synthesis rule for field "
+                f"type {spec.type!r} — extend _VALUES_BY_TYPE (and the "
+                f"loader's _coerce) for the new shape"
+            )
+            kwargs[spec.name] = _VALUES_BY_TYPE[spec.type]
+    return cls(**kwargs)
+
+
+class TestRegistryRoundTrip:
+    def test_registry_and_schema_cover_the_same_kinds(self):
+        assert set(EVENT_TYPES) == set(EVENT_SCHEMAS)
+
+    @pytest.mark.parametrize("kind", sorted(EVENT_TYPES))
+    def test_every_kind_round_trips_through_the_wire(self, kind):
+        original = synthesize(EVENT_TYPES[kind])
+        payload = json.loads(json.dumps(original.to_dict()))
+        assert validate_event(payload) == kind
+        rebuilt = event_from_payload(payload)
+        assert rebuilt == original
+        assert type(rebuilt) is type(original)
+
+    @pytest.mark.parametrize("kind", sorted(EVENT_TYPES))
+    def test_reconstruction_restores_declared_field_types(self, kind):
+        original = synthesize(EVENT_TYPES[kind])
+        rebuilt = event_from_payload(json.loads(json.dumps(original.to_dict())))
+        for spec in fields(type(original)):
+            got = getattr(rebuilt, spec.name)
+            want = getattr(original, spec.name)
+            assert type(got) is type(want), spec.name
+
+
+class TestOutcomeVocabulary:
+    def test_schema_outcomes_match_the_simulator(self):
+        # The schema keeps the vocabulary literal (no dependency on the
+        # simulator); this pins the two so they cannot drift apart.
+        for outcome in CLIENT_OUTCOMES:
+            assert _is_outcome(outcome)
+        assert not _is_outcome("exploded")
+        assert not _is_outcome(1)

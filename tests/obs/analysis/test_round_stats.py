@@ -1,0 +1,248 @@
+"""Tests for the per-round / per-device trace analytics.
+
+The acceptance contract: analytics computed from a traced run's JSONL
+stream reproduce the run's :class:`TrainingHistory` and
+:class:`EnergyLedger` *bitwise* (the analysis sums in emission order),
+and the Eq. (5) DVFS counterfactual matches an independent
+recomputation from the traced frequencies.
+"""
+
+import json
+
+import pytest
+
+from repro.errors import SerializationError
+from repro.faults import DropoutFault, FaultPlan
+from repro.obs import (
+    AggregationEvent,
+    RunStopEvent,
+    SelectionEvent,
+    StopReason,
+)
+from repro.obs.analysis import (
+    ANALYSIS_SCHEMA,
+    RunStats,
+    compute_run_stats,
+    jain_index,
+    load_trace,
+    split_runs,
+)
+from tests.obs.analysis.conftest import run_traced_helcfl
+
+
+class TestJainIndex:
+    def test_uniform_is_one(self):
+        assert jain_index([3.0, 3.0, 3.0, 3.0]) == pytest.approx(1.0)
+
+    def test_single_hot_is_one_over_n(self):
+        assert jain_index([5.0, 0.0, 0.0, 0.0]) == pytest.approx(0.25)
+
+    def test_empty_and_all_zero_read_as_fair(self):
+        assert jain_index([]) == 1.0
+        assert jain_index([0.0, 0.0]) == 1.0
+
+    def test_between_extremes(self):
+        value = jain_index([1.0, 2.0, 3.0])
+        assert 1 / 3 < value < 1.0
+
+
+def _stop(round_index, label="run"):
+    return RunStopEvent(
+        round_index=round_index,
+        reason=StopReason.ROUNDS_EXHAUSTED.value,
+        cumulative_time=1.0,
+        cumulative_energy=2.0,
+        label=label,
+    )
+
+
+class TestSplitRuns:
+    def test_splits_on_run_stop_boundaries(self):
+        events = [
+            SelectionEvent(round_index=1, selected_ids=(1,)),
+            _stop(1, "a"),
+            SelectionEvent(round_index=1, selected_ids=(2,)),
+            _stop(1, "b"),
+        ]
+        segments = split_runs(events)
+        assert len(segments) == 2
+        assert segments[0][-1].label == "a"
+        assert segments[1][-1].label == "b"
+
+    def test_trailing_crash_segment_is_kept(self):
+        events = [
+            SelectionEvent(round_index=1, selected_ids=(1,)),
+            _stop(1),
+            SelectionEvent(round_index=1, selected_ids=(2,)),
+        ]
+        segments = split_runs(events)
+        assert len(segments) == 2
+        assert segments[1][-1].kind == "selection"
+
+    def test_empty_trace_has_no_segments(self):
+        assert split_runs([]) == []
+
+
+class TestCrossCheckAgainstHistory:
+    """Analytics from the trace == the run's own accounting, bitwise."""
+
+    def test_rounds_match_training_history_exactly(self, traced_run):
+        path, history, _, _ = traced_run
+        stats = compute_run_stats(load_trace(str(path)).events)
+
+        assert not stats.truncated
+        assert stats.label == history.label
+        assert stats.stop_reason == history.stop_reason
+        assert stats.num_rounds == len(history.records)
+        assert stats.total_time == history.total_time
+        assert stats.total_energy == history.total_energy
+        for got, want in zip(stats.rounds, history.records):
+            assert got.round_index == want.round_index
+            assert got.selected_ids == want.selected_ids
+            assert got.round_delay == want.round_delay
+            assert got.round_energy == want.round_energy
+            assert got.compute_energy == want.compute_energy
+            assert got.upload_energy == want.upload_energy
+            assert got.slack == want.slack
+            assert got.cumulative_time == want.cumulative_time
+            assert got.cumulative_energy == want.cumulative_energy
+            assert got.test_accuracy == want.test_accuracy
+            assert got.test_loss == want.test_loss
+            assert got.dropped_ids == want.dropped_ids
+            assert got.aggregated == len(want.selected_ids) - len(
+                want.dropped_ids
+            ) - len(want.timeout_ids)
+
+    def test_devices_match_energy_ledger_exactly(self, traced_run):
+        path, _, trainer, _ = traced_run
+        stats = compute_run_stats(load_trace(str(path)).events)
+
+        assert {d.device_id for d in stats.devices} == set(
+            trainer.ledger.devices
+        )
+        for device in stats.devices:
+            ledger = trainer.ledger.devices[device.device_id]
+            assert device.compute_joules == ledger.compute_joules
+            assert device.upload_joules == ledger.upload_joules
+            assert device.slack_seconds == ledger.slack_seconds
+            assert device.participated == ledger.rounds
+
+    def test_selection_counts_match_history(self, traced_run):
+        path, history, _, _ = traced_run
+        stats = compute_run_stats(load_trace(str(path)).events)
+        counts = {}
+        for record in history.records:
+            for device_id in record.selected_ids:
+                counts[device_id] = counts.get(device_id, 0) + 1
+        assert stats.selection_counts == counts
+        assert 0.0 < stats.jain_selection <= 1.0
+
+    def test_dvfs_counterfactual_matches_eq5_recomputation(self, traced_run):
+        path, _, _, devices = traced_run
+        trace = load_trace(str(path))
+        stats = compute_run_stats(trace.events)
+        f_max = {d.device_id: d.cpu.f_max for d in devices}
+
+        by_round = {}
+        for event in trace.of_kind("device_round"):
+            # The trace is self-contained: its f_max matches the fleet.
+            assert event.f_max == f_max[event.device_id]
+            by_round.setdefault(event.round_index, 0.0)
+            by_round[event.round_index] += (
+                event.compute_energy * (event.f_max / event.frequency) ** 2
+            )
+        for r in stats.rounds:
+            assert r.fmax_compute_energy == pytest.approx(
+                by_round[r.round_index], rel=1e-12
+            )
+            # Eq. 5: running slower can only save energy.
+            assert r.dvfs_savings >= 0.0
+        # HELCFL's slack reclamation must actually save on this fleet.
+        assert stats.dvfs_savings > 0.0
+        assert 0.0 < stats.dvfs_saving_fraction < 1.0
+        assert stats.slack_utilization is not None
+
+    def test_per_device_savings_sum_to_run_savings(self, traced_run):
+        path, _, _, _ = traced_run
+        stats = compute_run_stats(load_trace(str(path)).events)
+        assert sum(d.dvfs_savings for d in stats.devices) == pytest.approx(
+            stats.dvfs_savings, rel=1e-12
+        )
+
+
+class TestFaultedRunAnalytics:
+    def test_fault_and_drop_summaries(self, tmp_path):
+        path = tmp_path / "chaos.jsonl"
+        plan = FaultPlan(
+            seed=6,
+            faults=(
+                DropoutFault(
+                    phase="before_compute",
+                    device_id=5,
+                    rounds=(2,),
+                    probability=1.0,
+                ),
+            ),
+        )
+        history, _, _ = run_traced_helcfl(path, faults=plan)
+        stats = compute_run_stats(load_trace(str(path)).events)
+        assert stats.fault_counts == {"dropout": 1}
+        assert stats.drop_causes == {"dropout": 1}
+        assert stats.degraded_rounds == 1
+        assert stats.clients_dropped == 1
+        dropped_rounds = [r for r in stats.rounds if r.dropped_ids]
+        assert [r.round_index for r in dropped_rounds] == [2]
+        assert dropped_rounds[0].dropped_ids == (5,)
+        assert dropped_rounds[0].fault_count == 1
+        assert dropped_rounds[0].reassigned_frequencies
+        # History agrees.
+        assert history.records[1].dropped_ids == (5,)
+
+
+class TestRunStatsSerialization:
+    def test_to_dict_from_dict_round_trip(self, traced_run):
+        path, _, _, _ = traced_run
+        stats = compute_run_stats(
+            load_trace(str(path)).events, source=str(path)
+        )
+        payload = json.loads(stats.to_json())
+        assert payload["schema"] == ANALYSIS_SCHEMA
+        rebuilt = RunStats.from_dict(payload)
+        assert rebuilt == stats
+        assert rebuilt.to_json() == stats.to_json()
+
+    def test_from_dict_rejects_unknown_schema(self):
+        with pytest.raises(SerializationError, match="schema"):
+            RunStats.from_dict({"schema": "something/else"})
+
+
+class TestSegmentGuards:
+    def test_duplicate_round_selection_is_rejected(self):
+        events = [
+            SelectionEvent(round_index=1, selected_ids=(1,)),
+            SelectionEvent(round_index=1, selected_ids=(2,)),
+        ]
+        with pytest.raises(SerializationError, match="split_runs"):
+            compute_run_stats(events)
+
+    def test_events_after_run_stop_are_rejected(self):
+        events = [
+            SelectionEvent(round_index=1, selected_ids=(1,)),
+            _stop(1),
+            SelectionEvent(round_index=2, selected_ids=(1,)),
+        ]
+        with pytest.raises(SerializationError, match="split_runs"):
+            compute_run_stats(events)
+
+    def test_truncated_segment_reports_truncation(self):
+        events = [
+            SelectionEvent(round_index=1, selected_ids=(1, 2)),
+            AggregationEvent(round_index=1, num_updates=2, total_weight=10.0),
+        ]
+        stats = compute_run_stats(events)
+        assert stats.truncated
+        assert stats.stop_reason is None
+        assert stats.num_rounds == 1
+        assert stats.rounds[0].aggregated == 2
+        assert stats.rounds[0].round_energy is None
+        assert stats.rounds[0].dvfs_savings is None

@@ -11,6 +11,7 @@ from repro.obs import (
     AggregationEvent,
     BatteryDropEvent,
     ClientDroppedEvent,
+    DeviceRoundEvent,
     EvalEvent,
     FaultInjectedEvent,
     FrequencyAssignmentEvent,
@@ -43,6 +44,18 @@ SAMPLE_EVENTS = [
         dropped_ids=(3,),
         timeout_ids=(),
         reassigned_frequencies=False,
+    ),
+    DeviceRoundEvent(
+        round_index=1,
+        device_id=3,
+        frequency=0.9e9,
+        f_max=1.5e9,
+        compute_delay=1.2,
+        upload_delay=0.4,
+        slack=0.0,
+        compute_energy=2.1,
+        upload_energy=0.3,
+        outcome="ok",
     ),
     TimelineEvent(
         round_index=1,

@@ -69,6 +69,55 @@ class TestTimers:
             MetricsRegistry().observe_time("stage", -0.1)
 
 
+class TestPercentiles:
+    def test_small_sample_nearest_rank(self):
+        stat = TimerStat()
+        for v in (5.0, 1.0, 3.0, 2.0, 4.0):
+            stat.observe(v)
+        assert stat.p50_s == 3.0
+        assert stat.p95_s == 5.0
+        assert stat.percentile(0.0) == 1.0
+        assert stat.percentile(100.0) == 5.0
+
+    def test_empty_stat_percentiles_are_zero(self):
+        stat = TimerStat()
+        assert stat.p50_s == 0.0
+        assert stat.p95_s == 0.0
+
+    def test_out_of_range_percentile_rejected(self):
+        stat = TimerStat()
+        stat.observe(1.0)
+        for q in (-1.0, 101.0):
+            with pytest.raises(ConfigurationError):
+                stat.percentile(q)
+
+    def test_reservoir_stays_bounded_and_representative(self):
+        from repro.obs.metrics import _RESERVOIR_CAP
+
+        stat = TimerStat()
+        n = 10_000
+        for i in range(n):
+            stat.observe(float(i))
+        assert len(stat.samples) <= _RESERVOIR_CAP
+        assert stat.count == n
+        # The decimated reservoir is an evenly spaced subsample, so
+        # percentiles stay close to the exact stream values.
+        assert stat.p50_s == pytest.approx(n / 2, rel=0.05)
+        assert stat.p95_s == pytest.approx(0.95 * n, rel=0.05)
+
+    def test_decimation_is_deterministic(self):
+        def fill():
+            stat = TimerStat()
+            for i in range(5_000):
+                stat.observe(float(i % 997))
+            return stat
+
+        a, b = fill(), fill()
+        assert a.samples == b.samples
+        assert a.p50_s == b.p50_s
+        assert a.p95_s == b.p95_s
+
+
 class TestReporting:
     def test_snapshot_shape(self):
         registry = MetricsRegistry()
@@ -80,6 +129,8 @@ class TestReporting:
         assert snap["gauges"] == {"devices": 5.0}
         assert snap["timers"]["stage"]["count"] == 1
         assert snap["timers"]["stage"]["total_s"] == 0.5
+        assert snap["timers"]["stage"]["p50_s"] == 0.5
+        assert snap["timers"]["stage"]["p95_s"] == 0.5
 
     def test_format_timers_sorted_by_total(self):
         registry = MetricsRegistry()
@@ -88,6 +139,14 @@ class TestReporting:
         lines = registry.format_timers().splitlines()
         assert lines[0].startswith("big")
         assert lines[1].startswith("small")
+
+    def test_format_timers_shows_percentiles(self):
+        registry = MetricsRegistry()
+        for v in (0.001, 0.002, 0.1):
+            registry.observe_time("stage", v)
+        line = registry.format_timers()
+        assert "p50" in line
+        assert "p95" in line
 
     def test_format_timers_empty(self):
         assert "no timers" in MetricsRegistry().format_timers()

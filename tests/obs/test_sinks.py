@@ -12,7 +12,9 @@ from repro.obs import (
     NullSink,
     RunObserver,
     SelectionEvent,
+    open_trace_file,
     validate_event,
+    validate_trace,
 )
 
 EVENT = SelectionEvent(round_index=1, selected_ids=(4, 2))
@@ -59,6 +61,36 @@ class TestJsonlTraceSink:
     def test_bad_target_rejected(self):
         with pytest.raises(SerializationError):
             JsonlTraceSink(42)
+
+    def test_gzip_suffix_writes_gzip_and_round_trips(self, tmp_path):
+        import gzip
+
+        path = tmp_path / "trace.jsonl.gz"
+        with JsonlTraceSink(str(path)) as sink:
+            sink.emit(EVENT)
+            sink.emit(EVENT)
+        assert path.read_bytes()[:2] == b"\x1f\x8b"  # gzip magic
+        with gzip.open(path, "rt", encoding="utf-8") as handle:
+            lines = handle.read().splitlines()
+        assert len(lines) == 2
+        for line in lines:
+            validate_event(json.loads(line))
+        assert validate_trace(str(path)) == 2
+
+    def test_open_trace_file_dispatches_on_suffix(self, tmp_path):
+        plain = tmp_path / "t.jsonl"
+        packed = tmp_path / "t.jsonl.gz"
+        for target in (plain, packed):
+            with open_trace_file(str(target), "w") as handle:
+                handle.write("hello\n")
+            with open_trace_file(str(target)) as handle:
+                assert handle.read() == "hello\n"
+        assert plain.read_text() == "hello\n"
+        assert packed.read_bytes()[:2] == b"\x1f\x8b"
+
+    def test_open_trace_file_rejects_other_modes(self, tmp_path):
+        with pytest.raises(SerializationError, match="mode"):
+            open_trace_file(str(tmp_path / "t.jsonl"), "a")
 
 
 class TestRunObserver:

@@ -1,0 +1,63 @@
+"""Tests for the ``python -m repro.obs.validate`` CLI."""
+
+import json
+
+from repro.obs.validate import main as validate_main
+from tests.obs.test_events import SAMPLE_EVENTS
+
+
+def write_good(path):
+    path.write_text(
+        "".join(json.dumps(e.to_dict()) + "\n" for e in SAMPLE_EVENTS)
+    )
+    return str(path)
+
+
+class TestValidateCli:
+    def test_single_valid_file_exits_zero(self, tmp_path, capsys):
+        good = write_good(tmp_path / "good.jsonl")
+        assert validate_main([good]) == 0
+        out = capsys.readouterr().out
+        assert f"{good}: OK ({len(SAMPLE_EVENTS)} events)" in out
+
+    def test_every_path_gets_a_verdict_and_failures_exit_one(
+        self, tmp_path, capsys
+    ):
+        good_first = write_good(tmp_path / "a.jsonl")
+        bad = tmp_path / "b.jsonl"
+        bad.write_text('{"event": "mystery"}\n')
+        good_last = write_good(tmp_path / "c.jsonl")
+
+        assert validate_main([good_first, str(bad), good_last]) == 1
+        captured = capsys.readouterr()
+        # The invalid middle file must not hide the verdict of the
+        # paths after it.
+        assert f"{good_first}: OK" in captured.out
+        assert f"{good_last}: OK" in captured.out
+        assert "INVALID" in captured.err
+        assert str(bad) in captured.err
+
+    def test_missing_file_is_a_failure_not_a_crash(self, tmp_path, capsys):
+        good = write_good(tmp_path / "good.jsonl")
+        missing = str(tmp_path / "missing.jsonl")
+        assert validate_main([missing, good]) == 1
+        captured = capsys.readouterr()
+        assert f"{good}: OK" in captured.out
+        assert "INVALID" in captured.err
+
+    def test_multiple_valid_files_all_reported(self, tmp_path, capsys):
+        paths = [write_good(tmp_path / f"t{i}.jsonl") for i in range(3)]
+        assert validate_main(paths) == 0
+        out = capsys.readouterr().out
+        for path in paths:
+            assert f"{path}: OK" in out
+
+    def test_gzip_trace_validates(self, tmp_path, capsys):
+        import gzip
+
+        path = tmp_path / "t.jsonl.gz"
+        with gzip.open(path, "wt", encoding="utf-8") as handle:
+            for event in SAMPLE_EVENTS:
+                handle.write(json.dumps(event.to_dict()) + "\n")
+        assert validate_main([str(path)]) == 0
+        assert "OK" in capsys.readouterr().out

@@ -104,3 +104,64 @@ class TestCommands:
 
         result = load_fig2(path)
         assert "helcfl" in result.histories
+
+
+class TestTraceAnalyticsCommands:
+    def make_trace(self, tmp_path, name="t.jsonl", extra=()):
+        path = tmp_path / name
+        args = ["run", "helcfl", "--quick", "--rounds", "3",
+                "--trace", str(path), *extra]
+        assert main(args) == 0
+        return path
+
+    def test_trace_report_renders_table(self, capsys, tmp_path):
+        path = self.make_trace(tmp_path)
+        capsys.readouterr()
+        assert main(["trace-report", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "Run summary" in out
+        assert "DVFS energy attribution" in out
+
+    def test_trace_report_writes_markdown_output(self, capsys, tmp_path):
+        path = self.make_trace(tmp_path)
+        report = tmp_path / "report.md"
+        assert main(["trace-report", str(path), "--format", "markdown",
+                     "--output", str(report)]) == 0
+        assert report.read_text().startswith("# Trace report:")
+
+    def test_trace_compare_identical_runs_strict(self, capsys, tmp_path):
+        a = self.make_trace(tmp_path, "a.jsonl")
+        b = self.make_trace(tmp_path, "b.jsonl")
+        capsys.readouterr()
+        assert main(["trace-compare", str(a), str(b), "--strict"]) == 0
+        assert "RESULT: PASS" in capsys.readouterr().out
+
+    def test_trace_compare_different_seeds_strict_fails(
+        self, capsys, tmp_path
+    ):
+        a = self.make_trace(tmp_path, "a.jsonl")
+        b = self.make_trace(tmp_path, "b.jsonl", extra=["--seed", "8"])
+        capsys.readouterr()
+        assert main(["trace-compare", str(a), str(b), "--strict"]) == 1
+        assert "RESULT: FAIL" in capsys.readouterr().out
+
+    def test_run_report_flag_appends_analysis(self, capsys, tmp_path):
+        path = tmp_path / "t.jsonl"
+        assert main(["run", "helcfl", "--quick", "--rounds", "3",
+                     "--trace", str(path), "--report"]) == 0
+        out = capsys.readouterr().out
+        assert "Run summary" in out
+        assert "Per-round" in out
+
+    def test_run_report_flag_requires_trace(self, capsys):
+        assert main(["run", "helcfl", "--quick", "--report"]) == 2
+        assert "--report requires --trace" in capsys.readouterr().err
+
+    def test_gzip_trace_via_cli(self, capsys, tmp_path):
+        path = self.make_trace(tmp_path, "t.jsonl.gz")
+        capsys.readouterr()
+        assert main(["trace-report", str(path), "--format", "json"]) == 0
+        import json as _json
+
+        payload = _json.loads(capsys.readouterr().out)
+        assert payload["num_rounds"] == 3
