@@ -19,10 +19,13 @@ differ.
 
 from __future__ import annotations
 
-from typing import Dict, Sequence
+from typing import Dict, Optional, Sequence
+
+import numpy as np
 
 from repro.devices.cpu import DvfsCpu
 from repro.devices.device import UserDevice
+from repro.devices.population import DevicePopulation
 from repro.errors import ConfigurationError
 from repro.fl.strategy import FrequencyPolicy
 
@@ -70,8 +73,28 @@ class FedlClosedFormPolicy(FrequencyPolicy):
         bandwidth_hz: float,
         *,
         round_index: int = 0,
+        population: Optional[DevicePopulation] = None,
     ) -> Dict[int, float]:
         del payload_bits, bandwidth_hz, round_index
+        if population is not None:
+            # Fleets share a handful of capacitance values, so evaluate
+            # the cube root once per distinct one with Python's scalar
+            # ``**`` (the object path's exact op) and broadcast —
+            # bitwise parity by construction.
+            cap = population.switched_capacitance
+            unique, inverse = np.unique(cap, return_inverse=True)
+            table = np.fromiter(
+                (
+                    (self.kappa / value) ** (1.0 / 3.0)
+                    for value in unique.tolist()
+                ),
+                dtype=np.float64,
+                count=unique.shape[0],
+            )
+            clamped = population.clamp(table[inverse])
+            return dict(
+                zip(population.device_ids.tolist(), clamped.tolist())
+            )
         return {
             device.device_id: fedl_optimal_frequency(device.cpu, self.kappa)
             for device in selected

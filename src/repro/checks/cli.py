@@ -27,7 +27,8 @@ def build_parser() -> argparse.ArgumentParser:
         description=(
             "Domain-aware static analysis: determinism (REP001), "
             "event-schema coverage (REP002), unit discipline (REP003), "
-            "wall-clock hygiene (REP004), concurrency safety (REP005). "
+            "wall-clock hygiene (REP004), concurrency safety (REP005), "
+            "hot-path vectorization (REP006). "
             "Suppress a finding inline with "
             "'# repro: allow[RULE-ID] justification'."
         ),

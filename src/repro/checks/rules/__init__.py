@@ -8,6 +8,7 @@ from repro.checks.rules.base import Rule
 from repro.checks.rules.concurrency import ConcurrencySafetyRule
 from repro.checks.rules.determinism import DeterminismRule
 from repro.checks.rules.events import EventSchemaRule
+from repro.checks.rules.hotpath import HotPathLoopRule
 from repro.checks.rules.units import UnitDisciplineRule
 from repro.checks.rules.wallclock import WallClockRule
 from repro.errors import ConfigurationError
@@ -22,6 +23,7 @@ ALL_RULES: Dict[str, type] = {
         UnitDisciplineRule,
         WallClockRule,
         ConcurrencySafetyRule,
+        HotPathLoopRule,
     )
 }
 """Mapping from rule id to rule class, in id order."""

@@ -24,17 +24,42 @@ Practical guards the paper leaves implicit:
 With clamping, the recursion tracks the *actual* upload-finish time
 (computed via the true queueing dynamics) rather than the idealized
 ``T_q``, so the assignment stays optimal when clamps bind.
+
+:func:`determine_frequencies_population` is the population-scale form:
+the O(Q) inputs of the recursion — Eq. (4) delays at ``f_max``, the
+sort, Eq. (7) upload delays — are array expressions over a
+:class:`~repro.devices.DevicePopulation`, and only the inherently
+sequential Eq. (9) prefix scan over the sorted delay chain runs as a
+scalar loop (its operation order is the bitwise contract with the
+object path, and it is O(N selected), not O(Q)).
 """
 
 from __future__ import annotations
 
-from typing import Dict, Sequence
+from typing import Dict, Optional, Sequence
+
+import numpy as np
 
 from repro.devices.device import UserDevice
+from repro.devices.population import DevicePopulation
 from repro.errors import ConfigurationError, SelectionError
 from repro.fl.strategy import FrequencyPolicy
 
-__all__ = ["determine_frequencies", "HelcflDvfsPolicy"]
+__all__ = [
+    "determine_frequencies",
+    "determine_frequencies_population",
+    "HelcflDvfsPolicy",
+]
+
+_QUANTIZE_EPS = 1e-12  # DvfsCpu.quantize's round-up tolerance
+
+
+def _check_modes(clamp: bool, quantize: bool) -> None:
+    if quantize and not clamp:
+        raise ConfigurationError(
+            "quantize=True requires clamp=True: DVFS ladders only cover "
+            "[f_min, f_max], which the unclamped recursion may leave"
+        )
 
 
 def determine_frequencies(
@@ -44,7 +69,11 @@ def determine_frequencies(
     clamp: bool = True,
     quantize: bool = False,
 ) -> Dict[int, float]:
-    """Run Algorithm 3 on the selected user set.
+    """Run Algorithm 3 on the selected user set (object path).
+
+    This is the scalar per-device form, kept as the bitwise parity
+    oracle for :func:`determine_frequencies_population` (which the
+    trainer uses); both produce identical frequencies.
 
     Args:
         selected: the round's selected user set ``Gamma_j``.
@@ -67,11 +96,7 @@ def determine_frequencies(
             ``[f_min, f_max]``, which the unclamped idealized recursion
             may leave, so the combination is incoherent.
     """
-    if quantize and not clamp:
-        raise ConfigurationError(
-            "quantize=True requires clamp=True: DVFS ladders only cover "
-            "[f_min, f_max], which the unclamped recursion may leave"
-        )
+    _check_modes(clamp, quantize)
     if not selected:
         raise SelectionError("cannot determine frequencies for no devices")
 
@@ -83,7 +108,7 @@ def determine_frequencies(
 
     frequencies: Dict[int, float] = {}
     previous_finish = 0.0
-    for position, device in enumerate(ordered):
+    for position, device in enumerate(ordered):  # repro: allow[REP006] scalar oracle the parity tests diff the vector path against
         if position == 0:
             # Lines 3-4: the first user has no slack.
             freq = device.cpu.f_max
@@ -110,6 +135,74 @@ def determine_frequencies(
     return frequencies
 
 
+def determine_frequencies_population(
+    population: DevicePopulation,
+    payload_bits: float,
+    bandwidth_hz: float,
+    clamp: bool = True,
+    quantize: bool = False,
+) -> np.ndarray:
+    """Run Algorithm 3 over a selected-set population slice.
+
+    Array form of :func:`determine_frequencies`: Eq. (4) delays, the
+    (delay, id) sort, and Eq. (7) upload delays are vectorized; the
+    Eq. (9) finish-time recursion walks the sorted chain with the exact
+    scalar operation order of the object path, so results are bitwise
+    identical.
+
+    Args:
+        population: the selected set ``Gamma_j`` as a population slice
+            (e.g. ``fleet_population.take(selected_positions)``).
+        payload_bits: model payload ``C_model`` in bits.
+        bandwidth_hz: uplink resource blocks ``Z`` in Hz.
+        clamp: as in :func:`determine_frequencies`.
+        quantize: as in :func:`determine_frequencies`.
+
+    Returns:
+        Operating frequencies as a float64 ndarray aligned with
+        ``population`` order (position ``q`` serves
+        ``population.device_ids[q]``).
+    """
+    _check_modes(clamp, quantize)
+    size = len(population)
+    delay_fmax = population.compute_delay()
+    order = np.lexsort((population.device_ids, delay_fmax))
+    upload = population.upload_delay(payload_bits, bandwidth_hz)
+
+    # Scalar chain state, pulled out of numpy so every +-*/ below is
+    # the same CPython float op the object path performs.
+    cycles = population.cycles[order].tolist()
+    f_min = population.f_min[order].tolist()
+    f_max = population.f_max[order].tolist()
+    uploads = upload[order].tolist()
+    ladder = population.ladder
+    ladder_rows = population.ladder_sizes[order].tolist() if ladder is not None else None
+
+    assigned = np.empty(size, dtype=np.float64)
+    previous_finish = 0.0
+    for rank in range(size):
+        if rank == 0:
+            freq = f_max[0]
+        else:
+            target = cycles[rank] / previous_finish
+            if clamp:
+                freq = min(max(target, f_min[rank]), f_max[rank])
+            else:
+                freq = target
+        if quantize:
+            freq = min(max(freq, f_min[rank]), f_max[rank])
+            width = ladder_rows[rank] if ladder_rows is not None else 0
+            if width:
+                row = ladder[order[rank], :width]
+                idx = int(np.searchsorted(row, freq - _QUANTIZE_EPS))
+                freq = float(row[min(idx, width - 1)])
+        assigned[order[rank]] = freq
+        compute_end = cycles[rank] / freq
+        upload_start = max(compute_end, previous_finish)
+        previous_finish = upload_start + uploads[rank]
+    return assigned
+
+
 class HelcflDvfsPolicy(FrequencyPolicy):
     """Algorithm 3 packaged as a :class:`FrequencyPolicy`.
 
@@ -121,11 +214,7 @@ class HelcflDvfsPolicy(FrequencyPolicy):
     """
 
     def __init__(self, clamp: bool = True, quantize: bool = False) -> None:
-        if quantize and not clamp:
-            raise ConfigurationError(
-                "quantize=True requires clamp=True (DVFS ladders only "
-                "cover [f_min, f_max])"
-            )
+        _check_modes(clamp, quantize)
         self.clamp = bool(clamp)
         self.quantize = bool(quantize)
 
@@ -136,8 +225,27 @@ class HelcflDvfsPolicy(FrequencyPolicy):
         bandwidth_hz: float,
         *,
         round_index: int = 0,
+        population: Optional[DevicePopulation] = None,
     ) -> Dict[int, float]:
         del round_index  # Algorithm 3 is stateless across rounds.
+        if population is not None:
+            assigned = determine_frequencies_population(
+                population,
+                payload_bits,
+                bandwidth_hz,
+                clamp=self.clamp,
+                quantize=self.quantize,
+            )
+            # Keyed in ascending (delay, id) chain order, matching the
+            # object path's insertion order byte-for-byte in traces.
+            order = np.lexsort(
+                (population.device_ids, population.compute_delay())
+            )
+            ids = population.device_ids[order].tolist()
+            return {
+                device_id: float(assigned[position])
+                for device_id, position in zip(ids, order.tolist())
+            }
         return determine_frequencies(
             selected,
             payload_bits,

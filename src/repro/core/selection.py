@@ -5,18 +5,96 @@ takes the top ``N = max(Q*C, 1)`` utilities. Selected users' appearance
 counters are incremented (Algorithm 2, line 18), decaying their utility
 for future rounds. Ties are broken deterministically by device id so
 runs are reproducible.
+
+The ranking itself runs over a :class:`~repro.devices.DevicePopulation`
+as an O(Q) value-partition (``np.argpartition`` via ``np.partition`` of
+the N-th largest score) instead of a full sort, with an optional
+*sharded* path for very large fleets: rank the top-N inside each shard,
+merge the per-shard candidates, and re-rank — any globally top-N user
+is top-N within its own shard under the same (score, id) order, so the
+merge is exact, and peak working memory per ranking step drops to the
+shard size. Both paths reproduce the object-path ranking — descending
+utility, ties by ascending device id — bit for bit.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+import warnings
+from typing import Dict, List, Optional, Sequence, Union
 
-from repro.core.utility import utility_scores
+import numpy as np
+
+from repro.core.utility import _object_utility_scores, utility_scores
 from repro.devices.device import UserDevice
+from repro.devices.population import DevicePopulation
 from repro.errors import ConfigurationError
 from repro.fl.strategy import SelectionStrategy, selection_count
 
-__all__ = ["GreedyDecaySelection"]
+__all__ = ["GreedyDecaySelection", "top_utility_positions"]
+
+
+def top_utility_positions(
+    scores: np.ndarray,
+    device_ids: np.ndarray,
+    count: int,
+    shard_size: Optional[int] = None,
+) -> np.ndarray:
+    """Positions of the ``count`` best (score desc, id asc) entries.
+
+    The returned positions are in ranked order — exactly the order the
+    object path's ``sorted(key=(-score, id))[:count]`` produces.
+
+    Args:
+        scores: per-device utilities, aligned with ``device_ids``.
+        device_ids: unique device ids (the deterministic tie-break).
+        count: how many to take (must not exceed the population).
+        shard_size: when set, rank within shards of this many devices
+            and merge the per-shard winners before the final ranking —
+            same result, bounded per-step working set.
+    """
+    size = scores.shape[0]
+    if count > size:
+        raise ConfigurationError(
+            f"cannot take top {count} of {size} devices"
+        )
+    if shard_size is not None and shard_size < 1:
+        raise ConfigurationError(
+            f"shard_size must be positive, got {shard_size}"
+        )
+    if shard_size is None or shard_size >= size:
+        return _exact_top(scores, device_ids, count)
+    candidates = []
+    for start in range(0, size, shard_size):
+        stop = min(start + shard_size, size)
+        take = min(count, stop - start)
+        local = _exact_top(scores[start:stop], device_ids[start:stop], take)
+        candidates.append(local + start)
+    merged = np.concatenate(candidates)
+    best = _exact_top(scores[merged], device_ids[merged], count)
+    return merged[best]
+
+
+def _exact_top(
+    scores: np.ndarray, device_ids: np.ndarray, count: int
+) -> np.ndarray:
+    """Exact top-``count`` positions under (score desc, id asc)."""
+    size = scores.shape[0]
+    if count >= size:
+        return np.lexsort((device_ids, -scores))
+    # The count-th largest value bounds the winners: everything
+    # strictly above it is in, the remaining slots go to the smallest
+    # ids among the entries equal to it.
+    kth = np.partition(scores, size - count)[size - count]
+    above = np.flatnonzero(scores > kth)
+    need = count - above.shape[0]
+    if need > 0:
+        ties = np.flatnonzero(scores == kth)
+        ties = ties[np.argsort(device_ids[ties])][:need]
+        chosen = np.concatenate((above, ties))
+    else:
+        chosen = above
+    order = np.lexsort((device_ids[chosen], -scores[chosen]))
+    return chosen[order]
 
 
 class GreedyDecaySelection(SelectionStrategy):
@@ -28,10 +106,15 @@ class GreedyDecaySelection(SelectionStrategy):
         payload_bits: model payload ``C_model``, needed because the
             utility depends on upload delay.
         bandwidth_hz: uplink resource blocks ``Z``.
+        shard_size: optional shard width for the sharded ranking path
+            (see :func:`top_utility_positions`); None ranks the whole
+            population at once.
 
     Attributes:
-        appearance_counts: the live ``alpha_q`` counters, exposed for
-            inspection and testing.
+        appearance_counts: the live ``alpha_q`` counters keyed by
+            device id, exposed for inspection and testing. A
+            population-aligned int array mirror is maintained
+            internally so scoring never loops over the dict.
     """
 
     def __init__(
@@ -40,6 +123,7 @@ class GreedyDecaySelection(SelectionStrategy):
         decay: float,
         payload_bits: float,
         bandwidth_hz: float,
+        shard_size: Optional[int] = None,
     ) -> None:
         if not 0.0 < fraction <= 1.0:
             raise ConfigurationError(f"fraction must be in (0, 1], got {fraction}")
@@ -50,19 +134,76 @@ class GreedyDecaySelection(SelectionStrategy):
                 "payload_bits and bandwidth_hz must be positive, got "
                 f"{payload_bits} and {bandwidth_hz}"
             )
+        if shard_size is not None and shard_size < 1:
+            raise ConfigurationError(
+                f"shard_size must be positive when set, got {shard_size}"
+            )
         self.fraction = float(fraction)
         self.decay = float(decay)
         self.payload_bits = float(payload_bits)
         self.bandwidth_hz = float(bandwidth_hz)
+        self.shard_size = shard_size
         self.appearance_counts: Dict[int, int] = {}
+        self._alpha: Optional[np.ndarray] = None
+        self._alpha_ids: Optional[np.ndarray] = None
 
     def reset(self) -> None:
         """Zero every appearance counter (Algorithm 2, line 5)."""
         self.appearance_counts.clear()
+        self._alpha = None
+        self._alpha_ids = None
 
-    def scores(self, devices: Sequence[UserDevice]) -> Dict[int, float]:
-        """Current Eq. (20) utilities for ``devices`` (no side effects)."""
+    def _alpha_for(self, population: DevicePopulation) -> np.ndarray:
+        """Population-aligned ``alpha_q`` array (cached between rounds)."""
+        ids = population.device_ids
+        if self._alpha is None or not np.array_equal(self._alpha_ids, ids):
+            self._alpha = np.fromiter(
+                (
+                    self.appearance_counts.get(device_id, 0)
+                    for device_id in ids.tolist()
+                ),
+                dtype=np.int64,
+                count=len(population),
+            )
+            self._alpha_ids = ids.copy()
+        return self._alpha
+
+    def scores(
+        self, devices: Union[DevicePopulation, Sequence[UserDevice]]
+    ) -> np.ndarray:
+        """Current Eq. (20) utilities, aligned with population order.
+
+        No side effects. Accepts a :class:`DevicePopulation` directly
+        (preferred at scale) or any device sequence.
+        """
+        if isinstance(devices, DevicePopulation):
+            counts: Union[Dict[int, int], np.ndarray] = self._alpha_for(devices)
+        else:
+            counts = self.appearance_counts
         return utility_scores(
+            devices,
+            counts,
+            self.payload_bits,
+            self.bandwidth_hz,
+            self.decay,
+        )
+
+    def scores_by_id(
+        self, devices: Sequence[UserDevice]
+    ) -> Dict[int, float]:
+        """Deprecated dict-keyed scores: use :meth:`scores`.
+
+        Shim for callers that still index utilities by device id; the
+        values come from the original scalar object path.
+        """
+        warnings.warn(
+            "GreedyDecaySelection.scores_by_id() is deprecated; use "
+            "scores(), which returns an ndarray aligned with "
+            "population order",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return _object_utility_scores(
             devices,
             self.appearance_counts,
             self.payload_bits,
@@ -70,10 +211,34 @@ class GreedyDecaySelection(SelectionStrategy):
             self.decay,
         )
 
+    def select_population(
+        self, round_index: int, population: DevicePopulation
+    ) -> np.ndarray:
+        """Vector path: select and decay, returning ranked positions."""
+        del round_index
+        scores = self.scores(population)
+        count = selection_count(len(population), self.fraction)
+        positions = top_utility_positions(
+            scores, population.device_ids, count, self.shard_size
+        )
+        # Algorithm 2 line 18: bump the winners' counters — in the dict
+        # (the documented source of truth) and the aligned mirror.
+        alpha = self._alpha_for(population)
+        alpha[positions] += 1
+        for device_id in population.device_ids[positions].tolist():
+            self.appearance_counts[device_id] = (
+                self.appearance_counts.get(device_id, 0) + 1
+            )
+        return positions
+
     def select(
         self, round_index: int, devices: Sequence[UserDevice]
     ) -> List[UserDevice]:
         """Select the top-``N`` users by utility and decay them.
+
+        Thin adapter over :meth:`select_population`: snapshots the
+        sequence into a :class:`DevicePopulation` and maps the ranked
+        positions back to the objects.
 
         Note: because a user's utility does not change *within* a
         round's selection loop (its counter is bumped only once it is
@@ -81,22 +246,14 @@ class GreedyDecaySelection(SelectionStrategy):
         the top-``N`` scores in one pass is exactly equivalent to
         Algorithm 2's iterative argmax-and-remove loop (lines 14-19).
         """
-        del round_index
         self._check_population(devices)
-        scores = self.scores(devices)
-        count = selection_count(len(devices), self.fraction)
-        # Sort by descending utility, ties by ascending device id.
-        ranked = sorted(
-            devices, key=lambda d: (-scores[d.device_id], d.device_id)
+        positions = self.select_population(
+            round_index, DevicePopulation.from_devices(devices)
         )
-        selected = ranked[:count]
-        for device in selected:
-            self.appearance_counts[device.device_id] = (
-                self.appearance_counts.get(device.device_id, 0) + 1
-            )
-        return selected
+        return [devices[position] for position in positions.tolist()]
 
     def __repr__(self) -> str:
+        shard = f", shard_size={self.shard_size}" if self.shard_size else ""
         return (
-            f"GreedyDecaySelection(C={self.fraction}, eta={self.decay})"
+            f"GreedyDecaySelection(C={self.fraction}, eta={self.decay}{shard})"
         )

@@ -12,16 +12,28 @@ selection increments ``alpha_q`` and multiplies future utility by
 Section V-A shows is what lets FL reach high accuracy (the FedAvg
 round is equivalent to a centralized mini-batch step on the *union* of
 selected users' data, Eq. 19).
+
+:func:`utility_scores` evaluates Eq. (20) for the whole population as
+one array expression over a :class:`~repro.devices.DevicePopulation`
+(or any device sequence, converted on the fly) and returns an ndarray
+aligned with population order. The retired dict-keyed form survives as
+the deprecated :func:`utility_scores_by_id` — it is the scalar
+object-path oracle the parity tests compare the arrays against, and a
+shim for extensions still indexing scores by device id.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Mapping, Sequence
+import warnings
+from typing import Dict, Mapping, Sequence, Union
+
+import numpy as np
 
 from repro.devices.device import UserDevice
+from repro.devices.population import DevicePopulation
 from repro.errors import ConfigurationError
 
-__all__ = ["decayed_utility", "utility_scores"]
+__all__ = ["decayed_utility", "utility_scores", "utility_scores_by_id"]
 
 
 def decayed_utility(
@@ -58,31 +70,134 @@ def decayed_utility(
     return decay**appearance_count / total_delay
 
 
+def _as_population(
+    devices: Union[DevicePopulation, Sequence[UserDevice]],
+) -> DevicePopulation:
+    if isinstance(devices, DevicePopulation):
+        return devices
+    return DevicePopulation.from_devices(devices)
+
+
+def _alpha_array(
+    population: DevicePopulation,
+    appearance_counts: Union[Mapping[int, int], np.ndarray],
+) -> np.ndarray:
+    if isinstance(appearance_counts, np.ndarray):
+        alphas = appearance_counts.astype(np.int64, copy=False)
+        if alphas.shape != population.device_ids.shape:
+            raise ConfigurationError(
+                f"appearance_counts array has shape {alphas.shape}, "
+                f"expected {population.device_ids.shape}"
+            )
+    else:
+        alphas = np.fromiter(
+            (
+                int(appearance_counts.get(device_id, 0))
+                for device_id in population.device_ids.tolist()
+            ),
+            dtype=np.int64,
+            count=len(population),
+        )
+    if np.any(alphas < 0):
+        raise ConfigurationError("appearance counts must be non-negative")
+    return alphas
+
+
+def decay_powers(decay: float, alphas: np.ndarray) -> np.ndarray:
+    """``eta^alpha`` per device, bitwise-equal to Python's scalar ``**``.
+
+    Counters repeat heavily across a fleet, so the powers are evaluated
+    once per distinct ``alpha`` with Python's scalar ``**`` (the object
+    path's exact operation) and broadcast back — exactness by
+    construction rather than by trusting a numpy pow kernel.
+    """
+    unique, inverse = np.unique(alphas, return_inverse=True)
+    table = np.fromiter(
+        (decay ** int(value) for value in unique),
+        dtype=np.float64,
+        count=unique.shape[0],
+    )
+    return table[inverse]
+
+
 def utility_scores(
+    devices: Union[DevicePopulation, Sequence[UserDevice]],
+    appearance_counts: Union[Mapping[int, int], np.ndarray],
+    payload_bits: float,
+    bandwidth_hz: float,
+    decay: float,
+) -> np.ndarray:
+    """Evaluate Eq. (20) for every device (Algorithm 2, lines 8-10).
+
+    Delays are computed at each device's maximum CPU frequency, as
+    Algorithm 2 lines 3-4 prescribe. The whole population is evaluated
+    as one array expression.
+
+    Args:
+        devices: the population ``V`` — a
+            :class:`~repro.devices.DevicePopulation` (preferred at
+            scale) or a device sequence (converted on the fly).
+        appearance_counts: ``alpha_q`` — either a mapping from device
+            id (missing ids count as 0) or an int array aligned with
+            population order.
+        payload_bits: model payload ``C_model``.
+        bandwidth_hz: uplink resource blocks ``Z``.
+        decay: the decay coefficient ``eta``.
+
+    Returns:
+        Utilities as a float64 ndarray aligned with population order
+        (position ``q`` scores ``population.device_ids[q]``).
+    """
+    if not 0.0 < decay < 1.0:
+        raise ConfigurationError(f"decay eta must be in (0, 1), got {decay}")
+    if not isinstance(devices, DevicePopulation) and len(devices) == 0:
+        return np.empty(0, dtype=np.float64)
+    population = _as_population(devices)
+    alphas = _alpha_array(population, appearance_counts)
+    total_delay = population.compute_delay() + population.upload_delay(
+        payload_bits, bandwidth_hz
+    )
+    if np.any(total_delay <= 0):
+        raise ConfigurationError("total delay must be positive")
+    return decay_powers(decay, alphas) / total_delay
+
+
+def utility_scores_by_id(
     devices: Sequence[UserDevice],
     appearance_counts: Mapping[int, int],
     payload_bits: float,
     bandwidth_hz: float,
     decay: float,
 ) -> Dict[int, float]:
-    """Evaluate Eq. (20) for every device (Algorithm 2, lines 8-10).
+    """Deprecated dict-keyed Eq. (20): use :func:`utility_scores`.
 
-    Delays are computed at each device's maximum CPU frequency, as
-    Algorithm 2 lines 3-4 prescribe.
-
-    Args:
-        devices: the population ``V``.
-        appearance_counts: ``alpha_q`` per device id (missing ids
-            count as 0).
-        payload_bits: model payload ``C_model``.
-        bandwidth_hz: uplink resource blocks ``Z``.
-        decay: the decay coefficient ``eta``.
+    Kept as the scalar object-path oracle for the population parity
+    tests and as a shim for extensions that index scores by device id.
 
     Returns:
         Mapping from device id to utility.
     """
+    warnings.warn(
+        "utility_scores_by_id() is deprecated; use utility_scores(), "
+        "which returns an ndarray aligned with population order",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _object_utility_scores(
+        devices, appearance_counts, payload_bits, bandwidth_hz, decay
+    )
+
+
+def _object_utility_scores(
+    devices: Sequence[UserDevice],
+    appearance_counts: Mapping[int, int],
+    payload_bits: float,
+    bandwidth_hz: float,
+    decay: float,
+) -> Dict[int, float]:
+    """The original per-device scalar loop (bitwise parity oracle)."""
     scores: Dict[int, float] = {}
-    for device in devices:
+    for device in devices:  # repro: allow[REP006] scalar oracle the parity tests diff the array path against
         scores[device.device_id] = decayed_utility(
             appearance_count=int(appearance_counts.get(device.device_id, 0)),
             compute_delay=device.compute_delay(device.cpu.f_max),

@@ -10,6 +10,7 @@ from repro.devices.battery import Battery
 from repro.devices.cpu import DvfsCpu
 from repro.devices.device import UserDevice
 from repro.devices.fleet import FleetSpec, make_fleet
+from repro.devices.population import DevicePopulation
 from repro.devices.radio import Radio
 
 __all__ = [
@@ -17,6 +18,7 @@ __all__ = [
     "Radio",
     "Battery",
     "UserDevice",
+    "DevicePopulation",
     "FleetSpec",
     "make_fleet",
 ]

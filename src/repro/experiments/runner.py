@@ -120,6 +120,7 @@ def run_strategy(
     workers: Optional[int] = None,
     observer: Optional[RunObserver] = None,
     faults=None,
+    vectorized: bool = True,
 ) -> TrainingHistory:
     """Run one named scheme end to end.
 
@@ -151,6 +152,11 @@ def run_strategy(
             pre-built :class:`repro.faults.FaultInjector`) injected
             into the run. Rejected for the ``sl`` baseline, whose loop
             has no round lifecycle to degrade.
+        vectorized: schedule via the
+            :class:`~repro.devices.DevicePopulation` array path (the
+            default); ``False`` forces the per-device object path —
+            bitwise-identical results, useful as the parity oracle and
+            for benchmarking. Ignored by the ``sl`` baseline.
 
     Returns:
         The run's :class:`~repro.fl.history.TrainingHistory`, labelled
@@ -206,6 +212,7 @@ def run_strategy(
         backend=backend,
         observer=observer,
         faults=faults,
+        vectorized=vectorized,
     )
     try:
         return trainer.run()

@@ -11,13 +11,26 @@ HELCFL pairs greedy-decay selection with the DVFS policy; Classic FL
 pairs random selection with max frequency; FEDL pairs random selection
 with its closed-form frequency; FedCS pairs deadline-greedy selection
 with max frequency.
+
+Both interfaces carry population-based signatures for fleet-scale
+runs: :meth:`SelectionStrategy.select_population` lets a strategy rank
+a :class:`~repro.devices.DevicePopulation` directly and return ranked
+array positions (the base returns ``None``, meaning "object path
+only", so existing strategies keep working unchanged), and
+:meth:`FrequencyPolicy.assign` accepts the selected set as a
+population slice via the kw-only ``population=`` parameter. Array
+results are always indexed by population position; dict-of-id forms
+are adapters around them.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
 
 from repro.devices.device import UserDevice
+from repro.devices.population import DevicePopulation
 from repro.errors import SelectionError
 
 __all__ = [
@@ -27,6 +40,7 @@ __all__ = [
     "MaxFrequencyPolicy",
     "selection_count",
     "over_selection_extras",
+    "over_selection_extras_population",
 ]
 
 
@@ -62,6 +76,9 @@ def over_selection_extras(
     ``f_max`` (ties by id) — the FedCS heuristic: devices most likely
     to finish inside the round.
 
+    This is the object path, kept as the parity oracle for
+    :func:`over_selection_extras_population`.
+
     Args:
         devices: the full population ``V``.
         selected: the strategy's own pick ``Gamma_j``.
@@ -86,11 +103,46 @@ def over_selection_extras(
     return pool[:margin]
 
 
+def over_selection_extras_population(
+    population: DevicePopulation,
+    selected_positions: np.ndarray,
+    margin: int,
+    payload_bits: float,
+    bandwidth_hz: float,
+) -> np.ndarray:
+    """Vector form of :func:`over_selection_extras`.
+
+    Args:
+        population: the full fleet population.
+        selected_positions: array positions already selected.
+        margin: extra devices to add (capped by the remaining pool).
+        payload_bits: model payload ``C_model`` in bits.
+        bandwidth_hz: uplink resource blocks ``Z`` in Hz.
+
+    Returns:
+        Up to ``margin`` padding positions, ordered by ascending
+        (Eq. 9 delay at ``f_max``, device id) — bitwise the object
+        path's pick.
+    """
+    if margin < 0:
+        raise SelectionError(f"margin must be non-negative, got {margin}")
+    mask = np.ones(len(population), dtype=bool)
+    mask[np.asarray(selected_positions, dtype=np.int64)] = False
+    pool = np.flatnonzero(mask)
+    if pool.size == 0 or margin == 0:
+        return pool[:0]
+    delays = population.total_delay(payload_bits, bandwidth_hz)
+    order = np.lexsort((population.device_ids[pool], delays[pool]))
+    return pool[order[:margin]]
+
+
 class SelectionStrategy:
     """Base class for per-round user selection.
 
     Subclasses implement :meth:`select`; stateful strategies (HELCFL's
-    appearance counters) should also override :meth:`reset`.
+    appearance counters) should also override :meth:`reset`. Strategies
+    with a vectorized ranking additionally override
+    :meth:`select_population`.
     """
 
     def select(
@@ -103,6 +155,19 @@ class SelectionStrategy:
             devices: the full population ``V``.
         """
         raise NotImplementedError
+
+    def select_population(
+        self, round_index: int, population: DevicePopulation
+    ) -> Optional[np.ndarray]:
+        """Vector path: select directly from a population view.
+
+        Returns ranked array positions into ``population`` (the same
+        order :meth:`select` lists devices in), or ``None`` when the
+        strategy has no vectorized path — the trainer then falls back
+        to :meth:`select`. The base class returns ``None``.
+        """
+        del round_index, population
+        return None
 
     def reset(self) -> None:
         """Clear any cross-round state before a fresh training run."""
@@ -131,6 +196,7 @@ class FrequencyPolicy:
         bandwidth_hz: float,
         *,
         round_index: int = 0,
+        population: Optional[DevicePopulation] = None,
     ) -> Dict[int, float]:
         """Return a mapping from device id to operating frequency.
 
@@ -142,6 +208,11 @@ class FrequencyPolicy:
                 outside a training loop). Stateless policies ignore it;
                 adaptive DVFS policies can schedule on it without
                 another signature break.
+            population: the selected set as a
+                :class:`~repro.devices.DevicePopulation` slice, aligned
+                with ``selected``. Policies with a vectorized path use
+                it instead of looping over the objects; the trainer
+                always provides it. ``None`` forces the object path.
         """
         raise NotImplementedError
 
@@ -155,6 +226,12 @@ class FullParticipation(SelectionStrategy):
         del round_index
         self._check_population(devices)
         return list(devices)
+
+    def select_population(
+        self, round_index: int, population: DevicePopulation
+    ) -> np.ndarray:
+        del round_index
+        return np.arange(len(population), dtype=np.int64)
 
 
 class MaxFrequencyPolicy(FrequencyPolicy):
@@ -172,6 +249,14 @@ class MaxFrequencyPolicy(FrequencyPolicy):
         bandwidth_hz: float,
         *,
         round_index: int = 0,
+        population: Optional[DevicePopulation] = None,
     ) -> Dict[int, float]:
         del payload_bits, bandwidth_hz, round_index
+        if population is not None:
+            return dict(
+                zip(
+                    population.device_ids.tolist(),
+                    population.f_max.tolist(),
+                )
+            )
         return {device.device_id: device.cpu.f_max for device in selected}

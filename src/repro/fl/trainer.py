@@ -17,7 +17,10 @@ import logging
 from dataclasses import dataclass, replace
 from typing import Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro.devices.device import UserDevice
+from repro.devices.population import DevicePopulation
 from repro.errors import ConfigurationError, TrainingError
 from repro.faults import FaultInjector, FaultPlan, RoundFaults
 from repro.fl.client import LocalTrainer
@@ -37,6 +40,7 @@ from repro.fl.strategy import (
     MaxFrequencyPolicy,
     SelectionStrategy,
     over_selection_extras,
+    over_selection_extras_population,
 )
 from repro.network.tdma import RoundTimeline, simulate_tdma_round
 from repro.obs import (
@@ -247,6 +251,14 @@ class FederatedTrainer:
             ``None`` (the default) and an *empty* plan both take the
             exact faults-off code path, so they are bitwise identical
             to each other.
+        vectorized: when True (the default), :meth:`run` snapshots the
+            fleet into a :class:`~repro.devices.DevicePopulation` and
+            drives selection, frequency assignment (including
+            fault-triggered re-planning), over-selection, and TDMA
+            staging through the array paths — bitwise identical to the
+            object paths, O(Q) numpy instead of O(Q) Python per round.
+            False forces the scalar object paths everywhere (the
+            parity oracle and the benchmark baseline).
 
     Attributes:
         ledger: an :class:`repro.energy.EnergyLedger` accumulating
@@ -269,6 +281,7 @@ class FederatedTrainer:
         backend: Optional[ExecutionBackend] = None,
         observer: Optional[RunObserver] = None,
         faults=None,
+        vectorized: bool = True,
     ) -> None:
         if not devices:
             raise TrainingError("cannot train with an empty device population")
@@ -293,6 +306,8 @@ class FederatedTrainer:
         self.channel_models = dict(channel_models or {})
         self.backend = backend or SerialBackend()
         self.observer = observer or RunObserver()
+        self.vectorized = bool(vectorized)
+        self.population: Optional[DevicePopulation] = None
         from repro.energy.accounting import EnergyLedger
 
         self.ledger = EnergyLedger(metrics=self.observer.metrics)
@@ -442,6 +457,20 @@ class FederatedTrainer:
 
         self.ledger = EnergyLedger(metrics=observer.metrics)
         device_index = {d.device_id: d for d in self.devices}
+        # Population-scale array view of the fleet: built once, kept in
+        # sync with per-round fading, and sliced per round for the
+        # vectorized scheduler paths.
+        population = (
+            DevicePopulation.from_devices(self.devices)
+            if self.vectorized
+            else None
+        )
+        self.population = population
+        position_by_id = (
+            {d.device_id: position for position, d in enumerate(self.devices)}
+            if population is not None
+            else {}
+        )
         self.backend.observer = observer
         self.backend.bind(
             self.server.model, config.local_update_spec(), self.devices
@@ -472,24 +501,71 @@ class FederatedTrainer:
                 for device_id, model in self.channel_models.items():
                     device = device_index.get(device_id)
                     if device is not None:
-                        device.radio.channel_gain = float(model.sample_gain())
+                        gain = float(model.sample_gain())
+                        device.radio.channel_gain = gain
+                        if population is not None:
+                            population.set_channel_gains(
+                                (position_by_id[device_id],), (gain,)
+                            )
 
                 with observer.timer("selection"):
-                    selected = self.selection.select(round_index, self.devices)
+                    positions: Optional[np.ndarray] = None
+                    if population is not None:
+                        positions = self.selection.select_population(
+                            round_index, population
+                        )
+                    if positions is not None:
+                        selected = [
+                            self.devices[position]
+                            for position in positions.tolist()
+                        ]
+                    else:
+                        selected = self.selection.select(
+                            round_index, self.devices
+                        )
                 if not selected:
                     raise TrainingError(
                         f"selection produced no users in round {round_index}"
                     )
+                if population is not None and positions is None:
+                    # Strategy without a vector path: recover positions
+                    # so frequency assignment and TDMA still use arrays.
+                    positions = np.fromiter(
+                        (position_by_id[d.device_id] for d in selected),
+                        dtype=np.int64,
+                        count=len(selected),
+                    )
                 target_count = len(selected)
                 if config.over_select_margin > 0:
-                    selected = list(selected) + over_selection_extras(
-                        self.devices,
-                        selected,
-                        config.over_select_margin,
-                        self.server.payload_bits,
-                        config.bandwidth_hz,
-                    )
+                    if population is not None:
+                        extra_positions = over_selection_extras_population(
+                            population,
+                            positions,
+                            config.over_select_margin,
+                            self.server.payload_bits,
+                            config.bandwidth_hz,
+                        )
+                        selected = list(selected) + [
+                            self.devices[position]
+                            for position in extra_positions.tolist()
+                        ]
+                        positions = np.concatenate(
+                            (positions, extra_positions)
+                        )
+                    else:
+                        selected = list(selected) + over_selection_extras(
+                            self.devices,
+                            selected,
+                            config.over_select_margin,
+                            self.server.payload_bits,
+                            config.bandwidth_hz,
+                        )
                 selected_ids = tuple(d.device_id for d in selected)
+                selected_population = (
+                    population.take(positions)
+                    if population is not None
+                    else None
+                )
                 observer.emit(
                     SelectionEvent(
                         round_index=round_index, selected_ids=selected_ids
@@ -504,6 +580,7 @@ class FederatedTrainer:
                         self.server.payload_bits,
                         config.bandwidth_hz,
                         round_index=round_index,
+                        population=selected_population,
                     )
                 observer.emit(
                     FrequencyAssignmentEvent(
@@ -537,18 +614,31 @@ class FederatedTrainer:
                 active = [
                     d for d in selected if d.device_id not in pre_dropped
                 ]
+                if population is not None and pre_dropped and active:
+                    keep = np.fromiter(
+                        (d.device_id not in pre_dropped for d in selected),
+                        dtype=bool,
+                        count=len(selected),
+                    )
+                    active_population = population.take(positions[keep])
+                else:
+                    active_population = (
+                        selected_population if active else None
+                    )
                 reassigned = False
                 if pre_dropped and active:
                     # Algorithm 3's slack chain planned around the
                     # dropped devices' uploads: recompute the schedule
                     # over the survivors so successors do not idle at
-                    # stale frequencies.
+                    # stale frequencies. The vector path replans off the
+                    # survivors' population slice.
                     with observer.timer("frequency_assignment"):
                         frequencies = self.frequency_policy.assign(
                             active,
                             self.server.payload_bits,
                             config.bandwidth_hz,
                             round_index=round_index,
+                            population=active_population,
                         )
                     observer.emit(
                         FrequencyAssignmentEvent(
@@ -567,6 +657,7 @@ class FederatedTrainer:
                         config.bandwidth_hz,
                         frequencies,
                         payloads=result.payloads or None,
+                        population=active_population,
                         compute_scale=(
                             fault_round.compute_scale if fault_round else None
                         ),

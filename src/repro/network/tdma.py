@@ -28,7 +28,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import AbstractSet, Dict, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro.devices.device import UserDevice
+from repro.devices.population import DevicePopulation
 from repro.errors import NetworkError
 
 __all__ = [
@@ -137,6 +140,76 @@ class RoundTimeline:
         return self.ids_with_outcome(OUTCOME_OK)
 
 
+def _stage_population(
+    population: DevicePopulation,
+    payload_bits: float,
+    bandwidth_hz: float,
+    frequencies: Dict[int, float],
+    payloads: Dict[int, float],
+) -> Tuple[List[int], List[float], List[float], List[float], List[float], List[float]]:
+    """Vectorized per-device staging quantities, in population order."""
+    ids = population.device_ids.tolist()
+    if frequencies:
+        freqs = np.fromiter(
+            (
+                frequencies.get(device_id, f_max)
+                for device_id, f_max in zip(ids, population.f_max.tolist())
+            ),
+            dtype=np.float64,
+            count=len(population),
+        )
+    else:
+        freqs = population.f_max
+    freqs = population.validate_frequencies(freqs)
+    compute_delay = population.cycles / freqs
+    compute_energy = population.compute_energy(freqs)
+    if payloads:
+        payload = np.fromiter(
+            (payloads.get(device_id, payload_bits) for device_id in ids),
+            dtype=np.float64,
+            count=len(population),
+        )
+    else:
+        payload = np.float64(payload_bits)
+    upload_delay = population.upload_delay(payload, bandwidth_hz)
+    upload_energy = population.transmit_power * upload_delay
+    return (
+        ids,
+        freqs.tolist(),
+        compute_delay.tolist(),
+        compute_energy.tolist(),
+        upload_delay.tolist(),
+        upload_energy.tolist(),
+    )
+
+
+def _stage_objects(
+    devices: Sequence[UserDevice],
+    payload_bits: float,
+    bandwidth_hz: float,
+    frequencies: Dict[int, float],
+    payloads: Dict[int, float],
+) -> Tuple[List[int], List[float], List[float], List[float], List[float], List[float]]:
+    """Scalar per-device staging quantities (object-path oracle)."""
+    ids: List[int] = []
+    freqs: List[float] = []
+    compute_delay: List[float] = []
+    compute_energy: List[float] = []
+    upload_delay: List[float] = []
+    upload_energy: List[float] = []
+    for device in devices:  # repro: allow[REP006] scalar oracle for runs without a population snapshot
+        freq = frequencies.get(device.device_id, device.cpu.f_max)
+        freq = device.cpu.validate_frequency(freq)
+        payload = payloads.get(device.device_id, payload_bits)
+        ids.append(device.device_id)
+        freqs.append(freq)
+        compute_delay.append(device.compute_delay(freq))
+        compute_energy.append(device.compute_energy(freq))
+        upload_delay.append(device.upload_delay(payload, bandwidth_hz))
+        upload_energy.append(device.upload_energy(payload, bandwidth_hz))
+    return ids, freqs, compute_delay, compute_energy, upload_delay, upload_energy
+
+
 def simulate_tdma_round(
     devices: Sequence[UserDevice],
     payload_bits: float,
@@ -144,6 +217,7 @@ def simulate_tdma_round(
     frequencies: Optional[Dict[int, float]] = None,
     payloads: Optional[Dict[int, float]] = None,
     *,
+    population: Optional[DevicePopulation] = None,
     compute_scale: Optional[Dict[int, float]] = None,
     drop_during: Optional[Dict[int, float]] = None,
     upload_outage: Optional[AbstractSet[int]] = None,
@@ -166,6 +240,12 @@ def simulate_tdma_round(
             validated against each device's range.
         payloads: optional per-device payload override in bits (e.g.
             compressed updates); missing devices use ``payload_bits``.
+        population: the selected set as a
+            :class:`~repro.devices.DevicePopulation` slice aligned with
+            ``devices``. When given, per-device staging (frequency
+            validation, Eq. 4/5/7/8) runs as array expressions instead
+            of object calls — bitwise identical, O(N) numpy instead of
+            O(N) Python — and ``devices`` is not touched.
         compute_scale: straggler multipliers ``>= 1`` per device id;
             the device's compute delay *and* energy stretch by the
             factor (the CPU stays busy at the operating frequency for
@@ -198,7 +278,7 @@ def simulate_tdma_round(
             ``round_deadline``.
         FrequencyRangeError: if an assigned frequency is out of range.
     """
-    if not devices:
+    if population is None and not devices:
         raise NetworkError("cannot simulate a round with no selected devices")
     if round_deadline is not None and round_deadline <= 0:
         raise NetworkError(
@@ -211,25 +291,52 @@ def simulate_tdma_round(
     upload_outage = upload_outage or frozenset()
     upload_scale = upload_scale or {}
 
-    staged: List[Tuple[float, int, UserDevice, float]] = []
-    for device in devices:
-        freq = frequencies.get(device.device_id, device.cpu.f_max)
-        freq = device.cpu.validate_frequency(freq)
-        compute_delay = device.compute_delay(freq)
-        slowdown = compute_scale.get(device.device_id)
-        if slowdown is not None:
-            compute_delay *= slowdown
-        staged.append((compute_delay, device.device_id, device, freq))
+    # Stage every device's base quantities — Eq. (4)/(5) at the
+    # validated frequency and Eq. (7)/(8) at its payload — as parallel
+    # scalar lists. With a population snapshot the staging is one set
+    # of array expressions; without one, the object-path loop produces
+    # bitwise-identical values. The event loop below never touches a
+    # device object either way.
+    if population is not None:
+        staged_arrays = _stage_population(
+            population, payload_bits, bandwidth_hz, frequencies, payloads
+        )
+    else:
+        staged_arrays = _stage_objects(
+            devices, payload_bits, bandwidth_hz, frequencies, payloads
+        )
+    (
+        staged_ids,
+        staged_freqs,
+        staged_compute_delay,
+        staged_compute_energy,
+        staged_upload_delay,
+        staged_upload_energy,
+    ) = staged_arrays
+    if compute_scale:
+        for position, device_id in enumerate(staged_ids):
+            slowdown = compute_scale.get(device_id)
+            if slowdown is not None:
+                staged_compute_delay[position] *= slowdown
 
     # Channel-grant order: first-come first-served on compute finish.
-    staged.sort(key=lambda item: (item[0], item[1]))
+    order = sorted(
+        range(len(staged_ids)),
+        key=lambda position: (
+            staged_compute_delay[position],
+            staged_ids[position],
+        ),
+    )
 
     entries: List[UserTimeline] = []
     lost_entries: List[UserTimeline] = []
     channel_free_at = 0.0
     deadline_hit = False
-    for compute_delay, device_id, device, freq in staged:
-        compute_energy = device.compute_energy(freq)
+    for position in order:
+        device_id = staged_ids[position]
+        freq = staged_freqs[position]
+        compute_delay = staged_compute_delay[position]
+        compute_energy = staged_compute_energy[position]
         slowdown = compute_scale.get(device_id)
         if slowdown is not None:
             compute_energy *= slowdown
@@ -316,12 +423,8 @@ def simulate_tdma_round(
             deadline_hit = True
             continue
 
-        upload_delay = device.upload_delay(
-            payloads.get(device_id, payload_bits), bandwidth_hz
-        )
-        upload_energy = device.upload_energy(
-            payloads.get(device_id, payload_bits), bandwidth_hz
-        )
+        upload_delay = staged_upload_delay[position]
+        upload_energy = staged_upload_energy[position]
         degradation = upload_scale.get(device_id)
         if degradation is not None:
             upload_delay *= degradation

@@ -48,8 +48,10 @@ def load_stats(path: str, run: Optional[int] = None) -> RunStats:
     """Load analytics from a trace file or a stats-snapshot JSON.
 
     A file whose entire contents parse as one JSON object carrying the
-    :data:`ANALYSIS_SCHEMA` marker is a snapshot; anything else is
-    treated as a JSONL trace.
+    :data:`ANALYSIS_SCHEMA` marker is a snapshot; a ``repro.bench.*``
+    composite document (e.g. ``BENCH_scalability.json``) embedding its
+    snapshot under an ``"analytics"`` key is unwrapped to that
+    snapshot; anything else is treated as a JSONL trace.
 
     Args:
         path: the input file.
@@ -71,11 +73,22 @@ def load_stats(path: str, run: Optional[int] = None) -> RunStats:
         payload = json.loads(text)
     except json.JSONDecodeError:
         payload = None
-    if isinstance(payload, dict) and payload.get("schema") == ANALYSIS_SCHEMA:
-        stats = RunStats.from_dict(payload)
-        if stats.source:
-            return stats
-        return replace(stats, source=str(path))
+    if isinstance(payload, dict):
+        schema = payload.get("schema")
+        if isinstance(schema, str) and schema.startswith("repro.bench"):
+            analytics = payload.get("analytics")
+            if not isinstance(analytics, dict):
+                raise SerializationError(
+                    f"{path}: bench document ({schema}) carries no "
+                    "'analytics' snapshot"
+                )
+            payload = analytics
+            schema = payload.get("schema")
+        if schema == ANALYSIS_SCHEMA:
+            stats = RunStats.from_dict(payload)
+            if stats.source:
+                return stats
+            return replace(stats, source=str(path))
 
     trace = load_trace(path)
     segments = split_runs(trace.events)

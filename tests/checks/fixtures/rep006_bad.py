@@ -1,0 +1,22 @@
+"""REP006 bad snippet: per-device Python loops in a hot path."""
+
+
+def utility(devices, payload_bits, bandwidth_hz):
+    scores = {}
+    for device in devices:
+        scores[device.device_id] = 1.0 / device.total_delay(
+            payload_bits, bandwidth_hz
+        )
+    return scores
+
+
+def slowest(selected):
+    worst = None
+    for position, entry in enumerate(sorted(selected)):
+        del position
+        worst = entry
+    return worst
+
+
+def ids(fleet):
+    return [dev.device_id for dev in fleet]

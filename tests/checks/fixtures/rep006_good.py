@@ -1,0 +1,24 @@
+"""REP006 good snippet: array expressions and index loops only."""
+
+import numpy as np
+
+
+def utility(population, payload_bits, bandwidth_hz):
+    return 1.0 / population.total_delay(payload_bits, bandwidth_hz)
+
+
+def chain(cycles, f_max):
+    assigned = np.empty(cycles.shape[0])
+    previous_finish = 0.0
+    for rank in range(cycles.shape[0]):
+        freq = f_max[rank] if rank == 0 else cycles[rank] / previous_finish
+        assigned[rank] = freq
+        previous_finish = cycles[rank] / freq
+    return assigned
+
+
+def oracle(devices):
+    total = 0.0
+    for device in devices:  # repro: allow[REP006] scalar oracle for tests
+        total += device.compute_delay()
+    return total

@@ -105,13 +105,14 @@ class TestFindings:
 
 
 class TestRuleRegistry:
-    def test_all_five_rules_ship(self):
+    def test_all_six_rules_ship(self):
         assert [r.rule_id for r in get_rules()] == [
             "REP001",
             "REP002",
             "REP003",
             "REP004",
             "REP005",
+            "REP006",
         ]
 
     def test_unknown_rule_id_raises(self):

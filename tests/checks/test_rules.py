@@ -22,23 +22,24 @@ def run_fixture(name, rule, module="repro.fixture"):
 
 
 PAIRS = [
-    ("REP001", "rep001_good.py", "rep001_bad.py"),
-    ("REP003", "rep003_good.py", "rep003_bad.py"),
-    ("REP004", "rep004_good.py", "rep004_bad.py"),
-    ("REP005", "rep005_good.py", "rep005_bad.py"),
+    ("REP001", "rep001_good.py", "rep001_bad.py", "repro.fixture"),
+    ("REP003", "rep003_good.py", "rep003_bad.py", "repro.fixture"),
+    ("REP004", "rep004_good.py", "rep004_bad.py", "repro.fixture"),
+    ("REP005", "rep005_good.py", "rep005_bad.py", "repro.fixture"),
+    ("REP006", "rep006_good.py", "rep006_bad.py", "repro.core.fixture"),
 ]
 
 
-@pytest.mark.parametrize("rule,good,bad", PAIRS)
-def test_good_snippet_is_clean(rule, good, bad):
-    report = run_fixture(good, rule)
+@pytest.mark.parametrize("rule,good,bad,module", PAIRS)
+def test_good_snippet_is_clean(rule, good, bad, module):
+    report = run_fixture(good, rule, module=module)
     assert report.findings == ()
     assert report.exit_code == 0
 
 
-@pytest.mark.parametrize("rule,good,bad", PAIRS)
-def test_bad_snippet_fires(rule, good, bad):
-    report = run_fixture(bad, rule)
+@pytest.mark.parametrize("rule,good,bad,module", PAIRS)
+def test_bad_snippet_fires(rule, good, bad, module):
+    report = run_fixture(bad, rule, module=module)
     assert report.findings, f"{rule} found nothing in {bad}"
     assert {f.rule_id for f in report.findings} == {rule}
     assert report.exit_code == 1
@@ -129,6 +130,67 @@ class TestRep004Findings:
             source, module="repro.obs.metrics", is_test=False, rules=["REP004"]
         )
         assert report.findings == ()
+
+
+class TestRep006Findings:
+    MODULE = "repro.core.selection"
+
+    def test_flags_loop_comprehension_and_wrapped_iterables(self):
+        report = run_fixture("rep006_bad.py", "REP006", module=self.MODULE)
+        messages = " ".join(f.message for f in report.findings)
+        assert "'devices'" in messages
+        assert "'selected'" in messages
+        assert "'fleet'" in messages
+        assert len(report.findings) == 3
+
+    def test_out_of_scope_modules_are_exempt(self):
+        source = "def f(devices):\n    return [d for d in devices]\n"
+        for module in ("repro.fl.trainer", "repro.baselines.fedl"):
+            report = check_source(
+                source, module=module, is_test=False, rules=["REP006"]
+            )
+            assert report.findings == ()
+
+    def test_tdma_module_is_in_scope(self):
+        source = "def f(devices):\n    return [d for d in devices]\n"
+        report = check_source(
+            source,
+            module="repro.network.tdma",
+            is_test=False,
+            rules=["REP006"],
+        )
+        assert len(report.findings) == 1
+
+    def test_index_loops_stay_clean(self):
+        source = (
+            "def f(scores):\n"
+            "    total = 0.0\n"
+            "    for position in range(scores.shape[0]):\n"
+            "        total += scores[position]\n"
+            "    return total\n"
+        )
+        report = check_source(
+            source, module=self.MODULE, is_test=False, rules=["REP006"]
+        )
+        assert report.findings == ()
+
+    def test_shipped_hot_paths_are_clean(self):
+        repo_root = Path(__file__).parents[2]
+        src = repo_root / "src" / "repro"
+        paths = sorted((src / "core").glob("*.py"))
+        paths.append(src / "network" / "tdma.py")
+        for path in paths:
+            module = "repro." + str(
+                path.relative_to(src)
+            ).removesuffix(".py").replace("/", ".")
+            report = check_source(
+                path.read_text(encoding="utf-8"),
+                path=str(path),
+                module=module,
+                is_test=False,
+                rules=["REP006"],
+            )
+            assert report.findings == (), (path, report.findings)
 
 
 class TestRep005Findings:

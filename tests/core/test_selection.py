@@ -74,9 +74,9 @@ class TestGreedyDecay:
                     selectable, counts, PAYLOAD, BANDWIDTH, 0.6
                 )
                 best = min(
-                    selectable,
-                    key=lambda d: (-scores[d.device_id], d.device_id),
-                )
+                    enumerate(selectable),
+                    key=lambda pair: (-scores[pair[0]], pair[1].device_id),
+                )[1]
                 selectable.remove(best)
                 chosen.append(best.device_id)
                 counts[best.device_id] = counts.get(best.device_id, 0) + 1

@@ -1,10 +1,15 @@
 """Tests for the HELCFL utility function (Eq. 20)."""
 
+import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core.utility import decayed_utility, utility_scores
+from repro.core.utility import (
+    decayed_utility,
+    utility_scores,
+    utility_scores_by_id,
+)
 from repro.errors import ConfigurationError
 from tests.conftest import make_device, make_heterogeneous_devices
 
@@ -55,7 +60,9 @@ class TestUtilityScores:
     def test_scores_for_all_devices(self):
         devices = make_heterogeneous_devices(5)
         scores = utility_scores(devices, {}, PAYLOAD, BANDWIDTH, 0.8)
-        assert set(scores) == {d.device_id for d in devices}
+        assert isinstance(scores, np.ndarray)
+        assert scores.shape == (len(devices),)
+        assert np.all(scores > 0)
 
     def test_uses_max_frequency_delay(self):
         device = make_device(f_max=1.0e9)
@@ -71,7 +78,20 @@ class TestUtilityScores:
             [device], {device.device_id: 0}, PAYLOAD, BANDWIDTH, 0.8
         )
         without = utility_scores([device], {}, PAYLOAD, BANDWIDTH, 0.8)
-        assert with_counter == without
+        assert np.array_equal(with_counter, without)
+
+    def test_scores_by_id_shim_matches_and_warns(self):
+        devices = make_heterogeneous_devices(4)
+        counts = {0: 2, 2: 1}
+        scores = utility_scores(devices, counts, PAYLOAD, BANDWIDTH, 0.8)
+        with pytest.deprecated_call():
+            by_id = utility_scores_by_id(
+                devices, counts, PAYLOAD, BANDWIDTH, 0.8
+            )
+        assert by_id == {
+            d.device_id: scores[position]
+            for position, d in enumerate(devices)
+        }
 
     def test_faster_device_scores_higher(self):
         fast = make_device(device_id=0, f_max=2.0e9)

@@ -1,0 +1,255 @@
+"""Property-style parity suite: the vector scheduler paths are bitwise
+identical to the object paths.
+
+The DevicePopulation redesign's acceptance contract: on seeded random
+fleets, selection sets, frequency assignments, TDMA timelines, and
+per-round ledger energies must match the per-device object code to the
+last bit — plain and sharded, with and without a seeded fault plan, on
+every execution backend.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.frequency import (
+    HelcflDvfsPolicy,
+    determine_frequencies,
+    determine_frequencies_population,
+)
+from repro.core.selection import GreedyDecaySelection
+from repro.core.utility import _object_utility_scores, utility_scores
+from repro.data.dataset import ArrayDataset
+from repro.devices.fleet import FleetSpec, make_fleet
+from repro.devices.population import DevicePopulation
+from repro.faults import (
+    ChannelFault,
+    DropoutFault,
+    FaultPlan,
+    StragglerFault,
+)
+from repro.fl.execution import create_backend
+from repro.fl.server import FederatedServer
+from repro.fl.trainer import FederatedTrainer, TrainerConfig
+from repro.network.channel import RayleighFadingChannel
+from repro.network.tdma import simulate_tdma_round
+from repro.nn.architectures import build_mlp
+
+PAYLOAD = 1e6
+BANDWIDTH = 2e6
+SEEDS = (0, 1, 2)
+
+
+def random_fleet(seed, count=40, ladders=False):
+    """A seeded heterogeneous fleet with varied dataset sizes."""
+    rng = np.random.default_rng(seed)
+    sizes = rng.integers(20, 200, size=count)
+    partitions = [
+        ArrayDataset(
+            rng.normal(size=(int(s), 4)), rng.integers(0, 3, size=int(s))
+        )
+        for s in sizes
+    ]
+    spec = FleetSpec(
+        channel_gain_range=(1e-7, 1e-6),
+        frequency_levels=(0.25, 0.5, 0.75, 1.0) if ladders else None,
+    )
+    return make_fleet(partitions, spec, seed=seed + 1000)
+
+
+class TestUtilityParity:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_scores_bitwise_equal(self, seed):
+        devices = random_fleet(seed)
+        population = DevicePopulation.from_devices(devices)
+        rng = np.random.default_rng(seed)
+        counts = {
+            d.device_id: int(rng.integers(0, 6)) for d in devices
+        }
+        by_id = _object_utility_scores(
+            devices, counts, PAYLOAD, BANDWIDTH, 0.7
+        )
+        array = utility_scores(population, counts, PAYLOAD, BANDWIDTH, 0.7)
+        for position, device in enumerate(devices):
+            assert array[position] == by_id[device.device_id]
+
+
+class TestSelectionParity:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_rounds_of_selection_bitwise_equal(self, seed):
+        devices = random_fleet(seed)
+        population = DevicePopulation.from_devices(devices)
+        object_strategy = GreedyDecaySelection(0.2, 0.6, PAYLOAD, BANDWIDTH)
+        vector_strategy = GreedyDecaySelection(0.2, 0.6, PAYLOAD, BANDWIDTH)
+        for round_index in range(1, 16):
+            expected = [
+                d.device_id
+                for d in object_strategy.select(round_index, devices)
+            ]
+            positions = vector_strategy.select_population(
+                round_index, population
+            )
+            assert population.device_ids[positions].tolist() == expected
+
+    @pytest.mark.parametrize("shard_size", (1, 7, 16, 1000))
+    def test_sharded_equals_plain(self, shard_size):
+        devices = random_fleet(3)
+        population = DevicePopulation.from_devices(devices)
+        plain = GreedyDecaySelection(0.25, 0.6, PAYLOAD, BANDWIDTH)
+        sharded = GreedyDecaySelection(
+            0.25, 0.6, PAYLOAD, BANDWIDTH, shard_size=shard_size
+        )
+        for round_index in range(1, 11):
+            assert np.array_equal(
+                plain.select_population(round_index, population),
+                sharded.select_population(round_index, population),
+            )
+
+
+class TestFrequencyParity:
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize(
+        "clamp,quantize", ((True, False), (False, False), (True, True))
+    )
+    def test_algorithm3_bitwise_equal(self, seed, clamp, quantize):
+        devices = random_fleet(seed, ladders=quantize)
+        population = DevicePopulation.from_devices(devices)
+        by_id = determine_frequencies(
+            devices, PAYLOAD, BANDWIDTH, clamp=clamp, quantize=quantize
+        )
+        array = determine_frequencies_population(
+            population, PAYLOAD, BANDWIDTH, clamp=clamp, quantize=quantize
+        )
+        for position, device in enumerate(devices):
+            assert array[position] == by_id[device.device_id]
+
+    def test_policy_dict_matches_object_path_exactly(self):
+        devices = random_fleet(4, ladders=True)
+        population = DevicePopulation.from_devices(devices)
+        policy = HelcflDvfsPolicy(quantize=True)
+        via_objects = policy.assign(devices, PAYLOAD, BANDWIDTH)
+        via_population = policy.assign(
+            devices, PAYLOAD, BANDWIDTH, population=population
+        )
+        assert via_population == via_objects
+        # Key order is part of the trace contract.
+        assert list(via_population) == list(via_objects)
+
+
+class TestTdmaParity:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_timeline_bitwise_equal(self, seed):
+        devices = random_fleet(seed, count=20)
+        population = DevicePopulation.from_devices(devices)
+        frequencies = determine_frequencies(devices, PAYLOAD, BANDWIDTH)
+        plain = simulate_tdma_round(
+            devices, PAYLOAD, BANDWIDTH, frequencies
+        )
+        vector = simulate_tdma_round(
+            devices, PAYLOAD, BANDWIDTH, frequencies, population=population
+        )
+        assert vector == plain
+
+    def test_timeline_with_faults_bitwise_equal(self):
+        devices = random_fleet(5, count=16)
+        population = DevicePopulation.from_devices(devices)
+        frequencies = determine_frequencies(devices, PAYLOAD, BANDWIDTH)
+        ids = [d.device_id for d in devices]
+        kwargs = dict(
+            compute_scale={ids[0]: 2.0},
+            drop_during={ids[1]: 0.5},
+            upload_outage={ids[2]},
+            upload_scale={ids[3]: 0.5},
+            round_deadline=30.0,
+        )
+        plain = simulate_tdma_round(
+            devices, PAYLOAD, BANDWIDTH, frequencies, **kwargs
+        )
+        vector = simulate_tdma_round(
+            devices,
+            PAYLOAD,
+            BANDWIDTH,
+            frequencies,
+            population=population,
+            **kwargs,
+        )
+        assert vector == plain
+
+
+def run_training(seed, vectorized, backend=None, faults=None):
+    """One short seeded run; returns (history, trainer)."""
+    devices = random_fleet(seed, count=12)
+    rng = np.random.default_rng(seed + 77)
+    test = ArrayDataset(
+        rng.normal(size=(40, 4)), rng.integers(0, 3, size=40)
+    )
+    model = build_mlp(4, 3, hidden_sizes=(8,), seed=seed)
+    server = FederatedServer(model, test_dataset=test, payload_bits=PAYLOAD)
+    trainer = FederatedTrainer(
+        server=server,
+        devices=devices,
+        selection=GreedyDecaySelection(0.4, 0.7, PAYLOAD, BANDWIDTH),
+        frequency_policy=HelcflDvfsPolicy(),
+        config=TrainerConfig(
+            rounds=4,
+            bandwidth_hz=BANDWIDTH,
+            learning_rate=0.2,
+            over_select_margin=1,
+            round_deadline_s=80.0,
+        ),
+        channel_models={
+            d.device_id: RayleighFadingChannel(
+                mean_gain=1.0, seed=300 + d.device_id
+            )
+            for d in devices
+        },
+        backend=backend,
+        faults=faults,
+        vectorized=vectorized,
+    )
+    history = trainer.run()
+    return history, trainer
+
+
+def lossy_plan():
+    return FaultPlan(
+        seed=21,
+        faults=(
+            DropoutFault(phase="before_compute", probability=0.2),
+            DropoutFault(
+                phase="during_compute", progress=0.5, probability=0.1
+            ),
+            StragglerFault(slowdown=2.0, probability=0.2),
+            ChannelFault(mode="degrade", rate_scale=0.5, probability=0.2),
+            ChannelFault(mode="outage", probability=0.1),
+        ),
+    )
+
+
+class TestTrainerParity:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_histories_and_ledgers_bitwise_equal(self, seed):
+        vector_history, vector_trainer = run_training(seed, vectorized=True)
+        object_history, object_trainer = run_training(seed, vectorized=False)
+        assert vector_history.to_json() == object_history.to_json()
+        assert (
+            vector_trainer.ledger.total_joules
+            == object_trainer.ledger.total_joules
+        )
+
+    def test_parity_holds_under_seeded_faults(self):
+        plan = lossy_plan()
+        vector_history, _ = run_training(9, vectorized=True, faults=plan)
+        object_history, _ = run_training(9, vectorized=False, faults=plan)
+        assert vector_history.to_json() == object_history.to_json()
+
+    @pytest.mark.parametrize("backend_name", ("serial", "thread", "process"))
+    def test_parity_on_every_backend(self, backend_name):
+        with create_backend(backend_name, workers=2) as backend:
+            vector_history, _ = run_training(
+                2, vectorized=True, backend=backend, faults=lossy_plan()
+            )
+        with create_backend(backend_name, workers=2) as backend:
+            object_history, _ = run_training(
+                2, vectorized=False, backend=backend, faults=lossy_plan()
+            )
+        assert vector_history.to_json() == object_history.to_json()
