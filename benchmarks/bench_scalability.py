@@ -34,6 +34,15 @@ objects at all. ``--scalability-snapshot PATH`` writes the composite
 analytics snapshot that ``python -m repro.obs.report --compare``
 consumes, so CI can fail on >10% regression against the committed
 baseline.
+
+Part 4 isolates the round *transport*: one ``run_round`` over Q ∈
+{10³, 10⁴} lightweight clients with a ~10⁴-parameter model, through the
+pickle process pool (``process``) and the zero-copy shared-memory pool
+(``process+shm``, :mod:`repro.fl.shm`). Local compute is kept tiny so
+the measured gap is broadcast/collect serialization, the ``2*Q*P*8``
+bytes per round the shm transport eliminates. Updates are asserted
+bitwise identical between the two pools; the timings land in the
+snapshot's ``transport_study`` key.
 """
 
 import json
@@ -391,6 +400,121 @@ def run_sharded_smoke(q=100_000, shard_size=8_192, rounds=1, seed=7):
     }
 
 
+# ----------------------------------------------------------------------
+# Part 4: pickle vs shared-memory round transport
+# ----------------------------------------------------------------------
+TRANSPORT_BACKENDS = ("process", "process+shm")
+
+
+def _transport_model(seed: int = 7):
+    """An MLP of ~10⁴ parameters — big enough that pickling it per
+    client per direction is the round's dominant byte stream."""
+    from repro.nn.architectures import build_mlp
+
+    return build_mlp(4, 3, hidden_sizes=(128, 64), seed=seed)
+
+
+def _transport_fleet(q: int, seed: int = 7):
+    """Q lightweight trainable devices (two samples each, dim 4)."""
+    rng = np.random.default_rng(seed)
+    partitions = [
+        ArrayDataset(
+            rng.normal(size=(2, 4)), rng.integers(0, 3, size=2)
+        )
+        for _ in range(q)
+    ]
+    return make_fleet(partitions, _bench_spec(), seed=seed + 1)
+
+
+def run_transport_study(
+    q_values=(1_000, 10_000), workers=None, seed=7, timed_rounds=3
+):
+    """Time warmed ``run_round`` calls per pool transport; assert parity.
+
+    Each backend is warmed with one full-fleet round (worker spawn,
+    shared-block allocation, and first-touch page faults are start-up
+    costs, not per-round transport), then ``timed_rounds`` steady-state
+    rounds are timed and the minimum is kept — the minimum, not the
+    mean, because scheduling noise on a busy host only ever adds time.
+    The timed rounds alternate between the two live backends so both
+    sample the same background load instead of getting sequential
+    measurement windows.
+
+    Returns:
+        Mapping from Q to ``{"pickle_s", "shm_s", "speedup",
+        "param_count", "round_megabytes"}`` where ``round_megabytes``
+        is the parameter traffic the pickle path serializes per round
+        (broadcast + collect) and the shm path moves through shared
+        blocks instead.
+    """
+    from repro.fl.execution import LocalUpdateSpec, create_backend
+
+    model = _transport_model(seed)
+    spec = LocalUpdateSpec(learning_rate=0.1, seed=seed)
+    global_params = model.get_flat_params()
+    param_count = model.parameter_count
+    study = {}
+    for q in q_values:
+        devices = _transport_fleet(q, seed=seed)
+        walls = {name: float("inf") for name in TRANSPORT_BACKENDS}
+        updates_by_backend = {}
+        backends = {
+            name: create_backend(name, workers=workers)
+            for name in TRANSPORT_BACKENDS
+        }
+        try:
+            for name, backend in backends.items():
+                backend.bind(model, spec, devices)
+                backend.run_round(1, global_params, devices, 0.1)
+            for timed in range(timed_rounds):
+                for name, backend in backends.items():
+                    start = time.perf_counter()
+                    updates_by_backend[name] = backend.run_round(
+                        2 + timed, global_params, devices, 0.1
+                    )
+                    walls[name] = min(
+                        walls[name], time.perf_counter() - start
+                    )
+        finally:
+            for backend in backends.values():
+                backend.close()
+        for want, got in zip(*updates_by_backend.values()):
+            assert want.device_id == got.device_id
+            assert np.array_equal(want.params, got.params), (
+                f"transport drift at Q={q}, device {want.device_id}"
+            )
+            assert want.loss == got.loss
+        study[q] = {
+            "pickle_s": walls["process"],
+            "shm_s": walls["process+shm"],
+            "speedup": (
+                walls["process"] / walls["process+shm"]
+                if walls["process+shm"] > 0
+                else float("inf")
+            ),
+            "param_count": param_count,
+            "round_megabytes": 2 * q * param_count * 8 / 1e6,
+        }
+    return study
+
+
+def test_transport_study(benchmark):
+    study = benchmark.pedantic(run_transport_study, rounds=1, iterations=1)
+    print()
+    print("  round transport study (pickle vs shm, ~1e4 params):")
+    for q, entry in study.items():
+        print(
+            f"    Q={q:6d}: pickle {entry['pickle_s']:7.3f}s  "
+            f"shm {entry['shm_s']:7.3f}s  "
+            f"speedup {entry['speedup']:5.2f}x  "
+            f"({entry['round_megabytes']:.0f} MB/round pickled)"
+        )
+    # The committed BENCH_scalability.json shows shm ahead at Q=1e4;
+    # the in-suite floor is lenient so loaded CI hosts don't flake.
+    # Bitwise parity is asserted inside run_transport_study.
+    assert study[10_000]["speedup"] >= 1.0
+
+
 def write_scalability_snapshot(
     path,
     q_values=(1_000, 10_000),
@@ -400,14 +524,16 @@ def write_scalability_snapshot(
 ):
     """Write the composite ``BENCH_scalability.json`` document.
 
-    Carries the population-study timings, the sharded smoke, and an
-    ``analytics`` RunStats snapshot from a traced quick training run —
-    the piece ``python -m repro.obs.report --compare`` reads, so a
-    committed snapshot doubles as a CI regression baseline.
+    Carries the population-study timings, the pickle-vs-shm transport
+    study, the sharded smoke, and an ``analytics`` RunStats snapshot
+    from a traced quick training run — the piece ``python -m
+    repro.obs.report --compare`` reads, so a committed snapshot doubles
+    as a CI regression baseline.
     """
     from repro.experiments.runner import run_traced
 
     study = run_population_study(q_values=q_values, rounds=rounds)
+    transport = run_transport_study(q_values=q_values)
     smoke = run_sharded_smoke(q=smoke_q)
     _, stats = run_traced(
         "helcfl",
@@ -422,6 +548,9 @@ def write_scalability_snapshot(
         "fraction": FRACTION,
         "decay": DECAY,
         "population_study": {str(q): entry for q, entry in study.items()},
+        "transport_study": {
+            str(q): entry for q, entry in transport.items()
+        },
         "sharded_smoke": smoke,
         "analytics": stats.to_dict(),
     }
@@ -462,6 +591,46 @@ def test_sharded_smoke_completes_in_seconds(benchmark):
     assert smoke["build_s"] + smoke["schedule_s"] < 30.0
 
 
+def compare_transport_studies(baseline, fresh, threshold=0.10):
+    """Regression-gate the pickle-vs-shm transport part of two snapshots.
+
+    Args:
+        baseline: committed snapshot document (``BENCH_scalability.json``).
+        fresh: freshly measured snapshot document.
+        threshold: allowed fractional speedup regression (CI's 10%).
+
+    Returns:
+        List of human-readable failure strings; empty when the fresh
+        shm transport still beats pickle and holds the baseline
+        speedup to within ``threshold``.
+    """
+    failures = []
+    base = baseline.get("transport_study", {})
+    got = fresh.get("transport_study", {})
+    if not base:
+        failures.append("baseline snapshot has no transport_study part")
+    for q, want in base.items():
+        entry = got.get(q)
+        if entry is None:
+            failures.append(f"Q={q}: missing from fresh transport study")
+            continue
+        floor = want["speedup"] * (1.0 - threshold)
+        if entry["speedup"] < floor:
+            failures.append(
+                f"Q={q}: shm speedup {entry['speedup']:.2f}x fell below "
+                f"{floor:.2f}x ({(1 - threshold) * 100:.0f}% of the "
+                f"committed {want['speedup']:.2f}x)"
+            )
+    largest = max(base, key=lambda q: int(q), default=None)
+    if largest is not None and largest in got:
+        if got[largest]["speedup"] < 1.0:
+            failures.append(
+                f"Q={largest}: shm transport slower than pickle "
+                f"({got[largest]['speedup']:.2f}x)"
+            )
+    return failures
+
+
 def _main() -> int:
     import argparse
 
@@ -488,7 +657,44 @@ def _main() -> int:
         "write the composite BENCH_scalability.json document there; "
         "skips the backend study",
     )
+    parser.add_argument(
+        "--compare-transport",
+        nargs=2,
+        metavar=("BASELINE", "FRESH"),
+        default=None,
+        help="regression-gate the pickle-vs-shm transport_study part "
+        "of FRESH against the committed BASELINE snapshot; exits "
+        "non-zero when the shm speedup regresses past the threshold",
+    )
+    parser.add_argument(
+        "--transport-threshold",
+        type=float,
+        default=0.10,
+        help="allowed fractional shm-speedup regression (default 0.10)",
+    )
     args = parser.parse_args()
+
+    if args.compare_transport:
+        baseline_path, fresh_path = args.compare_transport
+        with open(baseline_path, "r", encoding="utf-8") as handle:
+            baseline = json.load(handle)
+        with open(fresh_path, "r", encoding="utf-8") as handle:
+            fresh = json.load(handle)
+        failures = compare_transport_studies(
+            baseline, fresh, threshold=args.transport_threshold
+        )
+        for q, entry in fresh.get("transport_study", {}).items():
+            print(
+                f"transport Q={q:>6s}: pickle {entry['pickle_s']:7.3f}s  "
+                f"shm {entry['shm_s']:7.3f}s  "
+                f"speedup {entry['speedup']:5.2f}x"
+            )
+        if failures:
+            for failure in failures:
+                print(f"FAIL: {failure}")
+            return 1
+        print("transport study within threshold")
+        return 0
 
     if args.scalability_snapshot:
         document = write_scalability_snapshot(args.scalability_snapshot)
@@ -497,6 +703,12 @@ def _main() -> int:
                 f"Q={q:>6s}: object {entry['object_s']:7.3f}s  "
                 f"vector {entry['vector_s']:7.3f}s  "
                 f"speedup {entry['speedup']:6.1f}x"
+            )
+        for q, entry in document["transport_study"].items():
+            print(
+                f"transport Q={q:>6s}: pickle {entry['pickle_s']:7.3f}s  "
+                f"shm {entry['shm_s']:7.3f}s  "
+                f"speedup {entry['speedup']:5.2f}x"
             )
         smoke = document["sharded_smoke"]
         print(

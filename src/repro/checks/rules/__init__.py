@@ -9,6 +9,7 @@ from repro.checks.rules.concurrency import ConcurrencySafetyRule
 from repro.checks.rules.determinism import DeterminismRule
 from repro.checks.rules.events import EventSchemaRule
 from repro.checks.rules.hotpath import HotPathLoopRule
+from repro.checks.rules.pickling import ParamPicklingRule
 from repro.checks.rules.units import UnitDisciplineRule
 from repro.checks.rules.wallclock import WallClockRule
 from repro.errors import ConfigurationError
@@ -24,6 +25,7 @@ ALL_RULES: Dict[str, type] = {
         WallClockRule,
         ConcurrencySafetyRule,
         HotPathLoopRule,
+        ParamPicklingRule,
     )
 }
 """Mapping from rule id to rule class, in id order."""

@@ -2,7 +2,8 @@
 
 Contains the FLCC server, the local client trainer (Eq. 3), FedAvg
 aggregation (Eq. 18), the pluggable client-execution backends
-(serial / thread pool / process pool), the synchronous round loop with
+(serial / thread pool / process pool / zero-copy shared-memory process
+pool), the synchronous round loop with
 TDMA cost simulation, and the training history with time-to-accuracy
 and energy-to-accuracy queries used by the paper's Table I and Fig. 3.
 """
@@ -22,6 +23,7 @@ from repro.fl.execution import (
 )
 from repro.fl.history import RoundRecord, TrainingHistory
 from repro.fl.server import FederatedServer
+from repro.fl.shm import SharedArrayPool, SharedMemoryProcessPoolBackend
 from repro.fl.strategy import (
     FrequencyPolicy,
     FullParticipation,
@@ -41,6 +43,8 @@ __all__ = [
     "ProcessPoolBackend",
     "RoundResult",
     "SerialBackend",
+    "SharedArrayPool",
+    "SharedMemoryProcessPoolBackend",
     "ThreadPoolBackend",
     "create_backend",
     "RoundRecord",

@@ -102,7 +102,11 @@ class LocalTrainer:
         """
         if len(dataset) == 0:
             raise TrainingError("cannot run a local update on an empty dataset")
-        optimizer = Sgd(self.learning_rate)
+        # Without clipping the update is plain p -= lr * g, so the fused
+        # in-place Sequential.sgd_step (bitwise identical to Sgd.step
+        # with zero weight decay) skips the optimizer object entirely.
+        fused = self.max_grad_norm is None
+        optimizer = None if fused else Sgd(self.learning_rate)
         last_loss = 0.0
         for _ in range(self.local_steps):
             if self.batch_size is None:
@@ -114,6 +118,9 @@ class LocalTrainer:
             outputs = model.forward(inputs, training=True)
             last_loss, grad = self.loss.loss_and_grad(outputs, labels)
             model.backward(grad)
-            self._clip_gradients(model)
-            optimizer.step(model)
+            if fused:
+                model.sgd_step(self.learning_rate)
+            else:
+                self._clip_gradients(model)
+                optimizer.step(model)
         return float(last_loss)

@@ -24,8 +24,8 @@ class ReLU(Layer):
 
     def forward(self, inputs: np.ndarray, training: bool = False) -> np.ndarray:
         mask = inputs > 0
-        if training:
-            self._mask = mask
+        # Inference invalidates the cache so a stale backward raises.
+        self._mask = mask if training else None
         return np.where(mask, inputs, 0.0)
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
@@ -46,8 +46,8 @@ class LeakyReLU(Layer):
 
     def forward(self, inputs: np.ndarray, training: bool = False) -> np.ndarray:
         mask = inputs > 0
-        if training:
-            self._mask = mask
+        # Inference invalidates the cache so a stale backward raises.
+        self._mask = mask if training else None
         return np.where(mask, inputs, self.slope * inputs)
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
@@ -69,8 +69,8 @@ class Sigmoid(Layer):
         out[pos] = 1.0 / (1.0 + np.exp(-inputs[pos]))
         exp_x = np.exp(inputs[~pos])
         out[~pos] = exp_x / (1.0 + exp_x)
-        if training:
-            self._out = out
+        # Inference invalidates the cache so a stale backward raises.
+        self._out = out if training else None
         return out
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
@@ -88,8 +88,8 @@ class Tanh(Layer):
 
     def forward(self, inputs: np.ndarray, training: bool = False) -> np.ndarray:
         out = np.tanh(inputs)
-        if training:
-            self._out = out
+        # Inference invalidates the cache so a stale backward raises.
+        self._out = out if training else None
         return out
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
@@ -115,8 +115,8 @@ class Softmax(Layer):
         shifted = inputs - inputs.max(axis=-1, keepdims=True)
         exp = np.exp(shifted)
         out = exp / exp.sum(axis=-1, keepdims=True)
-        if training:
-            self._out = out
+        # Inference invalidates the cache so a stale backward raises.
+        self._out = out if training else None
         return out
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:

@@ -7,7 +7,7 @@ from typing import Optional, Tuple
 import numpy as np
 
 from repro.errors import ConfigurationError, ShapeError
-from repro.nn.conv_utils import col2im, im2col
+from repro.nn.conv_utils import col2im, conv_output_size, im2col
 from repro.nn.initializers import Initializer, he_normal, zeros_init
 from repro.nn.layer import Layer
 from repro.rng import SeedLike, ensure_generator
@@ -81,41 +81,92 @@ class Conv2D(Layer):
                 f"{inputs.shape}"
             )
         n = inputs.shape[0]
+        out_h = conv_output_size(
+            inputs.shape[2], self.kernel_h, self.stride, self.padding
+        )
+        out_w = conv_output_size(
+            inputs.shape[3], self.kernel_w, self.stride, self.padding
+        )
+        rows = n * out_h * out_w
+        window = self.in_channels * self.kernel_h * self.kernel_w
+        col_buffer = (
+            self._scratch_buffer("cols", (rows, window), inputs.dtype)
+            if inputs.dtype == np.float64
+            else None
+        )
         cols, out_h, out_w = im2col(
-            inputs, self.kernel_h, self.kernel_w, self.stride, self.padding
+            inputs,
+            self.kernel_h,
+            self.kernel_w,
+            self.stride,
+            self.padding,
+            out=col_buffer,
         )
         w_flat = self.params["W"].reshape(self.out_channels, -1)
-        out = cols @ w_flat.T
+        out = np.matmul(
+            cols,
+            w_flat.T,
+            out=self._scratch_buffer("mm", (rows, self.out_channels)),
+        )
         if self.use_bias:
-            out = out + self.params["b"]
-        out = out.reshape(n, out_h, out_w, self.out_channels).transpose(0, 3, 1, 2)
+            out += self.params["b"]
         if training:
             self._cols = cols
             self._input_shape = inputs.shape
-        return np.ascontiguousarray(out)
+        else:
+            # Inference must not leave a stale training cache behind:
+            # a later backward() would silently differentiate an older
+            # batch instead of raising.
+            self._cols = None
+            self._input_shape = None
+        return np.ascontiguousarray(
+            out.reshape(n, out_h, out_w, self.out_channels).transpose(0, 3, 1, 2)
+        )
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         if self._cols is None or self._input_shape is None:
             raise RuntimeError("backward called before forward(training=True)")
         n, _, out_h, out_w = grad_output.shape
-        grad_flat = grad_output.transpose(0, 2, 3, 1).reshape(
-            n * out_h * out_w, self.out_channels
+        rows = n * out_h * out_w
+        grad_flat = self._scratch_buffer(
+            "grad_flat", (rows, self.out_channels)
+        )
+        np.copyto(
+            grad_flat.reshape(n, out_h, out_w, self.out_channels),
+            grad_output.transpose(0, 2, 3, 1),
         )
         w_flat = self.params["W"].reshape(self.out_channels, -1)
-        self.grads["W"][...] = (grad_flat.T @ self._cols).reshape(
-            self.params["W"].shape
+        np.matmul(
+            grad_flat.T,
+            self._cols,
+            out=self.grads["W"].reshape(self.out_channels, -1),
         )
         if self.use_bias:
-            self.grads["b"][...] = grad_flat.sum(axis=0)
-        grad_cols = grad_flat @ w_flat
-        return col2im(
+            np.sum(grad_flat, axis=0, out=self.grads["b"])
+        grad_cols = np.matmul(
+            grad_flat,
+            w_flat,
+            out=self._scratch_buffer("grad_cols", self._cols.shape),
+        )
+        in_n, in_c, in_h, in_w = self._input_shape
+        padded_shape = (
+            in_n,
+            in_c,
+            in_h + 2 * self.padding,
+            in_w + 2 * self.padding,
+        )
+        grad_input = col2im(
             grad_cols,
             self._input_shape,
             self.kernel_h,
             self.kernel_w,
             self.stride,
             self.padding,
+            padded_out=self._scratch_buffer("col2im", padded_shape),
         )
+        # The scatter accumulator is layer-owned scratch; hand callers
+        # an owned array so the gradient survives the next step.
+        return grad_input.copy()
 
     def __repr__(self) -> str:
         return (

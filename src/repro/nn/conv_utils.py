@@ -55,6 +55,7 @@ def im2col(
     kernel_w: int,
     stride: int,
     padding: int,
+    out: np.ndarray = None,
 ) -> Tuple[np.ndarray, int, int]:
     """Unfold receptive fields of an NCHW batch into a 2-D matrix.
 
@@ -64,6 +65,10 @@ def im2col(
         kernel_w: kernel width.
         stride: spatial stride (same for both axes).
         padding: symmetric zero padding (same for both axes).
+        out: optional preallocated destination of shape
+            ``(n * out_h * out_w, c * kernel_h * kernel_w)`` and the
+            input dtype (C-contiguous); when given it is filled in
+            place and returned, so the hot loop allocates nothing.
 
     Returns:
         A tuple ``(cols, out_h, out_w)`` where ``cols`` has shape
@@ -85,10 +90,20 @@ def im2col(
         strides=(s_n, s_c, s_h * stride, s_w * stride, s_h, s_w),
         writeable=False,
     )
-    cols = view.transpose(0, 2, 3, 1, 4, 5).reshape(
-        n * out_h * out_w, c * kernel_h * kernel_w
+    shape = (n * out_h * out_w, c * kernel_h * kernel_w)
+    if out is None:
+        cols = view.transpose(0, 2, 3, 1, 4, 5).reshape(shape)
+        return np.ascontiguousarray(cols), out_h, out_w
+    if out.shape != shape or out.dtype != images.dtype or not out.flags.c_contiguous:
+        raise ShapeError(
+            f"im2col out buffer must be C-contiguous {shape} "
+            f"{images.dtype}, got {out.shape} {out.dtype}"
+        )
+    np.copyto(
+        out.reshape(n, out_h, out_w, c, kernel_h, kernel_w),
+        view.transpose(0, 2, 3, 1, 4, 5),
     )
-    return np.ascontiguousarray(cols), out_h, out_w
+    return out, out_h, out_w
 
 
 def col2im(
@@ -98,6 +113,7 @@ def col2im(
     kernel_w: int,
     stride: int,
     padding: int,
+    padded_out: np.ndarray = None,
 ) -> np.ndarray:
     """Scatter-add column gradients back to image space (im2col adjoint).
 
@@ -109,6 +125,11 @@ def col2im(
         kernel_w: kernel width.
         stride: spatial stride.
         padding: symmetric zero padding.
+        padded_out: optional preallocated accumulator of shape
+            ``(n, c, h + 2 * padding, w + 2 * padding)`` and the input
+            dtype; zeroed and reused in place so the hot loop allocates
+            nothing. The returned array is then a view into it, valid
+            until the next call that reuses the buffer.
 
     Returns:
         An array with ``input_shape`` holding the accumulated gradient.
@@ -126,7 +147,17 @@ def col2im(
     grads = cols.reshape(n, out_h, out_w, c, kernel_h, kernel_w).transpose(
         0, 3, 4, 5, 1, 2
     )  # (n, c, kh, kw, out_h, out_w)
-    padded = np.zeros((n, c, h + 2 * padding, w + 2 * padding), dtype=cols.dtype)
+    padded_shape = (n, c, h + 2 * padding, w + 2 * padding)
+    if padded_out is None:
+        padded = np.zeros(padded_shape, dtype=cols.dtype)
+    else:
+        if padded_out.shape != padded_shape or padded_out.dtype != cols.dtype:
+            raise ShapeError(
+                f"col2im padded_out buffer must be {padded_shape} "
+                f"{cols.dtype}, got {padded_out.shape} {padded_out.dtype}"
+            )
+        padded = padded_out
+        padded[...] = 0.0
     for i in range(kernel_h):
         i_end = i + stride * out_h
         for j in range(kernel_w):

@@ -55,19 +55,20 @@ class Dense(Layer):
                 f"Dense expected input of shape (batch, {self.in_features}), "
                 f"got {inputs.shape}"
             )
-        if training:
-            self._inputs = inputs
+        # Inference invalidates the cache so a stale backward raises
+        # instead of differentiating an earlier batch.
+        self._inputs = inputs if training else None
         out = inputs @ self.params["W"]
         if self.use_bias:
-            out = out + self.params["b"]
+            out += self.params["b"]
         return out
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         if self._inputs is None:
             raise RuntimeError("backward called before forward(training=True)")
-        self.grads["W"][...] = self._inputs.T @ grad_output
+        np.matmul(self._inputs.T, grad_output, out=self.grads["W"])
         if self.use_bias:
-            self.grads["b"][...] = grad_output.sum(axis=0)
+            np.sum(grad_output, axis=0, out=self.grads["b"])
         return grad_output @ self.params["W"].T
 
     def __repr__(self) -> str:

@@ -12,6 +12,10 @@ from repro.rng import SeedLike, ensure_generator
 
 __all__ = ["Dropout"]
 
+# Sentinel mask marking a rate-0.0 training pass: backward is the
+# identity without ever materializing an all-ones mask array.
+_IDENTITY_MASK = np.empty(0)
+
 
 class Dropout(Layer):
     """Inverted dropout: zero each activation with probability ``rate``.
@@ -35,7 +39,7 @@ class Dropout(Layer):
 
     def forward(self, inputs: np.ndarray, training: bool = False) -> np.ndarray:
         if not training or self.rate == 0.0:
-            self._mask = np.ones_like(inputs) if training else None
+            self._mask = _IDENTITY_MASK if training else None
             return inputs
         keep = 1.0 - self.rate
         mask = (self._rng.random(inputs.shape) < keep) / keep
@@ -45,6 +49,8 @@ class Dropout(Layer):
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         if self._mask is None:
             raise RuntimeError("backward called before forward(training=True)")
+        if self._mask is _IDENTITY_MASK:
+            return grad_output
         return grad_output * self._mask
 
     def __repr__(self) -> str:

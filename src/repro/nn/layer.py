@@ -34,6 +34,7 @@ class Layer:
     def __init__(self) -> None:
         self.params: Dict[str, np.ndarray] = {}
         self.grads: Dict[str, np.ndarray] = {}
+        self._scratch: Dict[str, np.ndarray] = {}
 
     # ------------------------------------------------------------------
     # Interface
@@ -86,6 +87,23 @@ class Layer:
         """Register a trainable parameter and its zero gradient buffer."""
         self.params[name] = value
         self.grads[name] = np.zeros_like(value)
+
+    def _scratch_buffer(
+        self, name: str, shape: Tuple[int, ...], dtype=np.float64
+    ) -> np.ndarray:
+        """Return a reusable scratch array, reallocating on shape change.
+
+        Hot-loop layers route their per-step temporaries (im2col
+        matrices, gradient staging buffers) through here so repeated
+        forward/backward calls at a fixed batch shape allocate nothing.
+        The contents are unspecified on return; callers must fully
+        overwrite the buffer before reading it.
+        """
+        buf = self._scratch.get(name)
+        if buf is None or buf.shape != shape or buf.dtype != dtype:
+            buf = np.empty(shape, dtype=dtype)
+            self._scratch[name] = buf
+        return buf
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}(params={self.parameter_count})"

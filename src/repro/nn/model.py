@@ -83,12 +83,35 @@ class Sequential:
             for name, param in layer.named_parameters():
                 yield idx, name, param
 
-    def get_flat_params(self) -> np.ndarray:
-        """Concatenate every parameter into a single 1-D float64 vector."""
-        chunks = [param.ravel() for _, _, param in self.named_parameters()]
-        if not chunks:
-            return np.zeros(0, dtype=np.float64)
-        return np.concatenate(chunks).astype(np.float64, copy=False)
+    def get_flat_params(self, out: Optional[np.ndarray] = None) -> np.ndarray:
+        """Concatenate every parameter into a single 1-D float64 vector.
+
+        Args:
+            out: optional preallocated 1-D float64 destination of length
+                :attr:`parameter_count`. When given, parameter values are
+                written directly into it (e.g. a shared-memory view) and
+                no intermediate concatenation is allocated.
+
+        Raises:
+            ShapeError: if ``out`` has the wrong length or dtype.
+        """
+        if out is None:
+            chunks = [param.ravel() for _, _, param in self.named_parameters()]
+            if not chunks:
+                return np.zeros(0, dtype=np.float64)
+            return np.concatenate(chunks).astype(np.float64, copy=False)
+        expected = self.parameter_count
+        if out.ndim != 1 or out.size != expected or out.dtype != np.float64:
+            raise ShapeError(
+                f"out buffer must be 1-D float64 of length {expected}, got "
+                f"shape {out.shape} dtype {out.dtype}"
+            )
+        offset = 0
+        for _, _, param in self.named_parameters():
+            size = param.size
+            out[offset : offset + size] = param.ravel()
+            offset += size
+        return out
 
     def set_flat_params(self, flat: np.ndarray) -> None:
         """Write a flat vector produced by :meth:`get_flat_params` back.
@@ -122,6 +145,19 @@ class Sequential:
             return np.zeros(0, dtype=np.float64)
         return np.concatenate(chunks).astype(np.float64, copy=False)
 
+    def sgd_step(self, learning_rate: float) -> None:
+        """Apply one in-place vanilla SGD step: ``p -= lr * g``.
+
+        Fused fast path for the federated local update (HELCFL Eq. 3):
+        bitwise identical to ``Sgd(learning_rate).step(model)`` with zero
+        weight decay, but without constructing an optimizer or staging
+        flat vectors.
+        """
+        rate = float(learning_rate)
+        for layer in self.layers:
+            for name, param in layer.params.items():
+                param -= rate * layer.grads[name]
+
     # ------------------------------------------------------------------
     # Cloning / prediction helpers
     # ------------------------------------------------------------------
@@ -131,12 +167,17 @@ class Sequential:
 
     def predict(self, inputs: np.ndarray, batch_size: int = 256) -> np.ndarray:
         """Inference-mode forward pass, batched to bound memory."""
+        if inputs.shape[0] == 0:
+            # A zero-row forward still produces the correct trailing
+            # output dimensions, so predict_classes can argmax on an
+            # empty batch instead of crashing on a 1-D placeholder.
+            return self.forward(inputs, training=False)
         outputs = []
         for start in range(0, inputs.shape[0], batch_size):
             outputs.append(
                 self.forward(inputs[start : start + batch_size], training=False)
             )
-        return np.concatenate(outputs, axis=0) if outputs else np.zeros((0,))
+        return np.concatenate(outputs, axis=0)
 
     def predict_classes(self, inputs: np.ndarray, batch_size: int = 256) -> np.ndarray:
         """Return argmax class ids for ``inputs``."""

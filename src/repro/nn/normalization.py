@@ -77,24 +77,31 @@ class BatchNorm(Layer):
             count = inputs.size // self.num_features
             # Unbiased variance for the running estimate (framework
             # convention), biased variance for the normalization itself.
+            # The running statistics are updated IN PLACE: external
+            # aliases (worker-resident views, get_buffers callers, the
+            # shared-memory path) must keep observing the live arrays.
             unbiased = var * count / max(count - 1, 1)
-            self.running_mean = (
+            self.running_mean[...] = (
                 1.0 - self.momentum
             ) * self.running_mean + self.momentum * mean
-            self.running_var = (
+            self.running_var[...] = (
                 1.0 - self.momentum
             ) * self.running_var + self.momentum * unbiased
         else:
             mean = self.running_mean
             var = self.running_var
         inv_std = 1.0 / np.sqrt(var + self.eps)
-        x_hat = (inputs - self._broadcast(mean, inputs.ndim)) * self._broadcast(
-            inv_std, inputs.ndim
-        )
+        x_hat = self._scratch_buffer("x_hat", inputs.shape)
+        np.subtract(inputs, self._broadcast(mean, inputs.ndim), out=x_hat)
+        x_hat *= self._broadcast(inv_std, inputs.ndim)
         out = self._broadcast(self.params["gamma"], inputs.ndim) * x_hat
-        out = out + self._broadcast(self.params["beta"], inputs.ndim)
+        out += self._broadcast(self.params["beta"], inputs.ndim)
         if training:
             self._cache = (x_hat, inv_std, inputs.ndim, inputs.shape)
+        else:
+            # Inference invalidates the training cache so a stale
+            # backward raises instead of using an earlier batch.
+            self._cache = None
         return out
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
@@ -126,11 +133,17 @@ class BatchNorm(Layer):
         }
 
     def set_buffers(self, buffers: dict) -> None:
-        """Overwrite the running statistics from :meth:`get_buffers` output."""
-        self.running_mean = np.asarray(
+        """Overwrite the running statistics from :meth:`get_buffers` output.
+
+        Written in place so external aliases of the running-stat arrays
+        stay valid (matching :meth:`forward`'s in-place updates).
+        """
+        self.running_mean[...] = np.asarray(
             buffers["running_mean"], dtype=np.float64
-        ).copy()
-        self.running_var = np.asarray(buffers["running_var"], dtype=np.float64).copy()
+        )
+        self.running_var[...] = np.asarray(
+            buffers["running_var"], dtype=np.float64
+        )
 
     def __repr__(self) -> str:
         return f"BatchNorm(features={self.num_features}, momentum={self.momentum})"

@@ -72,6 +72,12 @@ class MaxPool2D(_Pool2D):
         if training:
             self._argmax = argmax
             self._geometry = (n, c, inputs.shape[2], inputs.shape[3], out_h, out_w)
+        else:
+            # Inference invalidates the training cache so a stale
+            # backward raises instead of routing gradients through an
+            # earlier batch's argmax.
+            self._argmax = None
+            self._geometry = None
         return out.reshape(n, c, out_h, out_w)
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
@@ -104,6 +110,10 @@ class AvgPool2D(_Pool2D):
         out = cols.mean(axis=1)
         if training:
             self._geometry = (n, c, inputs.shape[2], inputs.shape[3], out_h, out_w)
+        else:
+            # See MaxPool2D.forward: stale caches must not survive an
+            # inference pass.
+            self._geometry = None
         return out.reshape(n, c, out_h, out_w)
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
@@ -142,8 +152,8 @@ class GlobalAvgPool2D(Layer):
             raise ShapeError(
                 f"GlobalAvgPool2D expects NCHW input, got {inputs.shape}"
             )
-        if training:
-            self._input_shape = inputs.shape
+        # Inference invalidates the cache (stale backward must raise).
+        self._input_shape = inputs.shape if training else None
         return inputs.mean(axis=(2, 3))
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:

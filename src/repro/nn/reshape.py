@@ -19,9 +19,12 @@ class Flatten(Layer):
         self._input_shape: Optional[Tuple[int, ...]] = None
 
     def forward(self, inputs: np.ndarray, training: bool = False) -> np.ndarray:
-        if training:
-            self._input_shape = inputs.shape
-        return inputs.reshape(inputs.shape[0], -1)
+        # Inference invalidates the cache so a stale backward raises.
+        self._input_shape = inputs.shape if training else None
+        # Explicit trailing size: reshape(n, -1) cannot infer -1 for a
+        # zero-row batch (total size 0), which empty-input predict hits.
+        flat = int(np.prod(inputs.shape[1:], dtype=np.int64))
+        return inputs.reshape(inputs.shape[0], flat)
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         if self._input_shape is None:

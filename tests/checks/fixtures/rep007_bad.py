@@ -1,0 +1,12 @@
+"""REP007 bad snippet: parameter vectors packed into pickled literals."""
+
+
+def build_tasks(selected, global_params, learning_rate):
+    return [
+        (device.device_id, learning_rate, global_params)
+        for device in selected
+    ]
+
+
+def worker_result(update):
+    return update.device_id, update.params, update.loss

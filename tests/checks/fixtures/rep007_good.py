@@ -1,0 +1,18 @@
+"""REP007 good snippet: tasks and results carry only scalars."""
+
+
+def build_tasks(selected, result_name, learning_rate):
+    return [
+        (device.device_id, slot, learning_rate, result_name)
+        for slot, device in enumerate(selected)
+    ]
+
+
+def worker_result(update, slot):
+    # The trained vector already sits in the shared result slot.
+    return update.device_id, slot, update.weight, update.loss
+
+
+def unpack(task):
+    round_index, learning_rate, device_id, slot = task
+    return round_index, learning_rate, device_id, slot

@@ -105,7 +105,7 @@ class TestFindings:
 
 
 class TestRuleRegistry:
-    def test_all_six_rules_ship(self):
+    def test_all_shipped_rules(self):
         assert [r.rule_id for r in get_rules()] == [
             "REP001",
             "REP002",
@@ -113,6 +113,7 @@ class TestRuleRegistry:
             "REP004",
             "REP005",
             "REP006",
+            "REP007",
         ]
 
     def test_unknown_rule_id_raises(self):

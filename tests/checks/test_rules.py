@@ -27,6 +27,7 @@ PAIRS = [
     ("REP004", "rep004_good.py", "rep004_bad.py", "repro.fixture"),
     ("REP005", "rep005_good.py", "rep005_bad.py", "repro.fixture"),
     ("REP006", "rep006_good.py", "rep006_bad.py", "repro.core.fixture"),
+    ("REP007", "rep007_good.py", "rep007_bad.py", "repro.fl.execution"),
 ]
 
 

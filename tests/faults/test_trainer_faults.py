@@ -41,7 +41,7 @@ from repro.nn.architectures import build_mlp
 from repro.obs import CollectingSink, RunObserver
 from tests.conftest import make_heterogeneous_devices
 
-BACKENDS = ["serial", "thread", "process"]
+BACKENDS = ["serial", "thread", "process", "process+shm"]
 
 
 def make_setup(num_devices=8, seed=3):

@@ -17,6 +17,7 @@ from repro.fl.execution import (
     create_backend,
 )
 from repro.fl.server import FederatedServer
+from repro.fl.shm import SharedMemoryProcessPoolBackend
 from repro.fl.trainer import FederatedTrainer, TrainerConfig
 from repro.nn.architectures import build_mlp
 from tests.conftest import make_heterogeneous_devices
@@ -106,7 +107,7 @@ class TestLocalUpdateSpec:
 
 class TestRegistry:
     def test_names(self):
-        assert BACKEND_NAMES == ("serial", "thread", "process")
+        assert BACKEND_NAMES == ("serial", "thread", "process", "process+shm")
 
     @pytest.mark.parametrize(
         "name,cls",
@@ -114,6 +115,7 @@ class TestRegistry:
             ("serial", SerialBackend),
             ("thread", ThreadPoolBackend),
             ("process", ProcessPoolBackend),
+            ("process+shm", SharedMemoryProcessPoolBackend),
         ],
     )
     def test_create(self, name, cls):
@@ -166,7 +168,10 @@ def run_with_backend(backend, num_devices=10, seed=3, **config_kwargs):
 class TestBackendParity:
     """Thread and process pools reproduce the serial run bitwise."""
 
-    @pytest.mark.parametrize("make_backend", [ThreadPoolBackend, ProcessPoolBackend])
+    @pytest.mark.parametrize(
+        "make_backend",
+        [ThreadPoolBackend, ProcessPoolBackend, SharedMemoryProcessPoolBackend],
+    )
     def test_full_batch_parity(self, make_backend):
         serial = run_with_backend(SerialBackend())
         pooled = run_with_backend(make_backend(workers=2))
