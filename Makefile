@@ -1,4 +1,4 @@
-.PHONY: install test bench bench-artifacts examples lint check report all
+.PHONY: install test bench bench-artifacts examples lint check check-cold report all
 
 install:
 	pip install -e . --no-build-isolation
@@ -14,6 +14,10 @@ lint:
 	fi
 
 check:
+	PYTHONPATH=src python -m repro.checks src tests benchmarks examples --cache
+
+check-cold:
+	rm -f .repro-checks-cache.json
 	PYTHONPATH=src python -m repro.checks src tests benchmarks examples
 
 report:

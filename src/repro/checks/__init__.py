@@ -3,10 +3,15 @@
 The repo's correctness guarantees — bitwise backend parity, the typed
 trace-event contract, the paper's units (Hz, bits, seconds, Joules) —
 are conventions a generic linter cannot see. :mod:`repro.checks` makes
-them machine-checked: an AST pass with pluggable rules, runnable as
-``python -m repro.checks [paths]``, emitting structured findings with
-JSON and human output and honoring inline
-``# repro: allow[RULE-ID] justification`` suppressions.
+them machine-checked, in two phases: per-file AST rules run first,
+then :mod:`repro.checks.project` condenses every file into a
+:class:`~repro.checks.project.ModuleSummary`, aggregates them into a
+:class:`~repro.checks.project.ProjectIndex` (symbols, imports, a
+lightweight call graph), and the cross-file dataflow rules re-visit
+each file with the whole project in view. Runnable as
+``python -m repro.checks [paths]`` with JSON, human, and GitHub-
+annotation output, an incremental content-hash cache (``--cache``),
+and inline ``# repro: allow[RULE-ID] justification`` suppressions.
 
 Shipped rules:
 
@@ -22,6 +27,19 @@ REP004    wall-clock hygiene — no real-clock reads outside
           :mod:`repro.obs`; simulated time comes from the timeline model
 REP005    concurrency safety — pool-dispatched worker functions do not
           assign to module-level globals
+REP006    hot-path vectorization — population-scale loops in the
+          scheduler/selection modules stay vectorized
+REP007    param pickling — process-backend payloads stay picklable
+REP008    buffer aliasing (cross-file) — ``_scratch_buffer``/``out=``
+          arrays never escape their forward/backward call
+REP009    shm lifecycle (cross-file) — every owned shared-memory
+          acquisition reaches ``close()``/``unlink()`` on all paths
+REP010    unit dataflow (cross-file) — units survive call edges,
+          binds, and returns across modules
+REP011    RNG provenance (cross-file) — generators reaching
+          selection/faults/quantization trace to :mod:`repro.rng`
+REP012    suppression hygiene — every ``allow[...]`` comment carries a
+          justification (REP012 itself cannot be suppressed)
 ========  ==============================================================
 """
 
@@ -32,6 +50,7 @@ from repro.checks.engine import (
     iter_python_files,
 )
 from repro.checks.findings import SEVERITIES, Finding
+from repro.checks.project import ModuleSummary, ProjectIndex, summarize_module
 from repro.checks.rules import ALL_RULES, get_rules
 
 __all__ = [
@@ -41,6 +60,9 @@ __all__ = [
     "check_paths",
     "check_source",
     "iter_python_files",
+    "ModuleSummary",
+    "ProjectIndex",
+    "summarize_module",
     "ALL_RULES",
     "get_rules",
 ]

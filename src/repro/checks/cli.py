@@ -11,7 +11,11 @@ import json
 import sys
 from typing import List, Optional, Sequence
 
-from repro.checks.engine import CheckReport, check_paths
+from repro.checks.engine import (
+    DEFAULT_CACHE_PATH,
+    CheckReport,
+    check_paths,
+)
 from repro.checks.rules import ALL_RULES
 from repro.errors import ConfigurationError
 
@@ -25,12 +29,23 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.checks",
         description=(
-            "Domain-aware static analysis: determinism (REP001), "
-            "event-schema coverage (REP002), unit discipline (REP003), "
-            "wall-clock hygiene (REP004), concurrency safety (REP005), "
-            "hot-path vectorization (REP006). "
+            "Domain-aware static analysis in two phases: per-file rules "
+            "— determinism (REP001), event-schema coverage (REP002), "
+            "unit discipline (REP003), wall-clock hygiene (REP004), "
+            "concurrency safety (REP005), hot-path vectorization "
+            "(REP006), param pickling (REP007), suppression hygiene "
+            "(REP012) — then cross-file dataflow rules over a project "
+            "index: buffer aliasing (REP008), shared-memory lifecycle "
+            "(REP009), unit dataflow (REP010), RNG provenance (REP011). "
             "Suppress a finding inline with "
-            "'# repro: allow[RULE-ID] justification'."
+            "'# repro: allow[RULE-ID] justification' (the justification "
+            "is mandatory; REP012 itself cannot be suppressed)."
+        ),
+        epilog=(
+            "exit codes: 0 = no error-severity findings; "
+            "1 = at least one error-severity finding; "
+            "2 = usage or I/O error (unknown rule id, missing path, "
+            "unwritable --output)."
         ),
     )
     parser.add_argument(
@@ -41,9 +56,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--format",
-        choices=("human", "json"),
+        choices=("human", "json", "github"),
         default="human",
-        help="report format (default: human)",
+        help=(
+            "report format (default: human); 'github' emits workflow "
+            "commands that surface as inline PR annotations"
+        ),
     )
     parser.add_argument(
         "--output",
@@ -56,6 +74,19 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="IDS",
         default=None,
         help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--cache",
+        metavar="FILE",
+        nargs="?",
+        const=DEFAULT_CACHE_PATH,
+        default=None,
+        help=(
+            "incremental cache file (default when given without an "
+            f"argument: {DEFAULT_CACHE_PATH}); unchanged files are "
+            "served from the cache, and warm runs reproduce cold-run "
+            "reports byte for byte"
+        ),
     )
     parser.add_argument(
         "--list-rules",
@@ -84,6 +115,14 @@ def _emit(text: str, output: Optional[str]) -> None:
 def _render(report: CheckReport, fmt: str) -> str:
     if fmt == "json":
         return json.dumps(report.to_dict(), indent=2, sort_keys=True)
+    if fmt == "github":
+        lines = [f.render_github() for f in report.findings]
+        lines.append(
+            f"{len(report.findings)} finding"
+            f"{'' if len(report.findings) == 1 else 's'} in "
+            f"{report.files_checked} files"
+        )
+        return "\n".join(lines)
     return "\n".join(report.render_lines())
 
 
@@ -100,7 +139,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         else None
     )
     try:
-        report = check_paths(args.paths, rules=rule_ids)
+        report = check_paths(
+            args.paths, rules=rule_ids, cache_path=args.cache
+        )
     except ConfigurationError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

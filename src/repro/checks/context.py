@@ -58,6 +58,9 @@ class ModuleContext:
     is_test: bool = False
     suppressions: Dict[int, FrozenSet[str]] = field(default_factory=dict)
     file_dir: Optional[Path] = None
+    index: Optional[object] = None
+    """Phase-2 :class:`repro.checks.project.ProjectIndex`; ``None``
+    while phase-1 (per-file) rules run."""
 
     @property
     def in_repro(self) -> bool:

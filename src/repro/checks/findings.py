@@ -45,7 +45,7 @@ class Finding:
             raise ConfigurationError(f"line must be non-negative, got {self.line}")
 
     def to_dict(self) -> dict:
-        """JSON-friendly form used by ``--format json``."""
+        """JSON-friendly form used by ``--format json`` and the cache."""
         return {
             "path": self.path,
             "line": self.line,
@@ -55,6 +55,26 @@ class Finding:
             "message": self.message,
         }
 
+    @classmethod
+    def from_dict(cls, data: dict) -> "Finding":
+        """Inverse of :meth:`to_dict` (incremental-cache rehydration)."""
+        return cls(
+            path=data["path"],
+            line=data["line"],
+            col=data["col"],
+            rule_id=data["rule"],
+            message=data["message"],
+            severity=data["severity"],
+        )
+
     def render(self) -> str:
         """One-line human form, ``path:line:col: RULE message``."""
         return f"{self.path}:{self.line}:{self.col}: {self.rule_id} {self.message}"
+
+    def render_github(self) -> str:
+        """GitHub Actions workflow-command form (inline PR annotations)."""
+        command = "error" if self.severity == "error" else "warning"
+        return (
+            f"::{command} file={self.path},line={self.line},"
+            f"col={self.col + 1},title={self.rule_id}::{self.message}"
+        )

@@ -4,13 +4,18 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional
 
+from repro.checks.rules.aliasing import BufferAliasingRule
 from repro.checks.rules.base import Rule
 from repro.checks.rules.concurrency import ConcurrencySafetyRule
 from repro.checks.rules.determinism import DeterminismRule
 from repro.checks.rules.events import EventSchemaRule
 from repro.checks.rules.hotpath import HotPathLoopRule
 from repro.checks.rules.pickling import ParamPicklingRule
+from repro.checks.rules.rng_provenance import RngProvenanceRule
+from repro.checks.rules.shm_lifecycle import ShmLifecycleRule
+from repro.checks.rules.suppression import SuppressionHygieneRule
 from repro.checks.rules.units import UnitDisciplineRule
+from repro.checks.rules.units_flow import UnitFlowRule
 from repro.checks.rules.wallclock import WallClockRule
 from repro.errors import ConfigurationError
 
@@ -26,6 +31,11 @@ ALL_RULES: Dict[str, type] = {
         ConcurrencySafetyRule,
         HotPathLoopRule,
         ParamPicklingRule,
+        BufferAliasingRule,
+        ShmLifecycleRule,
+        UnitFlowRule,
+        RngProvenanceRule,
+        SuppressionHygieneRule,
     )
 }
 """Mapping from rule id to rule class, in id order."""

@@ -1,0 +1,123 @@
+"""REP008 — scratch buffers never escape their forward/backward call.
+
+The ``repro.nn`` hot paths route per-step temporaries through
+``Layer._scratch_buffer`` and numpy ``out=`` targets so a fixed batch
+shape allocates nothing (the PR-7 speedup). The contract is strict:
+a scratch array's contents are unspecified the moment the next
+``forward``/``backward`` runs, so any reference that outlives the call
+is a silent corruption bug — the classic symptom is a loss curve that
+depends on *when* a history entry is read. Three escapes are flagged:
+
+* ``return`` of a scratch-backed array (the caller receives a view
+  that the producing layer will overwrite);
+* ``self.<attr> = <scratch>`` (the alias survives the call — and with
+  the project index, storing the *return value of another module's*
+  scratch-returning function is caught the same way);
+* ``np.matmul``/``np.dot`` with ``out=`` aliasing one of its operands
+  (BLAS kernels read and write the same memory — results are garbage,
+  not merely stale).
+
+Laundering through ``.copy()`` / ``np.ascontiguousarray`` clears the
+taint. Deliberate same-step caches (a forward pass staging data for the
+matching backward) carry an ``# repro: allow[REP008] <why>``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.checks.context import ModuleContext
+from repro.checks.findings import Finding
+from repro.checks.rules.dataflow import DataflowRule
+
+__all__ = ["BufferAliasingRule"]
+
+_MATMUL_LEAVES = frozenset({"matmul", "dot", "einsum"})
+
+
+class BufferAliasingRule(DataflowRule):
+    """No scratch-buffer escapes, no aliased ``out=`` in matmul/dot."""
+
+    rule_id = "REP008"
+    title = "buffer aliasing: scratch buffers never escape their call"
+    rationale = (
+        "Layer._scratch_buffer and out= targets are overwritten by the "
+        "next forward/backward; a returned or self-stored alias reads "
+        "back unspecified data later, and matmul with out= aliasing an "
+        "operand corrupts the product in place. Same-step caches need "
+        "an explicit justified suppression."
+    )
+
+    def applies(self, ctx: ModuleContext) -> bool:
+        """Library code inside the ``repro`` package."""
+        return super().applies(ctx) and ctx.in_repro
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        """Flag scratch escapes and aliased matmul ``out=`` targets."""
+        index = self.index(ctx)
+        for analysis, _class_name in self.analyses(ctx):
+            for ret in analysis.returns:
+                # Direct escapes only: re-returning another function's
+                # scratch-backed result is reported at that producer.
+                if ret.facts.scratch and not index.returns_scratch(
+                    ret.facts.call_target
+                ):
+                    yield self.finding(
+                        ctx,
+                        ret.node,
+                        "returns a _scratch_buffer-backed array; its "
+                        "contents are overwritten by the next forward/"
+                        "backward — return a copy, or justify with "
+                        "'# repro: allow[REP008] <why>'",
+                    )
+            for store in analysis.stores:
+                if not store.facts.scratch:
+                    continue
+                if store.facts.call_target is not None and index.returns_scratch(
+                    store.facts.call_target
+                ):
+                    yield self.finding(
+                        ctx,
+                        store.node,
+                        f"stores the result of {store.facts.call_target}() "
+                        f"on self.{store.target}, but that callee returns "
+                        "a layer-owned scratch buffer; copy before storing",
+                    )
+                else:
+                    yield self.finding(
+                        ctx,
+                        store.node,
+                        f"stores a scratch-backed array on self."
+                        f"{store.target}; the buffer is reused by the next "
+                        "forward/backward — store a copy, or justify a "
+                        "same-step cache with '# repro: allow[REP008] <why>'",
+                    )
+            yield from self._check_out_aliasing(ctx, analysis)
+
+    def _check_out_aliasing(self, ctx, analysis) -> Iterator[Finding]:
+        for fact in analysis.calls:
+            if fact.leaf not in _MATMUL_LEAVES:
+                continue
+            out = next(
+                (
+                    kw.value
+                    for kw in fact.node.keywords
+                    if kw.arg == "out"
+                ),
+                None,
+            )
+            if out is None:
+                continue
+            out_dump = ast.dump(out)
+            for arg in fact.node.args:
+                if ast.dump(arg) == out_dump:
+                    yield self.finding(
+                        ctx,
+                        fact.node,
+                        f"{fact.leaf}() with out= aliasing its operand "
+                        f"{ast.unparse(arg)!r}: BLAS kernels read and "
+                        "write the same memory, producing garbage — use "
+                        "a distinct output buffer",
+                    )
+                    break

@@ -23,6 +23,13 @@ class Rule:
     title: str = ""
     rationale: str = ""
     severity: str = "error"
+    needs_index: bool = False
+    """Whether the rule consumes the phase-1 :class:`ProjectIndex`
+    (dataflow rules); the engine runs index-free rules first and only
+    re-analyzes a file for indexed rules when the project changed."""
+    suppressible: bool = True
+    """Whether ``# repro: allow[...]`` comments can silence the rule
+    (the suppression-hygiene rule itself is not negotiable)."""
 
     def applies(self, ctx: ModuleContext) -> bool:
         """Whether this rule runs on ``ctx`` (default: library code only)."""

@@ -1,0 +1,154 @@
+"""REP011 — generators reaching stochastic sinks trace to repro.rng.
+
+REP001 flags the *call sites* that construct ad-hoc generators; it
+cannot see a generator built two modules away and handed down a call
+chain. The provenance rule closes that gap with the project index:
+every generator-typed value that reaches a stochastic *sink* —
+client selection (``repro.core``), fault injection (``repro.faults``),
+stochastic quantization (``repro.compression``) — must chase back to
+:func:`repro.rng.ensure_generator` / :func:`repro.rng.spawn_generators`
+(or to a caller-supplied parameter, whose own call sites are then
+checked the same way). Three violations:
+
+* an argument bound to an rng-like parameter (``rng``, ``generator``,
+  ``*_rng``) of a sink-module function whose chased origin is a raw
+  numpy construction;
+* inside a sink module, binding or returning a raw-origin generator —
+  including the call-graph case where the rawness lives in a helper in
+  *another* module;
+* ``np.random.Generator(BitGen(...))`` built directly inside a sink
+  module — the one construction REP001 deliberately whitelists as
+  "Generator machinery", which is still a seed-universe fork when a
+  sink does it.
+
+``repro.rng`` itself is the sanctioned constructor and is exempt.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.checks.context import ModuleContext
+from repro.checks.findings import Finding
+from repro.checks.rules.dataflow import DataflowRule
+
+__all__ = ["RngProvenanceRule", "SINK_PREFIXES"]
+
+# Dotted prefixes of the stochastic decision points (paper Secs. 4-5:
+# participant selection, failure injection, update quantization).
+SINK_PREFIXES = ("repro.core", "repro.faults", "repro.compression")
+
+_BLESSED_MODULE = "repro.rng"
+
+
+def _is_sink(dotted: str) -> bool:
+    return any(
+        dotted == prefix or dotted.startswith(prefix + ".")
+        for prefix in SINK_PREFIXES
+    )
+
+
+def _rng_like(name: str) -> bool:
+    return name in ("rng", "generator") or name.endswith("_rng")
+
+
+class RngProvenanceRule(DataflowRule):
+    """Sink-bound generators originate in ``repro.rng``, provably."""
+
+    rule_id = "REP011"
+    title = "rng provenance: sink generators trace to repro.rng"
+    rationale = (
+        "Client selection, fault injection, and stochastic quantization "
+        "are the runs' randomness budget; a generator whose chased "
+        "origin is an ad-hoc numpy construction forks the seed universe "
+        "and the trace stops replaying. REP001 sees construction sites; "
+        "this rule follows the generator across call edges to where it "
+        "is actually consumed."
+    )
+
+    def applies(self, ctx: ModuleContext) -> bool:
+        """Repro library code, minus the sanctioned constructor module."""
+        return (
+            super().applies(ctx)
+            and ctx.in_repro
+            and ctx.module != _BLESSED_MODULE
+        )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        """Flag raw-origin generators at sink call sites and inside sinks."""
+        index = self.index(ctx)
+        in_sink = ctx.module is not None and _is_sink(ctx.module)
+        for analysis, _class_name in self.analyses(ctx):
+            yield from self._check_sink_calls(ctx, index, analysis)
+            if in_sink:
+                yield from self._check_sink_module(ctx, analysis)
+
+    def _check_sink_calls(self, ctx, index, analysis) -> Iterator[Finding]:
+        """Arguments to rng-like params of sink-module functions."""
+        for fact in analysis.calls:
+            if fact.target is None or not _is_sink(fact.target):
+                continue
+            summary = index.function(fact.target)
+            if summary is None:
+                continue
+            pairs = []
+            for position, arg in enumerate(fact.node.args):
+                if position < len(summary.params):
+                    pairs.append((summary.params[position], arg))
+            for keyword in fact.node.keywords:
+                if keyword.arg is not None:
+                    pairs.append((keyword.arg, keyword.value))
+            for param, arg in pairs:
+                if not _rng_like(param):
+                    continue
+                facts = analysis.classify(arg)
+                if facts.rng == "raw":
+                    origin = (
+                        f"{facts.call_target}()"
+                        if facts.call_target
+                        else "an ad-hoc numpy construction"
+                    )
+                    yield self.finding(
+                        ctx,
+                        arg,
+                        f"generator passed to {param!r} of {fact.target}() "
+                        f"traces to {origin}, not to repro.rng."
+                        "ensure_generator; the sink's draws fork the seed "
+                        "universe",
+                    )
+
+    def _check_sink_module(self, ctx, analysis) -> Iterator[Finding]:
+        """Raw-origin generators born or kept inside a sink module."""
+        for bind in [*analysis.name_binds, *analysis.stores]:
+            if bind.facts.rng != "raw":
+                continue
+            if not (_rng_like(bind.target) or bind.is_self):
+                continue
+            via = (
+                f" via {bind.facts.call_target}()"
+                if bind.facts.call_target
+                else ""
+            )
+            prefix = "self." if bind.is_self else ""
+            yield self.finding(
+                ctx,
+                bind.node,
+                f"{prefix}{bind.target!r} holds a generator of raw numpy "
+                f"origin{via}; stochastic sinks must draw from "
+                "repro.rng.ensure_generator(seed)",
+            )
+        for ret in analysis.returns:
+            if ret.facts.rng != "raw":
+                continue
+            via = (
+                f" via {ret.facts.call_target}()"
+                if ret.facts.call_target
+                else ""
+            )
+            yield self.finding(
+                ctx,
+                ret.node,
+                f"returns a generator of raw numpy origin{via} from a "
+                "stochastic sink module; route construction through "
+                "repro.rng.ensure_generator",
+            )

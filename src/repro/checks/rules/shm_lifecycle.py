@@ -1,0 +1,151 @@
+"""REP009 — every shared-memory acquisition reaches close()/unlink().
+
+``multiprocessing.shared_memory`` blocks are kernel objects: a
+``SharedMemory(create=True)`` (or a ``SharedArrayPool``) that never
+reaches ``close()``/``unlink()`` leaks a ``/dev/shm`` segment past
+interpreter exit — the exact failure mode the PR-7 zero-copy transport
+guards against with its ``atexit`` backstop. The checker enforces the
+discipline structurally:
+
+* a handle bound to a local must be closed in the same function, be
+  handed off (returned, stored, passed on), or be managed by a
+  ``with``/``closing(...)`` item;
+* a close that only happens on *some* control-flow paths (inside an
+  ``if`` while the acquisition is unconditional) is flagged — move it
+  into a ``finally``;
+* a handle stored on ``self`` shifts the obligation to the class: some
+  teardown method (``close``/``shutdown``/``__exit__``/``__del__``/…)
+  must release resources, or the class registers an ``atexit`` hook;
+* with the project index, acquiring through *another module's* factory
+  (any function whose chased summary returns an owned acquisition)
+  carries the same obligations at the call site;
+* a module-level acquisition needs a module-level ``atexit`` backstop.
+
+Attach-only handles (``SharedMemory(name=...)`` without
+``create=True``) are a mapping, not an ownership, and are exempt.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.checks.context import ModuleContext
+from repro.checks.findings import Finding
+from repro.checks.rules.dataflow import DataflowRule
+
+__all__ = ["ShmLifecycleRule"]
+
+
+class ShmLifecycleRule(DataflowRule):
+    """Owned shared-memory handles reach close() on every path."""
+
+    rule_id = "REP009"
+    title = "shm lifecycle: acquisitions reach close()/unlink()"
+    rationale = (
+        "A SharedMemory(create=True) or SharedArrayPool that never "
+        "reaches close()/unlink() leaks a /dev/shm segment past "
+        "interpreter exit; conditional closes leak on the untaken "
+        "path. Ownership may be handed off, but some owner must "
+        "close, and classes holding handles need a teardown method "
+        "or an atexit backstop."
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        """Flag unclosed, conditionally closed, and orphaned handles."""
+        class_closers = self._collect_class_teardowns(ctx)
+        for analysis, class_name in self.analyses(ctx):
+            closed_names = {c.name for c in analysis.closes}
+            unconditional = {
+                c.name
+                for c in analysis.closes
+                if not c.conditional or c.in_finally
+            }
+            returned = {
+                ret.node.value.id
+                for ret in analysis.returns
+                if hasattr(ret.node.value, "id")
+            }
+            for acq in analysis.acquisitions:
+                if acq.in_with:
+                    continue
+                if acq.attr is not None:
+                    yield from self._check_attr_store(
+                        ctx, acq, class_name, class_closers, analysis
+                    )
+                    continue
+                if acq.name is None:
+                    yield self.finding(
+                        ctx,
+                        acq.node,
+                        "shared-memory acquisition is not bound to any "
+                        "name; the handle can never be closed or "
+                        "unlinked",
+                    )
+                    continue
+                if acq.name in returned or acq.name in analysis.escaped:
+                    continue  # ownership handed off
+                if acq.name not in closed_names:
+                    yield self.finding(
+                        ctx,
+                        acq.node,
+                        f"shared-memory handle {acq.name!r} never reaches "
+                        "close()/unlink() in this function and does not "
+                        "escape; the /dev/shm segment leaks",
+                    )
+                elif acq.name not in unconditional and not acq.conditional:
+                    yield self.finding(
+                        ctx,
+                        acq.node,
+                        f"shared-memory handle {acq.name!r} is closed "
+                        "only on some control-flow paths; move the "
+                        "close()/unlink() into a finally block",
+                    )
+
+    def _collect_class_teardowns(self, ctx) -> dict:
+        """Per-class: does any teardown method release a resource?"""
+        from repro.checks.project import CLOSER_METHOD_NAMES
+
+        closers: dict = {}
+        for analysis, class_name in self.analyses(ctx):
+            if class_name is None:
+                continue
+            info = closers.setdefault(
+                class_name, {"teardown": False, "atexit": False}
+            )
+            if analysis.has_atexit:
+                info["atexit"] = True
+            if analysis.name in CLOSER_METHOD_NAMES and (
+                analysis.closes
+                or analysis.attr_closes
+                or analysis.self_close_calls
+            ):
+                info["teardown"] = True
+        return closers
+
+    def _check_attr_store(
+        self, ctx, acq, class_name, class_closers, analysis
+    ) -> Iterator[Finding]:
+        if class_name is None:
+            # Module-level ``SOMETHING.attr = acquisition`` — out of
+            # scope for the class obligation; require atexit.
+            if not analysis.has_atexit:
+                yield self.finding(
+                    ctx,
+                    acq.node,
+                    "module-level shared-memory acquisition without an "
+                    "atexit backstop; register a cleanup hook or own "
+                    "the handle in a closeable object",
+                )
+            return
+        info = class_closers.get(
+            class_name, {"teardown": False, "atexit": False}
+        )
+        if not info["teardown"] and not info["atexit"]:
+            yield self.finding(
+                ctx,
+                acq.node,
+                f"class {class_name!r} stores a shared-memory handle on "
+                f"self.{acq.attr} but defines no teardown (close/"
+                "shutdown/__exit__/__del__ releasing it) and registers "
+                "no atexit backstop",
+            )

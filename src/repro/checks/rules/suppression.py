@@ -1,0 +1,67 @@
+"""REP012 — every suppression comment carries a human justification.
+
+``# repro: allow[REP00x] <why>`` is the escape hatch for deliberate
+rule violations (a same-step scratch cache, a benchmark that really
+wants the wall clock). The hatch only works as documentation if the
+``<why>`` is actually there: a bare ``allow[...]`` silences a checker
+error while telling the next reader nothing. This rule makes the bare
+form itself a finding — and is the one rule that cannot be suppressed,
+since ``allow[REP012] because I said so`` would defeat the point
+(a justified REP012 suppression is a contradiction in terms: writing
+the justification *is* the fix).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterator
+
+from repro.checks.context import ModuleContext
+from repro.checks.findings import Finding
+from repro.checks.rules.base import Rule
+
+__all__ = ["SuppressionHygieneRule"]
+
+# The full suppression comment: bracket ids, then the justification.
+_ALLOW_RE = re.compile(
+    r"#\s*repro:\s*allow\[([A-Za-z0-9_*,\s-]+)\]\s*(?P<why>.*)$"
+)
+
+
+class SuppressionHygieneRule(Rule):
+    """``# repro: allow[...]`` requires a justification after the bracket."""
+
+    rule_id = "REP012"
+    title = "suppression hygiene: allow[] comments carry a justification"
+    rationale = (
+        "A suppression is a documented exception; with no justification "
+        "it is just a silenced error. The text after the bracket is the "
+        "record of why the violation is intentional, so its absence is "
+        "itself a violation — and not a suppressible one."
+    )
+    suppressible = False
+
+    def applies(self, ctx: ModuleContext) -> bool:
+        """Everywhere suppressions work — including tests and benchmarks."""
+        return True
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        """Flag ``allow[...]`` comments with an empty justification."""
+        for lineno, line in enumerate(ctx.source.splitlines(), start=1):
+            match = _ALLOW_RE.search(line)
+            if match is None:
+                continue
+            ids = match.group(1).strip()
+            if not match.group("why").strip():
+                yield Finding(
+                    path=ctx.path,
+                    line=lineno,
+                    col=match.start(),
+                    rule_id=self.rule_id,
+                    message=(
+                        f"suppression 'allow[{ids}]' has no justification; "
+                        "state why the violation is intentional after the "
+                        "closing bracket"
+                    ),
+                    severity=self.severity,
+                )

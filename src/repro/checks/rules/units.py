@@ -20,18 +20,12 @@ from repro.checks.context import ModuleContext
 from repro.checks.findings import Finding
 from repro.checks.rules.base import Rule
 
-__all__ = ["UnitDisciplineRule", "unit_suffix"]
+# Canonical home is repro.checks.project (the phase-1 index shares the
+# suffix table without importing the rules package); re-exported here
+# for compatibility.
+from repro.checks.project import UNIT_SUFFIXES, unit_suffix
 
-UNIT_SUFFIXES = ("_hz", "_bits", "_seconds", "_joules")
-
-
-def unit_suffix(name: str) -> Optional[str]:
-    """The unit suffix carried by ``name``, or ``None``."""
-    lowered = name.lower()
-    for suffix in UNIT_SUFFIXES:
-        if lowered.endswith(suffix):
-            return suffix
-    return None
+__all__ = ["UnitDisciplineRule", "unit_suffix", "UNIT_SUFFIXES"]
 
 
 def _node_unit(node: ast.AST) -> Optional[str]:

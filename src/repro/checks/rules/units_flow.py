@@ -1,0 +1,164 @@
+"""REP010 — units of measure propagate correctly across call edges.
+
+REP003 checks unit suffixes where two *names* meet in one expression;
+it cannot see a mismatch that crosses a call. The cost model is full of
+such edges: Eq. 4–11 quantities are produced in ``repro.energy`` /
+``repro.network`` / ``repro.devices`` (``*_seconds`` delays,
+``*_joules`` energies, ``*_bits`` payloads, ``*_hz`` bandwidths) and
+consumed modules away. With the project index, every resolved call
+site is dimension-checked:
+
+* an argument whose inferred unit differs from the callee's
+  unit-suffixed parameter (``upload_delay(bandwidth_hz, payload_bits)``
+  with the operands swapped type-checks in Python and is always wrong);
+* an assignment binding a call result to a name of a different unit
+  (``total_seconds = tx_energy_joules(...)``);
+* a function whose name declares a unit but whose return expression
+  carries another;
+* addition/subtraction where at least one operand's unit arrives
+  through a call or a local alias — the cases REP003's name-only view
+  cannot reach.
+
+Units are inferred from name suffixes at the source (the annotated
+quantities in the cost-model modules) and propagated through local
+assignments and chased function returns. Unknown units stay silent —
+the rule only fires when both sides are known and disagree.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.checks.context import ModuleContext
+from repro.checks.findings import Finding
+from repro.checks.rules.dataflow import DataflowRule
+from repro.checks.rules.units import unit_suffix
+
+__all__ = ["UnitFlowRule"]
+
+
+def _direct_unit(node: ast.AST) -> Optional[str]:
+    """Unit visible from the bare terminal name (REP003's territory)."""
+    if isinstance(node, ast.Name):
+        return unit_suffix(node.id)
+    if isinstance(node, ast.Attribute):
+        return unit_suffix(node.attr)
+    return None
+
+
+class UnitFlowRule(DataflowRule):
+    """Dimensional analysis over resolved call edges and local flow."""
+
+    rule_id = "REP010"
+    title = "unit dataflow: dimensions survive call edges"
+    rationale = (
+        "The Eq. 4-11 delay/energy budget is correct only if seconds, "
+        "joules, bits, and hertz stay themselves across module "
+        "boundaries; a swapped argument or a mis-united return "
+        "type-checks in Python and silently rescales every downstream "
+        "claim. REP003 sees one expression; this rule sees the call "
+        "graph."
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        """Flag unit mismatches at calls, binds, returns, and add/sub."""
+        index = self.index(ctx)
+        for analysis, _class_name in self.analyses(ctx):
+            yield from self._check_call_args(ctx, index, analysis)
+            yield from self._check_binds(ctx, analysis)
+            yield from self._check_returns(ctx, analysis)
+            yield from self._check_arithmetic(ctx, analysis)
+
+    def _check_call_args(self, ctx, index, analysis) -> Iterator[Finding]:
+        for fact in analysis.calls:
+            summary = index.function(fact.target)
+            if summary is None or not summary.param_units:
+                continue
+            pairs = []
+            for position, arg in enumerate(fact.node.args):
+                if isinstance(arg, ast.Starred):
+                    break
+                if position < len(summary.params):
+                    pairs.append((summary.params[position], arg))
+            for keyword in fact.node.keywords:
+                if keyword.arg in summary.params:
+                    pairs.append((keyword.arg, keyword.value))
+            for param, arg in pairs:
+                expected = summary.param_units.get(param)
+                if expected is None:
+                    continue
+                got = analysis.classify(arg).unit
+                if got is not None and got != expected:
+                    yield self.finding(
+                        ctx,
+                        arg,
+                        f"argument {ast.unparse(arg)!r} carries {got} but "
+                        f"parameter {param!r} of {fact.target}() expects "
+                        f"{expected}",
+                    )
+
+    def _check_binds(self, ctx, analysis) -> Iterator[Finding]:
+        for bind in [*analysis.name_binds, *analysis.stores]:
+            declared = unit_suffix(bind.target)
+            got = bind.facts.unit
+            if declared is None or got is None or got == declared:
+                continue
+            prefix = "self." if bind.is_self else ""
+            yield self.finding(
+                ctx,
+                bind.node,
+                f"binds a {got} value to {prefix}{bind.target!r} "
+                f"({declared}); rename the target or convert the value",
+            )
+
+    def _check_returns(self, ctx, analysis) -> Iterator[Finding]:
+        declared = unit_suffix(analysis.name)
+        if declared is None:
+            return
+        for ret in analysis.returns:
+            got = ret.facts.unit
+            if got is not None and got != declared:
+                yield self.finding(
+                    ctx,
+                    ret.node,
+                    f"function {analysis.name!r} declares {declared} but "
+                    f"this return carries {got}",
+                )
+
+    def _check_arithmetic(self, ctx, analysis) -> Iterator[Finding]:
+        if analysis.is_module_level:
+            roots = [
+                stmt
+                for stmt in analysis.node.body
+                if not isinstance(
+                    stmt,
+                    (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef),
+                )
+            ]
+        else:
+            roots = [analysis.node]
+        for root in roots:
+            for node in ast.walk(root):
+                if not isinstance(node, ast.BinOp) or not isinstance(
+                    node.op, (ast.Add, ast.Sub)
+                ):
+                    continue
+                left = analysis.classify(node.left).unit
+                right = analysis.classify(node.right).unit
+                if left is None or right is None or left == right:
+                    continue
+                if (
+                    _direct_unit(node.left) is not None
+                    and _direct_unit(node.right) is not None
+                ):
+                    continue  # both visible to REP003 — one report is enough
+                op = "+" if isinstance(node.op, ast.Add) else "-"
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"{ast.unparse(node.left)!r} ({left}) {op} "
+                    f"{ast.unparse(node.right)!r} ({right}): different "
+                    "units never add or subtract (unit inferred through "
+                    "assignments/calls)",
+                )

@@ -111,7 +111,10 @@ class Conv2D(Layer):
         if self.use_bias:
             out += self.params["b"]
         if training:
-            self._cols = cols
+            # Same-step cache: backward() consumes self._cols before the
+            # next forward() can overwrite the "cols" scratch buffer, and
+            # the inference branch below clears it.
+            self._cols = cols  # repro: allow[REP008] same-step cache, see above
             self._input_shape = inputs.shape
         else:
             # Inference must not leave a stale training cache behind:

@@ -1,0 +1,22 @@
+"""Scratch buffers escaping their call, and an aliased matmul out=."""
+
+import numpy as np
+
+from repro.nn.layer import Layer
+
+
+class BadDense(Layer):
+    def forward(self, inputs, training=False):
+        out = np.matmul(
+            inputs,
+            self.params["W"],
+            out=self._scratch_buffer("out", (4, 4)),
+        )
+        if training:
+            self._last = out  # alias outlives the call
+        return out  # caller receives a soon-overwritten view
+
+    def backward(self, grad_output):
+        buf = self._scratch_buffer("grad", grad_output.shape)
+        np.matmul(buf, self.params["W"], out=buf)  # out aliases operand
+        return buf.copy()

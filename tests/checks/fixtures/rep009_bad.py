@@ -1,0 +1,21 @@
+"""Shared-memory handles that leak /dev/shm segments."""
+
+from multiprocessing import shared_memory
+
+
+def leaky(n):
+    segment = shared_memory.SharedMemory(create=True, size=n)
+    return segment.size  # handle dropped, segment never unlinked
+
+
+def conditional_close(n, flag):
+    segment = shared_memory.SharedMemory(create=True, size=n)
+    if flag:
+        segment.close()
+        segment.unlink()
+    return n
+
+
+class LeakyHolder:
+    def __init__(self, n):
+        self._segment = shared_memory.SharedMemory(create=True, size=n)

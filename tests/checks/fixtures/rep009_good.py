@@ -1,0 +1,28 @@
+"""Shared-memory handles that always reach close()/unlink()."""
+
+import atexit
+from multiprocessing import shared_memory
+
+
+def scoped(n):
+    segment = shared_memory.SharedMemory(create=True, size=n)
+    try:
+        return bytes(segment.buf[:n])
+    finally:
+        segment.close()
+        segment.unlink()
+
+
+def handoff(n):
+    segment = shared_memory.SharedMemory(create=True, size=n)
+    return segment  # ownership moves to the caller
+
+
+class GoodPool:
+    def __init__(self, n):
+        self._segment = shared_memory.SharedMemory(create=True, size=n)
+        atexit.register(self.close)
+
+    def close(self):
+        self._segment.close()
+        self._segment.unlink()

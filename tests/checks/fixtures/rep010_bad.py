@@ -1,0 +1,23 @@
+"""Unit mismatches only visible across call edges and aliases."""
+
+
+def transfer_seconds(payload_bits, bandwidth_hz):
+    return payload_bits / bandwidth_hz
+
+
+def swapped_args(payload_bits, bandwidth_hz):
+    return transfer_seconds(bandwidth_hz, payload_bits)
+
+
+def mislabelled_bind(payload_bits, bandwidth_hz):
+    total_joules = transfer_seconds(payload_bits, bandwidth_hz)
+    return total_joules
+
+
+def upload_joules(payload_bits, bandwidth_hz):
+    return transfer_seconds(payload_bits, bandwidth_hz)
+
+
+def aliased_sum(compute_seconds, tx_joules):
+    budget = tx_joules
+    return compute_seconds + budget

@@ -1,0 +1,15 @@
+"""Units that survive call edges: seconds stay seconds."""
+
+
+def transfer_seconds(payload_bits, bandwidth_hz):
+    return payload_bits / bandwidth_hz
+
+
+def round_cost_seconds(payload_bits, bandwidth_hz):
+    duration_seconds = transfer_seconds(payload_bits, bandwidth_hz)
+    return duration_seconds
+
+
+def total_seconds(compute_seconds, tx_seconds):
+    budget = tx_seconds
+    return compute_seconds + budget

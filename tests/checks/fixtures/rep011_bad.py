@@ -1,0 +1,20 @@
+"""Generators of raw numpy origin reaching a stochastic sink."""
+
+import numpy as np
+
+
+def select_clients(scores, rng):
+    return scores[rng.integers(0, scores.shape[0])]
+
+
+def _fresh_rng(seed):
+    return np.random.Generator(np.random.PCG64(seed))
+
+
+def run_round(scores, seed):
+    rng = np.random.Generator(np.random.PCG64(seed))
+    return select_clients(scores, rng)
+
+
+def resample(scores, seed):
+    return select_clients(scores, _fresh_rng(seed))

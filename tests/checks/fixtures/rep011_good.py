@@ -1,0 +1,12 @@
+"""Sink generators traced to the blessed repro.rng factories."""
+
+from repro.rng import ensure_generator
+
+
+def select_clients(scores, rng):
+    return scores[rng.integers(0, scores.shape[0])]
+
+
+def run_round(scores, seed):
+    rng = ensure_generator(seed)
+    return select_clients(scores, rng)

@@ -84,3 +84,53 @@ class TestCliInterface:
         snippet = tmp_path / "snippet.py"
         snippet.write_text("import random\nimport time\nt = time.time()\n")
         assert main(["--rules", "REP004", str(snippet)]) == 1
+
+    def test_help_documents_exit_codes(self):
+        result = run_cli("--help")
+        assert result.returncode == 0
+        help_text = result.stdout
+        assert "exit codes" in help_text
+        assert "0 = no error-severity findings" in help_text
+        assert "2 = usage or I/O error" in help_text
+
+    def test_list_rules_covers_the_dataflow_family(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("REP008", "REP009", "REP010", "REP011", "REP012"):
+            assert rule_id in out
+
+
+class TestGithubFormat:
+    def test_findings_become_workflow_commands(self, tmp_path):
+        snippet = tmp_path / "snippet.py"
+        snippet.write_text("import random\n", encoding="utf-8")
+        result = run_cli(str(snippet), "--format", "github")
+        assert result.returncode == 1
+        line = result.stdout.splitlines()[0]
+        assert line.startswith("::error file=")
+        assert f"file={snippet}" in line
+        assert "line=1" in line
+        assert "title=REP001" in line
+
+    def test_clean_tree_emits_only_the_summary(self, tmp_path):
+        snippet = tmp_path / "snippet.py"
+        snippet.write_text("x = 1\n", encoding="utf-8")
+        result = run_cli(str(snippet), "--format", "github")
+        assert result.returncode == 0
+        assert "::error" not in result.stdout
+
+
+class TestCacheFlag:
+    def test_warm_run_reproduces_cold_report(self, tmp_path):
+        snippet = tmp_path / "snippet.py"
+        snippet.write_text("import random\n", encoding="utf-8")
+        cache = tmp_path / "cache.json"
+        cold = run_cli(
+            str(snippet), "--format", "json", "--cache", str(cache)
+        )
+        assert cache.exists()
+        warm = run_cli(
+            str(snippet), "--format", "json", "--cache", str(cache)
+        )
+        assert cold.returncode == warm.returncode == 1
+        assert cold.stdout == warm.stdout

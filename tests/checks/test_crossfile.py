@@ -1,0 +1,243 @@
+"""Phase-2 engine behavior: cross-file detection and the incremental
+cache (cold and warm runs must be bitwise-identical)."""
+
+import json
+import textwrap
+
+from repro.checks import check_paths
+
+
+def write_tree(root, files):
+    """Materialize a fake ``repro`` package tree under ``root``."""
+    packages = set()
+    for rel in files:
+        parts = rel.split("/")[:-1]
+        for depth in range(1, len(parts) + 1):
+            packages.add("/".join(parts[:depth]))
+    for package in sorted(packages):
+        path = root / package
+        path.mkdir(parents=True, exist_ok=True)
+        init = path / "__init__.py"
+        if not init.exists():
+            init.write_text("", encoding="utf-8")
+    for rel, content in files.items():
+        (root / rel).write_text(
+            textwrap.dedent(content), encoding="utf-8"
+        )
+
+
+class TestCrossFileDetection:
+    def test_rep008_scratch_return_crosses_modules(self, tmp_path):
+        write_tree(
+            tmp_path,
+            {
+                "repro/nn/maker.py": """
+                def make_view(layer, inputs):
+                    return layer._scratch_buffer("v", inputs.shape)
+                """,
+                "repro/nn/consumer.py": """
+                from repro.nn import maker
+
+                class Keeper:
+                    def forward(self, inputs):
+                        self._view = maker.make_view(self, inputs)
+                        return inputs
+                """,
+            },
+        )
+        report = check_paths([tmp_path / "repro"], rules=["REP008"])
+        # Both sides are on the hook: the producer returns the scratch
+        # view, and the consumer persists it across the call.
+        assert len(report.findings) == 2
+        by_file = {f.path.rsplit("/", 1)[-1]: f for f in report.findings}
+        assert "returns a _scratch_buffer-backed array" in (
+            by_file["maker.py"].message
+        )
+        assert "repro.nn.maker.make_view" in by_file["consumer.py"].message
+
+    def test_rep009_factory_acquisition_crosses_modules(self, tmp_path):
+        write_tree(
+            tmp_path,
+            {
+                "repro/fl/alloc.py": """
+                from multiprocessing import shared_memory
+
+                def acquire(n):
+                    segment = shared_memory.SharedMemory(create=True, size=n)
+                    return segment
+                """,
+                "repro/fl/user.py": """
+                from repro.fl.alloc import acquire
+
+                def leak(n):
+                    segment = acquire(n)
+                    return n
+                """,
+            },
+        )
+        report = check_paths([tmp_path / "repro"], rules=["REP009"])
+        assert len(report.findings) == 1
+        finding = report.findings[0]
+        assert finding.path.endswith("user.py")
+        assert "never reaches close()" in finding.message
+
+    def test_rep010_swapped_args_cross_modules(self, tmp_path):
+        write_tree(
+            tmp_path,
+            {
+                "repro/network/link.py": """
+                def transfer_seconds(payload_bits, bandwidth_hz):
+                    return payload_bits / bandwidth_hz
+                """,
+                "repro/energy/budget.py": """
+                from repro.network.link import transfer_seconds
+
+                def upload_budget(payload_bits, bandwidth_hz):
+                    return transfer_seconds(bandwidth_hz, payload_bits)
+                """,
+            },
+        )
+        report = check_paths([tmp_path / "repro"], rules=["REP010"])
+        assert len(report.findings) == 2
+        assert all(f.path.endswith("budget.py") for f in report.findings)
+        messages = " ".join(f.message for f in report.findings)
+        assert "expects _bits" in messages
+        assert "expects _hz" in messages
+
+    def test_rep011_raw_helper_traced_across_modules(self, tmp_path):
+        write_tree(
+            tmp_path,
+            {
+                "repro/devices/entropy.py": """
+                import numpy as np
+
+                def fresh_rng(seed):
+                    return np.random.default_rng(seed)
+                """,
+                "repro/core/pick.py": """
+                from repro.devices.entropy import fresh_rng
+
+                def choose(scores, seed):
+                    rng = fresh_rng(seed)
+                    return scores[rng.integers(0, 3)]
+                """,
+            },
+        )
+        report = check_paths([tmp_path / "repro"], rules=["REP011"])
+        assert len(report.findings) == 1
+        finding = report.findings[0]
+        assert finding.path.endswith("pick.py")
+        assert "fresh_rng()" in finding.message
+
+    def test_blessed_import_stays_clean_across_modules(self, tmp_path):
+        write_tree(
+            tmp_path,
+            {
+                "repro/core/pick.py": """
+                from repro.rng import ensure_generator
+
+                def choose(scores, seed):
+                    rng = ensure_generator(seed)
+                    return scores[rng.integers(0, 3)]
+                """,
+            },
+        )
+        report = check_paths([tmp_path / "repro"], rules=["REP011"])
+        assert report.findings == ()
+
+
+class TestIncrementalCache:
+    FILES = {
+        "repro/nn/maker.py": """
+        def make_view(layer, inputs):
+            return layer._scratch_buffer("v", inputs.shape)
+        """,
+        "repro/nn/consumer.py": """
+        from repro.nn import maker
+
+        class Keeper:
+            def forward(self, inputs):
+                self._view = maker.make_view(self, inputs)
+                return inputs
+        """,
+    }
+
+    def run(self, tmp_path):
+        return check_paths(
+            [tmp_path / "repro"],
+            rules=["REP008"],
+            cache_path=str(tmp_path / "cache.json"),
+        )
+
+    def test_cold_and_warm_reports_are_bitwise_identical(self, tmp_path):
+        write_tree(tmp_path, self.FILES)
+        cold = self.run(tmp_path)
+        warm = self.run(tmp_path)
+        cold_json = json.dumps(cold.to_dict(), sort_keys=True)
+        warm_json = json.dumps(warm.to_dict(), sort_keys=True)
+        assert cold_json == warm_json
+        assert cold.cache_hits == 0
+        assert warm.cache_hits == warm.files_checked > 0
+        assert len(warm.findings) == 2
+
+    def test_cache_stats_never_reach_the_json_document(self, tmp_path):
+        write_tree(tmp_path, self.FILES)
+        self.run(tmp_path)
+        warm = self.run(tmp_path)
+        assert warm.cache_hits > 0
+        assert set(warm.to_dict()) == {
+            "version",
+            "files_checked",
+            "findings",
+            "suppressed",
+        }
+
+    def test_editing_one_module_reruns_dependents(self, tmp_path):
+        write_tree(tmp_path, self.FILES)
+        self.run(tmp_path)
+        # Fix the producer: consumer.py is untouched on disk, but its
+        # cross-file finding must disappear on the warm run.
+        (tmp_path / "repro/nn/maker.py").write_text(
+            textwrap.dedent(
+                """
+                def make_view(layer, inputs):
+                    return layer._scratch_buffer("v", inputs.shape).copy()
+                """
+            ),
+            encoding="utf-8",
+        )
+        warm = self.run(tmp_path)
+        assert warm.findings == ()
+        assert warm.cache_hits == warm.files_checked - 1
+
+    def test_comment_edits_do_not_invalidate_other_files(self, tmp_path):
+        write_tree(tmp_path, self.FILES)
+        cold = self.run(tmp_path)
+        maker = tmp_path / "repro/nn/maker.py"
+        maker.write_text(
+            '"""Docstring only."""\n'
+            + maker.read_text(encoding="utf-8"),
+            encoding="utf-8",
+        )
+        warm = self.run(tmp_path)
+        assert [f.message for f in warm.findings] == [
+            f.message for f in cold.findings
+        ]
+        assert warm.cache_hits == warm.files_checked - 1
+
+    def test_corrupt_cache_degrades_to_cold_run(self, tmp_path):
+        write_tree(tmp_path, self.FILES)
+        (tmp_path / "cache.json").write_text("{not json", encoding="utf-8")
+        report = self.run(tmp_path)
+        assert report.cache_hits == 0
+        assert len(report.findings) == 2
+
+    def test_rule_selection_keys_the_cache(self, tmp_path):
+        write_tree(tmp_path, self.FILES)
+        self.run(tmp_path)
+        other = check_paths(
+            [tmp_path / "repro"],
+            rules=["REP009"],
+            cache_path=str(tmp_path / "cache.json"),
+        )
+        assert other.cache_hits == 0

@@ -114,7 +114,24 @@ class TestRuleRegistry:
             "REP005",
             "REP006",
             "REP007",
+            "REP008",
+            "REP009",
+            "REP010",
+            "REP011",
+            "REP012",
         ]
+
+    def test_dataflow_rules_declare_needs_index(self):
+        by_id = {r.rule_id: r for r in get_rules()}
+        for rule_id in ("REP008", "REP009", "REP010", "REP011"):
+            assert by_id[rule_id].needs_index
+        for rule_id in ("REP001", "REP003", "REP012"):
+            assert not by_id[rule_id].needs_index
+
+    def test_suppression_hygiene_is_not_suppressible(self):
+        by_id = {r.rule_id: r for r in get_rules()}
+        assert not by_id["REP012"].suppressible
+        assert by_id["REP008"].suppressible
 
     def test_unknown_rule_id_raises(self):
         with pytest.raises(ConfigurationError):

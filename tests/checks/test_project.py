@@ -1,0 +1,311 @@
+"""Phase-1 index: summaries, import resolution, call-graph chasing."""
+
+import ast
+import textwrap
+
+from repro.checks.project import (
+    BLESSED_RNG,
+    ModuleSummary,
+    ProjectIndex,
+    summarize_module,
+    unit_suffix,
+)
+
+
+def summarize(source, module="repro.demo", path=None, is_package=False):
+    tree = ast.parse(textwrap.dedent(source))
+    return summarize_module(
+        tree, module, path or f"{module}.py", is_package=is_package
+    )
+
+
+class TestUnitSuffix:
+    def test_known_suffixes(self):
+        assert unit_suffix("upload_seconds") == "_seconds"
+        assert unit_suffix("bandwidth_hz") == "_hz"
+        assert unit_suffix("payload_bits") == "_bits"
+        assert unit_suffix("tx_joules") == "_joules"
+
+    def test_unsuffixed_names(self):
+        assert unit_suffix("bandwidth") is None
+        assert unit_suffix("seconds_total") is None
+
+
+class TestFunctionSummaries:
+    def test_params_and_param_units(self):
+        summary = summarize(
+            """
+            def cost(payload_bits, bandwidth_hz, label):
+                return payload_bits
+            """
+        )
+        fn = summary.functions["cost"]
+        assert fn.params == ("payload_bits", "bandwidth_hz", "label")
+        assert fn.param_units == {
+            "payload_bits": "_bits",
+            "bandwidth_hz": "_hz",
+        }
+
+    def test_declared_return_unit_wins(self):
+        summary = summarize(
+            """
+            def upload_seconds(payload_bits):
+                return payload_bits
+            """
+        )
+        assert summary.functions["upload_seconds"].return_unit == "_seconds"
+
+    def test_inferred_return_unit_requires_consistency(self):
+        consistent = summarize(
+            """
+            def f(a_seconds, b_seconds, flag):
+                if flag:
+                    return a_seconds
+                return b_seconds
+            """
+        )
+        assert consistent.functions["f"].return_unit == "_seconds"
+        conflicting = summarize(
+            """
+            def f(a_seconds, b_joules, flag):
+                if flag:
+                    return a_seconds
+                return b_joules
+            """
+        )
+        assert conflicting.functions["f"].return_unit is None
+
+    def test_returns_scratch(self):
+        summary = summarize(
+            """
+            class L:
+                def forward(self, x):
+                    return self._scratch_buffer("o", x.shape)
+
+                def safe(self, x):
+                    return self._scratch_buffer("o", x.shape).copy()
+            """
+        )
+        assert summary.functions["L.forward"].returns_scratch
+        assert not summary.functions["L.safe"].returns_scratch
+
+    def test_returns_shm_and_owner_classes(self):
+        summary = summarize(
+            """
+            from multiprocessing import shared_memory
+
+            def acquire(n):
+                segment = shared_memory.SharedMemory(create=True, size=n)
+                return segment
+
+            class Pool:
+                def _bind(self, n):
+                    self._seg = shared_memory.SharedMemory(create=True, size=n)
+            """
+        )
+        assert summary.functions["acquire"].returns_shm
+        assert summary.shm_owner_classes == ("Pool",)
+
+    def test_rng_origin_raw_and_blessed(self):
+        summary = summarize(
+            """
+            import numpy as np
+            from repro.rng import ensure_generator
+
+            def raw(seed):
+                return np.random.Generator(np.random.PCG64(seed))
+
+            def blessed(seed):
+                return ensure_generator(seed)
+            """
+        )
+        assert summary.functions["raw"].rng_origin == "raw"
+        assert summary.functions["blessed"].rng_origin == "blessed"
+
+    def test_methods_are_qualified_and_self_is_dropped(self):
+        summary = summarize(
+            """
+            class Fleet:
+                def step(self, dt_seconds):
+                    return dt_seconds
+            """
+        )
+        fn = summary.functions["Fleet.step"]
+        assert fn.qualname == "Fleet.step"
+        assert fn.params == ("dt_seconds",)
+
+
+class TestImportResolution:
+    def test_absolute_aliased_and_from_imports(self):
+        summary = summarize(
+            """
+            import numpy as np
+            import json
+            from repro.rng import ensure_generator as make_rng
+            """
+        )
+        assert summary.imports["np"] == "numpy"
+        assert summary.imports["json"] == "json"
+        assert summary.imports["make_rng"] == "repro.rng.ensure_generator"
+
+    def test_relative_import_from_module(self):
+        summary = summarize(
+            "from .layer import Layer\n", module="repro.nn.conv"
+        )
+        assert summary.imports["Layer"] == "repro.nn.layer.Layer"
+
+    def test_relative_import_from_package_init(self):
+        summary = summarize(
+            "from .conv import Conv2D\n",
+            module="repro.nn",
+            path="repro/nn/__init__.py",
+            is_package=True,
+        )
+        assert summary.imports["Conv2D"] == "repro.nn.conv.Conv2D"
+
+    def test_two_level_relative_import(self):
+        summary = summarize(
+            "from ..rng import ensure_generator\n", module="repro.nn.conv"
+        )
+        assert summary.imports["ensure_generator"] == (
+            "repro.rng.ensure_generator"
+        )
+
+
+class TestProjectIndex:
+    def build(self, *sources):
+        return ProjectIndex(
+            summarize(source, module=module)
+            for module, source in sources
+        )
+
+    def test_flat_function_lookup(self):
+        index = self.build(
+            ("repro.a", "def f(x_seconds):\n    return x_seconds\n")
+        )
+        assert index.function("repro.a.f").params == ("x_seconds",)
+        assert index.function("repro.a.missing") is None
+        assert index.function(None) is None
+
+    def test_class_call_falls_back_to_constructor(self):
+        index = self.build(
+            (
+                "repro.a",
+                """
+                class Pool:
+                    def __init__(self, size_bits):
+                        self.size_bits = size_bits
+                """,
+            )
+        )
+        assert index.function("repro.a.Pool").params == ("size_bits",)
+
+    def test_return_unit_chases_call_edges(self):
+        index = self.build(
+            (
+                "repro.a",
+                """
+                def base_seconds(x):
+                    return x
+                """,
+            ),
+            (
+                "repro.b",
+                """
+                from repro.a import base_seconds
+
+                def wrapper(x):
+                    return base_seconds(x)
+                """,
+            ),
+        )
+        assert index.return_unit("repro.b.wrapper") == "_seconds"
+
+    def test_returns_scratch_chases_and_guards_cycles(self):
+        index = self.build(
+            (
+                "repro.a",
+                """
+                def ping(x):
+                    return pong(x)
+
+                def pong(x):
+                    return ping(x)
+                """,
+            )
+        )
+        assert not index.returns_scratch("repro.a.ping")
+
+    def test_rng_origin_blessed_short_circuit(self):
+        for dotted in BLESSED_RNG:
+            index = ProjectIndex([])
+            assert index.rng_origin(dotted) == "blessed"
+
+    def test_rng_origin_chases_helpers(self):
+        index = self.build(
+            (
+                "repro.helpers",
+                """
+                import numpy as np
+
+                def fresh(seed):
+                    return np.random.default_rng(seed)
+                """,
+            ),
+            (
+                "repro.use",
+                """
+                from repro.helpers import fresh
+
+                def wrapper(seed):
+                    return fresh(seed)
+                """,
+            ),
+        )
+        assert index.rng_origin("repro.use.wrapper") == "raw"
+
+
+class TestSerialization:
+    SOURCE = """
+    from multiprocessing import shared_memory
+
+    def acquire_seconds(n, dt_seconds):
+        segment = shared_memory.SharedMemory(create=True, size=n)
+        return segment
+
+    class Pool:
+        def __init__(self, n):
+            self._seg = shared_memory.SharedMemory(create=True, size=n)
+    """
+
+    def test_round_trip_preserves_everything(self):
+        summary = summarize(self.SOURCE, module="repro.fl.demo")
+        assert ModuleSummary.from_dict(summary.to_dict()) == summary
+
+    def test_fingerprint_is_stable_and_content_sensitive(self):
+        first = ProjectIndex([summarize(self.SOURCE, module="repro.fl.demo")])
+        second = ProjectIndex(
+            [summarize(self.SOURCE, module="repro.fl.demo")]
+        )
+        assert first.fingerprint == second.fingerprint
+        changed = ProjectIndex(
+            [
+                summarize(
+                    self.SOURCE.replace("acquire_seconds", "acquire_joules"),
+                    module="repro.fl.demo",
+                )
+            ]
+        )
+        assert changed.fingerprint != first.fingerprint
+
+    def test_docstring_changes_keep_the_fingerprint(self):
+        with_doc = self.SOURCE.replace(
+            "def acquire_seconds(n, dt_seconds):",
+            'def acquire_seconds(n, dt_seconds):\n        """Doc."""',
+        )
+        assert (
+            ProjectIndex([summarize(self.SOURCE, module="repro.fl.demo")])
+            .fingerprint
+            == ProjectIndex([summarize(with_doc, module="repro.fl.demo")])
+            .fingerprint
+        )

@@ -28,6 +28,10 @@ PAIRS = [
     ("REP005", "rep005_good.py", "rep005_bad.py", "repro.fixture"),
     ("REP006", "rep006_good.py", "rep006_bad.py", "repro.core.fixture"),
     ("REP007", "rep007_good.py", "rep007_bad.py", "repro.fl.execution"),
+    ("REP008", "rep008_good.py", "rep008_bad.py", "repro.nn.fixture"),
+    ("REP009", "rep009_good.py", "rep009_bad.py", "repro.fl.fixture"),
+    ("REP010", "rep010_good.py", "rep010_bad.py", "repro.energy.fixture"),
+    ("REP011", "rep011_good.py", "rep011_bad.py", "repro.core.fixture"),
 ]
 
 
@@ -231,3 +235,172 @@ class TestRep005Findings:
         )
         assert len(report.findings) == 1
         assert "'helper'" in report.findings[0].message
+
+
+class TestRep008Findings:
+    MODULE = "repro.nn.fixture"
+
+    def test_flags_store_return_and_aliased_out(self):
+        report = run_fixture("rep008_bad.py", "REP008", module=self.MODULE)
+        messages = [f.message for f in report.findings]
+        assert any("self._last" in m for m in messages)
+        assert any("returns a _scratch_buffer-backed array" in m for m in messages)
+        assert any("out= aliasing its operand" in m for m in messages)
+        assert len(report.findings) == 3
+
+    def test_laundering_clears_the_taint(self):
+        report = run_fixture("rep008_good.py", "REP008", module=self.MODULE)
+        assert report.findings == ()
+
+    def test_outside_repro_is_exempt(self):
+        path = FIXTURES / "rep008_bad.py"
+        report = check_source(
+            path.read_text(encoding="utf-8"),
+            path=str(path),
+            module="examples.demo",
+            is_test=False,
+            rules=["REP008"],
+        )
+        assert report.findings == ()
+
+
+class TestRep009Findings:
+    MODULE = "repro.fl.fixture"
+
+    def test_flags_leak_conditional_close_and_unowned_class(self):
+        report = run_fixture("rep009_bad.py", "REP009", module=self.MODULE)
+        messages = [f.message for f in report.findings]
+        assert any("never reaches close()/unlink()" in m for m in messages)
+        assert any("only on some control-flow paths" in m for m in messages)
+        assert any("'LeakyHolder'" in m for m in messages)
+        assert len(report.findings) == 3
+
+    def test_finally_handoff_and_atexit_are_clean(self):
+        report = run_fixture("rep009_good.py", "REP009", module=self.MODULE)
+        assert report.findings == ()
+
+    def test_attach_only_handles_are_exempt(self):
+        source = (
+            "from multiprocessing import shared_memory\n"
+            "def peek(name):\n"
+            "    segment = shared_memory.SharedMemory(name=name)\n"
+            "    return bytes(segment.buf[:1])\n"
+        )
+        report = check_source(
+            source, module=self.MODULE, is_test=False, rules=["REP009"]
+        )
+        assert report.findings == ()
+
+
+class TestRep010Findings:
+    MODULE = "repro.energy.fixture"
+
+    def test_flags_each_mismatch_shape(self):
+        report = run_fixture("rep010_bad.py", "REP010", module=self.MODULE)
+        messages = [f.message for f in report.findings]
+        assert any("expects _bits" in m for m in messages)
+        assert any("expects _hz" in m for m in messages)
+        assert any("binds a _seconds value to 'total_joules'" in m for m in messages)
+        assert any("declares _joules but this return carries _seconds" in m for m in messages)
+        assert any("never add or subtract" in m for m in messages)
+        assert len(report.findings) == 5
+
+    def test_unknown_units_stay_silent(self):
+        source = (
+            "def transfer_seconds(payload_bits, bandwidth_hz):\n"
+            "    return payload_bits / bandwidth_hz\n"
+            "def caller(payload, bandwidth):\n"
+            "    return transfer_seconds(payload, bandwidth)\n"
+        )
+        report = check_source(
+            source, module=self.MODULE, is_test=False, rules=["REP010"]
+        )
+        assert report.findings == ()
+
+
+class TestRep011Findings:
+    MODULE = "repro.core.fixture"
+
+    def test_flags_raw_binds_returns_and_sink_args(self):
+        report = run_fixture("rep011_bad.py", "REP011", module=self.MODULE)
+        messages = [f.message for f in report.findings]
+        assert any("'rng' holds a generator of raw numpy origin" in m for m in messages)
+        assert any("returns a generator of raw numpy origin" in m for m in messages)
+        assert any("_fresh_rng()" in m for m in messages)
+        assert len(report.findings) == 4
+
+    def test_blessed_factories_are_clean(self):
+        report = run_fixture("rep011_good.py", "REP011", module=self.MODULE)
+        assert report.findings == ()
+
+    def test_non_sink_modules_may_carry_helpers(self):
+        path = FIXTURES / "rep011_bad.py"
+        report = check_source(
+            path.read_text(encoding="utf-8"),
+            path=str(path),
+            module="repro.devices.fixture",
+            is_test=False,
+            rules=["REP011"],
+        )
+        assert report.findings == ()
+
+    def test_rng_module_itself_is_exempt(self):
+        source = (
+            "import numpy as np\n"
+            "def build_rng(seed):\n"
+            "    rng = np.random.Generator(np.random.PCG64(seed))\n"
+            "    return rng\n"
+        )
+        report = check_source(
+            source, module="repro.rng", is_test=False, rules=["REP011"]
+        )
+        assert report.findings == ()
+
+
+class TestRep012Findings:
+    def test_bare_allow_is_a_finding(self):
+        source = "import random  # repro: allow[REP001]\n"
+        report = check_source(
+            source, module="repro.demo", is_test=False, rules=["REP012"]
+        )
+        assert len(report.findings) == 1
+        assert "no justification" in report.findings[0].message
+
+    def test_justified_allow_is_clean(self):
+        source = "import random  # repro: allow[REP001] fixture sampler only\n"
+        report = check_source(
+            source, module="repro.demo", is_test=False, rules=["REP012"]
+        )
+        assert report.findings == ()
+
+    def test_applies_to_test_code_too(self):
+        source = "x = 1  # repro: allow[REP003]\n"
+        report = check_source(
+            source, module="repro.demo", is_test=True, rules=["REP012"]
+        )
+        assert len(report.findings) == 1
+
+    def test_rep012_cannot_be_suppressed(self):
+        source = "x = 1  # repro: allow[REP003, REP012]\n"
+        report = check_source(
+            source, module="repro.demo", is_test=False, rules=["REP012"]
+        )
+        assert len(report.findings) == 1
+        assert report.suppressed == ()
+
+    def test_suppressed_dataflow_finding_needs_justified_comment(self):
+        source = (
+            "import numpy as np\n"
+            "from repro.nn.layer import Layer\n"
+            "class Cache(Layer):\n"
+            "    def forward(self, inputs, training=False):\n"
+            "        out = np.matmul(inputs, inputs, "
+            "out=self._scratch_buffer('o', (2, 2)))\n"
+            "        self._kept = out  # repro: allow[REP008] same-step cache\n"
+            "        return out.copy()\n"
+        )
+        report = check_source(
+            source, module="repro.nn.fixture", is_test=False
+        )
+        assert report.findings == ()
+        assert {f.rule_id for f in report.suppressed} == {"REP008"}
