@@ -1,4 +1,4 @@
-.PHONY: install test bench bench-artifacts examples lint check check-cold report all
+.PHONY: install test bench bench-artifacts examples lint check check-cold report campaign-smoke all
 
 install:
 	pip install -e . --no-build-isolation
@@ -21,8 +21,14 @@ check-cold:
 	PYTHONPATH=src python -m repro.checks src tests benchmarks examples
 
 report:
-	PYTHONPATH=src python -m repro run helcfl --quick --rounds 5 --trace run-trace.jsonl
-	PYTHONPATH=src python -m repro.obs.report run-trace.jsonl
+	mkdir -p artifacts
+	PYTHONPATH=src python -m repro run helcfl --quick --rounds 5 --trace artifacts/run-trace.jsonl
+	PYTHONPATH=src python -m repro.obs.report artifacts/run-trace.jsonl
+
+campaign-smoke:
+	rm -rf artifacts/campaign-smoke
+	PYTHONPATH=src python -m repro campaign run examples/campaign_smoke.json --dir artifacts/campaign-smoke
+	PYTHONPATH=src python -m repro campaign status artifacts/campaign-smoke
 
 bench:
 	pytest benchmarks/ --benchmark-only -s

@@ -8,12 +8,17 @@ different frequency policy.
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import Dict, List, Sequence
 
 from repro.devices.device import UserDevice
 from repro.errors import ConfigurationError
 from repro.fl.strategy import SelectionStrategy, selection_count
-from repro.rng import SeedLike, ensure_generator
+from repro.rng import (
+    SeedLike,
+    ensure_generator,
+    generator_state,
+    restore_generator,
+)
 
 __all__ = ["RandomSelection"]
 
@@ -36,6 +41,14 @@ class RandomSelection(SelectionStrategy):
     def reset(self) -> None:
         """Re-seed the selection stream for a fresh run."""
         self._rng = ensure_generator(self._seed)
+
+    def state_dict(self) -> Dict:
+        """Checkpoint snapshot: the selection RNG mid-stream."""
+        return {"rng": generator_state(self._rng)}
+
+    def load_state_dict(self, state: Dict) -> None:
+        """Resume the selection stream exactly where it froze."""
+        self._rng = restore_generator(state["rng"])
 
     def select(
         self, round_index: int, devices: Sequence[UserDevice]

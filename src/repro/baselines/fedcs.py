@@ -15,13 +15,18 @@ reproduction preserves exactly this behaviour.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.devices.device import UserDevice
 from repro.errors import ConfigurationError, SelectionError
 from repro.fl.strategy import SelectionStrategy
 from repro.network.tdma import simulate_tdma_round
-from repro.rng import SeedLike, ensure_generator
+from repro.rng import (
+    SeedLike,
+    ensure_generator,
+    generator_state,
+    restore_generator,
+)
 
 __all__ = ["FedCsSelection", "fedcs_deadline_for_count"]
 
@@ -118,6 +123,14 @@ class FedCsSelection(SelectionStrategy):
     def reset(self) -> None:
         """Re-seed the candidate-sampling stream for a fresh run."""
         self._rng = ensure_generator(self._seed)
+
+    def state_dict(self) -> Dict:
+        """Checkpoint snapshot: the candidate-sampling RNG mid-stream."""
+        return {"rng": generator_state(self._rng)}
+
+    def load_state_dict(self, state: Dict) -> None:
+        """Resume the candidate-sampling stream where it froze."""
+        self._rng = restore_generator(state["rng"])
 
     def _candidates(
         self, devices: Sequence[UserDevice]

@@ -1,0 +1,69 @@
+"""Campaign orchestration: declarative multi-run experiments that
+survive crashes.
+
+A campaign is a declarative spec (:class:`CampaignSpec` — seeds ×
+strategies × config overrides × fault plans) expanded into a
+deterministic run matrix, executed by a fault-tolerant local worker
+pool (:class:`CampaignPool`) against an on-disk manifest
+(:class:`CampaignManifest`) of atomic per-run status files. Each run
+trains with tracing and checkpointing on; a killed worker — or a
+killed campaign — resumes from its last checkpoint (falling back to
+deterministic trace replay when the checkpoint is torn) and finishes
+bitwise identical to an uninterrupted run. Results aggregate into a
+byte-comparable campaign document
+(:func:`~repro.campaign.aggregate.write_aggregate`) wired into the
+:mod:`repro.obs.analysis` compare machinery.
+
+Typical usage::
+
+    python -m repro campaign run spec.json --dir out/         # fresh
+    python -m repro campaign run spec.json --dir out/ --resume # after a crash
+    python -m repro campaign status out/
+    python -m repro campaign compare ref/aggregate.json out/aggregate.json
+"""
+
+from repro.campaign.aggregate import (
+    AGGREGATE_SCHEMA,
+    aggregate_campaign,
+    compare_campaigns,
+    load_aggregate,
+    write_aggregate,
+)
+from repro.campaign.manifest import (
+    STATUS_DONE,
+    STATUS_FAILED,
+    STATUS_PENDING,
+    STATUS_RUNNING,
+    CampaignManifest,
+    RunStatus,
+)
+from repro.campaign.pool import CampaignPool
+from repro.campaign.resume import (
+    reconstruct_checkpoint,
+    resumable_round,
+    truncate_trace,
+)
+from repro.campaign.runner import execute_run
+from repro.campaign.spec import CampaignSpec, RunSpec, settings_to_overrides
+
+__all__ = [
+    "AGGREGATE_SCHEMA",
+    "STATUS_DONE",
+    "STATUS_FAILED",
+    "STATUS_PENDING",
+    "STATUS_RUNNING",
+    "CampaignManifest",
+    "CampaignPool",
+    "CampaignSpec",
+    "RunSpec",
+    "RunStatus",
+    "aggregate_campaign",
+    "compare_campaigns",
+    "execute_run",
+    "load_aggregate",
+    "reconstruct_checkpoint",
+    "resumable_round",
+    "settings_to_overrides",
+    "truncate_trace",
+    "write_aggregate",
+]

@@ -1,0 +1,229 @@
+"""The on-disk campaign manifest: spec copy + per-run status files.
+
+Layout under the campaign directory::
+
+    <dir>/spec.json                  # the governing CampaignSpec
+    <dir>/runs/<run_id>/status.json  # {"status", "attempts", "detail"}
+    <dir>/runs/<run_id>/trace.jsonl       # the run's event trace
+    <dir>/runs/<run_id>/checkpoint.json   # latest trainer checkpoint
+    <dir>/runs/<run_id>/history.json      # TrainingHistory (run done)
+    <dir>/runs/<run_id>/stats.json        # RunStats (run done)
+    <dir>/aggregate.json             # campaign-level analytics
+
+Every status write is atomic (tmp + ``os.replace``), so a campaign
+killed at any instant leaves a readable manifest: ``--resume`` skips
+runs whose status is ``done`` and re-executes the rest from their
+checkpoints. A missing ``status.json`` *is* the pending state — no
+initialization pass is needed, and a half-created run directory is
+indistinguishable from an untouched one.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.campaign.spec import CampaignSpec, RunSpec
+from repro.errors import ConfigurationError, SerializationError
+
+__all__ = [
+    "STATUS_PENDING",
+    "STATUS_RUNNING",
+    "STATUS_DONE",
+    "STATUS_FAILED",
+    "RunStatus",
+    "CampaignManifest",
+    "atomic_write_text",
+]
+
+STATUS_PENDING = "pending"
+STATUS_RUNNING = "running"
+STATUS_DONE = "done"
+STATUS_FAILED = "failed"
+_STATUSES = (STATUS_PENDING, STATUS_RUNNING, STATUS_DONE, STATUS_FAILED)
+
+
+def atomic_write_text(path: str, text: str) -> None:
+    """Write ``text`` to ``path`` atomically (tmp + ``os.replace``)."""
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    fd, tmp_path = tempfile.mkstemp(
+        prefix=os.path.basename(path) + ".", suffix=".tmp", dir=directory
+    )
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
+
+
+@dataclass(frozen=True)
+class RunStatus:
+    """One run's manifest entry.
+
+    Attributes:
+        run_id: the run this status belongs to.
+        status: one of ``pending``/``running``/``done``/``failed``.
+        attempts: how many times the run has been launched.
+        detail: free-form note (the failure message for ``failed``).
+    """
+
+    run_id: str
+    status: str = STATUS_PENDING
+    attempts: int = 0
+    detail: str = ""
+
+
+class CampaignManifest:
+    """Tracks one campaign directory's spec and per-run statuses.
+
+    Create a fresh manifest with :meth:`create` (writes ``spec.json``)
+    or attach to an existing one with :meth:`open` (loads it); both
+    processes then agree on the run matrix because the spec is the
+    single source of truth.
+    """
+
+    SPEC_FILE = "spec.json"
+    AGGREGATE_FILE = "aggregate.json"
+
+    def __init__(self, root: str, spec: CampaignSpec) -> None:
+        self.root = os.path.abspath(root)
+        self.spec = spec
+        self.runs: Tuple[RunSpec, ...] = spec.expand()
+        seen = set()
+        for run in self.runs:
+            if run.run_id in seen:
+                raise ConfigurationError(
+                    f"campaign expands to duplicate run id {run.run_id!r}"
+                )
+            seen.add(run.run_id)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def create(cls, root: str, spec: CampaignSpec) -> CampaignManifest:
+        """Initialize ``root`` as a campaign directory for ``spec``.
+
+        Refuses a directory that already carries a *different* spec —
+        resuming under changed parameters would silently mix matrices.
+        """
+        manifest = cls(root, spec)
+        spec_path = os.path.join(manifest.root, cls.SPEC_FILE)
+        if os.path.exists(spec_path):
+            existing = CampaignSpec.load(spec_path)
+            if existing.to_dict() != spec.to_dict():
+                raise ConfigurationError(
+                    f"campaign directory {root} already holds a different "
+                    "spec; use a fresh directory or the original spec"
+                )
+        os.makedirs(manifest.root, exist_ok=True)
+        atomic_write_text(spec_path, spec.to_json())
+        return manifest
+
+    @classmethod
+    def open(cls, root: str) -> CampaignManifest:
+        """Attach to an existing campaign directory."""
+        spec_path = os.path.join(os.path.abspath(root), cls.SPEC_FILE)
+        if not os.path.exists(spec_path):
+            raise ConfigurationError(
+                f"{root} is not a campaign directory (no {cls.SPEC_FILE})"
+            )
+        return cls(root, CampaignSpec.load(spec_path))
+
+    # ------------------------------------------------------------------
+    def run_dir(self, run_id: str) -> str:
+        """The directory holding one run's artifacts."""
+        return os.path.join(self.root, "runs", run_id)
+
+    def aggregate_path(self) -> str:
+        """Where :mod:`repro.campaign.aggregate` writes its document."""
+        return os.path.join(self.root, self.AGGREGATE_FILE)
+
+    def _status_path(self, run_id: str) -> str:
+        return os.path.join(self.run_dir(run_id), "status.json")
+
+    def read_status(self, run_id: str) -> RunStatus:
+        """One run's current status (absent file = pending)."""
+        path = self._status_path(run_id)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except FileNotFoundError:
+            return RunStatus(run_id=run_id)
+        except json.JSONDecodeError as exc:
+            raise SerializationError(
+                f"status file {path} is not valid JSON: {exc}"
+            ) from exc
+        status = payload.get("status", STATUS_PENDING)
+        if status not in _STATUSES:
+            raise SerializationError(
+                f"status file {path} carries unknown status {status!r}"
+            )
+        return RunStatus(
+            run_id=run_id,
+            status=status,
+            attempts=int(payload.get("attempts", 0)),
+            detail=str(payload.get("detail", "")),
+        )
+
+    def write_status(
+        self, run_id: str, status: str, attempts: int, detail: str = ""
+    ) -> None:
+        """Atomically record one run's status transition."""
+        if status not in _STATUSES:
+            raise ConfigurationError(
+                f"unknown status {status!r}; expected one of {_STATUSES}"
+            )
+        atomic_write_text(
+            self._status_path(run_id),
+            json.dumps(
+                {
+                    "run_id": run_id,
+                    "status": status,
+                    "attempts": int(attempts),
+                    "detail": detail,
+                },
+                sort_keys=True,
+            )
+            + "\n",
+        )
+
+    def statuses(self) -> Dict[str, RunStatus]:
+        """Every run's status, in expansion order."""
+        return {run.run_id: self.read_status(run.run_id) for run in self.runs}
+
+    def pending_runs(self, resume: bool = False) -> List[RunSpec]:
+        """The runs still to execute, in expansion order.
+
+        Without ``resume`` every non-pending run is an error (the
+        directory was already used). With ``resume``, ``done`` runs
+        are skipped and everything else — ``pending``, ``failed``, and
+        ``running`` entries stranded by a killed pool — is (re)run
+        from its checkpoint.
+        """
+        remaining: List[RunSpec] = []
+        for run in self.runs:
+            status = self.read_status(run.run_id)
+            if status.status == STATUS_DONE:
+                if not resume:
+                    raise ConfigurationError(
+                        f"run {run.run_id} is already done in {self.root}; "
+                        "pass resume to skip completed runs"
+                    )
+                continue
+            if status.status != STATUS_PENDING and not resume:
+                raise ConfigurationError(
+                    f"run {run.run_id} is {status.status} in {self.root}; "
+                    "pass resume to continue an interrupted campaign"
+                )
+            remaining.append(run)
+        return remaining

@@ -1,0 +1,399 @@
+"""Declarative campaign specifications.
+
+A :class:`CampaignSpec` is pure data (like
+:class:`~repro.faults.FaultPlan`): seeds × strategies × config
+overrides × fault plans, JSON round-trippable, expanding into a
+deterministic :class:`RunSpec` matrix. Two processes loading the same
+spec file always agree on the run ids, their order, and every run's
+exact configuration — the property the resumable manifest
+(:mod:`repro.campaign.manifest`) is built on.
+
+Spec JSON shape::
+
+    {"name": "smoke",
+     "profile": "quick",            # quick | default | paper
+     "iid": true,
+     "seeds": [0, 1],
+     "strategies": ["helcfl", "classic"],
+     "overrides": [{"settings": {"num_users": 10}, "trainer": {}}],
+     "fault_plans": [null],
+     "backend": "serial",           # per-run execution backend
+     "workers": null,               # backend pool size
+     "checkpoint_every": 1,
+     "pool_workers": 2,             # campaign worker processes
+     "max_retries": 2}
+
+Every list is a matrix axis; the expansion is their ordered product
+(seeds outermost, fault plans innermost).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.experiments.settings import ExperimentSettings
+from repro.faults import FaultPlan
+from repro.fl.execution import BACKEND_NAMES
+from repro.fl.trainer import TrainerConfig
+
+__all__ = ["CampaignSpec", "RunSpec", "settings_to_overrides"]
+
+_PROFILES = ("quick", "default", "paper")
+_SETTINGS_FIELDS = frozenset(
+    f.name for f in dataclasses.fields(ExperimentSettings)
+)
+_TRAINER_FIELDS = frozenset(f.name for f in dataclasses.fields(TrainerConfig))
+
+
+def _base_settings(profile: str) -> ExperimentSettings:
+    if profile == "quick":
+        return ExperimentSettings.quick()
+    if profile == "paper":
+        return ExperimentSettings.paper_scale()
+    return ExperimentSettings()
+
+
+def settings_to_overrides(
+    settings: ExperimentSettings, profile: str = "default"
+) -> dict:
+    """Express ``settings`` as a JSON-safe diff against a profile base.
+
+    The inverse of :meth:`RunSpec.build_settings` (minus the seed,
+    which is a campaign matrix axis, not an override): applying the
+    returned dict to the profile's baseline reproduces ``settings``.
+    Tuples become lists so the diff round-trips through spec JSON
+    unchanged — the byte-identity contract needs the in-process and
+    reloaded-from-disk spec to expand identically.
+    """
+    if profile not in _PROFILES:
+        raise ConfigurationError(
+            f"profile must be one of {_PROFILES}, got {profile!r}"
+        )
+    base = _base_settings(profile)
+    overrides: Dict[str, object] = {}
+    for spec_field in dataclasses.fields(ExperimentSettings):
+        if spec_field.name == "seed":
+            continue
+        value = getattr(settings, spec_field.name)
+        if value != getattr(base, spec_field.name):
+            overrides[spec_field.name] = (
+                list(value) if isinstance(value, tuple) else value
+            )
+    return overrides
+
+
+def _check_override(override: dict, position: int) -> Dict[str, dict]:
+    if not isinstance(override, dict):
+        raise ConfigurationError(
+            f"overrides[{position}] must be an object, got "
+            f"{type(override).__name__}"
+        )
+    unknown = set(override) - {"settings", "trainer"}
+    if unknown:
+        raise ConfigurationError(
+            f"overrides[{position}] has unknown sections {sorted(unknown)}; "
+            "expected 'settings' and/or 'trainer'"
+        )
+    settings = dict(override.get("settings", {}))
+    trainer = dict(override.get("trainer", {}))
+    bad_settings = set(settings) - _SETTINGS_FIELDS
+    if bad_settings:
+        raise ConfigurationError(
+            f"overrides[{position}].settings has unknown fields "
+            f"{sorted(bad_settings)}"
+        )
+    bad_trainer = set(trainer) - _TRAINER_FIELDS
+    if bad_trainer:
+        raise ConfigurationError(
+            f"overrides[{position}].trainer has unknown fields "
+            f"{sorted(bad_trainer)}"
+        )
+    return {"settings": settings, "trainer": trainer}
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One fully resolved run of a campaign's matrix.
+
+    Attributes:
+        run_id: deterministic id, unique within the campaign —
+            ``s<seed>-<strategy>-c<override index>-f<fault index>``.
+        seed: the run's experiment seed.
+        strategy: trainer strategy name.
+        iid: partition regime.
+        profile: settings baseline (``quick``/``default``/``paper``).
+        settings_overrides: field overrides applied to the baseline.
+        trainer_overrides: keyword overrides for the trainer config.
+        fault_plan: the run's fault plan payload (``FaultPlan.to_dict``
+            shape) or None.
+        backend: per-run execution backend name.
+        workers: backend pool size (None = backend default).
+        checkpoint_every: rounds between checkpoint writes.
+    """
+
+    run_id: str
+    seed: int
+    strategy: str
+    iid: bool
+    profile: str
+    settings_overrides: dict = field(default_factory=dict)
+    trainer_overrides: dict = field(default_factory=dict)
+    fault_plan: Optional[dict] = None
+    backend: str = "serial"
+    workers: Optional[int] = None
+    checkpoint_every: int = 1
+
+    def build_settings(self) -> ExperimentSettings:
+        """The run's :class:`ExperimentSettings` (seed applied last)."""
+        overrides = dict(self.settings_overrides)
+        if "image_shape" in overrides:
+            overrides["image_shape"] = tuple(overrides["image_shape"])
+        overrides["seed"] = self.seed
+        return replace(_base_settings(self.profile), **overrides)
+
+    def build_fault_plan(self) -> Optional[FaultPlan]:
+        """The run's :class:`FaultPlan`, or None when faults are off."""
+        if self.fault_plan is None:
+            return None
+        return FaultPlan.from_dict(self.fault_plan)
+
+    def to_dict(self) -> dict:
+        """JSON-ready form (used to ship runs to worker processes)."""
+        return {
+            "run_id": self.run_id,
+            "seed": self.seed,
+            "strategy": self.strategy,
+            "iid": self.iid,
+            "profile": self.profile,
+            "settings_overrides": dict(self.settings_overrides),
+            "trainer_overrides": dict(self.trainer_overrides),
+            "fault_plan": self.fault_plan,
+            "backend": self.backend,
+            "workers": self.workers,
+            "checkpoint_every": self.checkpoint_every,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> RunSpec:
+        """Rebuild a run spec from :meth:`to_dict` output."""
+        return cls(
+            run_id=str(payload["run_id"]),
+            seed=int(payload["seed"]),
+            strategy=str(payload["strategy"]),
+            iid=bool(payload["iid"]),
+            profile=str(payload["profile"]),
+            settings_overrides=dict(payload.get("settings_overrides", {})),
+            trainer_overrides=dict(payload.get("trainer_overrides", {})),
+            fault_plan=payload.get("fault_plan"),
+            backend=str(payload.get("backend", "serial")),
+            workers=payload.get("workers"),
+            checkpoint_every=int(payload.get("checkpoint_every", 1)),
+        )
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """A declarative multi-run experiment campaign.
+
+    Attributes:
+        name: campaign label (also the aggregate's label).
+        profile: settings baseline every run starts from.
+        iid: partition regime for every run.
+        seeds: experiment seeds (matrix axis).
+        strategies: trainer strategy names (matrix axis; ``sl`` is not
+            campaignable — its loop has no checkpoint support).
+        overrides: config-override variants (matrix axis), each an
+            object with optional ``settings`` and ``trainer`` sections.
+        fault_plans: fault-plan payloads or None entries (matrix axis).
+        backend: per-run execution backend name.
+        workers: backend pool size (None = backend default).
+        checkpoint_every: rounds between checkpoint writes in each run.
+        pool_workers: campaign worker processes running runs in
+            parallel.
+        max_retries: times a dead/failed run is requeued before the
+            campaign marks it permanently failed.
+    """
+
+    name: str
+    profile: str = "quick"
+    iid: bool = True
+    seeds: Tuple[int, ...] = (0,)
+    strategies: Tuple[str, ...] = ("helcfl",)
+    overrides: Tuple[dict, ...] = ({},)
+    fault_plans: Tuple[Optional[dict], ...] = (None,)
+    backend: str = "serial"
+    workers: Optional[int] = None
+    checkpoint_every: int = 1
+    pool_workers: int = 2
+    max_retries: int = 2
+
+    def __post_init__(self) -> None:
+        from repro.experiments.runner import STRATEGY_NAMES
+
+        if not self.name:
+            raise ConfigurationError("campaign name must be non-empty")
+        if self.profile not in _PROFILES:
+            raise ConfigurationError(
+                f"profile must be one of {_PROFILES}, got {self.profile!r}"
+            )
+        if not self.seeds:
+            raise ConfigurationError("campaign needs at least one seed")
+        if not self.strategies:
+            raise ConfigurationError("campaign needs at least one strategy")
+        trainable = tuple(n for n in STRATEGY_NAMES if n != "sl")
+        for strategy in self.strategies:
+            if strategy not in trainable:
+                raise ConfigurationError(
+                    f"strategy {strategy!r} is not campaignable; expected "
+                    f"one of {trainable}"
+                )
+        if not self.overrides:
+            raise ConfigurationError(
+                "campaign needs at least one override variant (use [{}] "
+                "for none)"
+            )
+        if not self.fault_plans:
+            raise ConfigurationError(
+                "campaign needs at least one fault-plan entry (use [null] "
+                "for none)"
+            )
+        if self.backend not in BACKEND_NAMES:
+            raise ConfigurationError(
+                f"backend must be one of {BACKEND_NAMES}, got "
+                f"{self.backend!r}"
+            )
+        if self.checkpoint_every <= 0:
+            raise ConfigurationError(
+                "checkpoint_every must be positive, got "
+                f"{self.checkpoint_every}"
+            )
+        if self.pool_workers <= 0:
+            raise ConfigurationError(
+                f"pool_workers must be positive, got {self.pool_workers}"
+            )
+        if self.max_retries < 0:
+            raise ConfigurationError(
+                f"max_retries must be non-negative, got {self.max_retries}"
+            )
+        for position, override in enumerate(self.overrides):
+            _check_override(override, position)
+        for position, payload in enumerate(self.fault_plans):
+            if payload is not None:
+                FaultPlan.from_dict(payload)
+
+    def expand(self) -> Tuple[RunSpec, ...]:
+        """The deterministic run matrix, seeds outermost.
+
+        Expansion order (and hence manifest/aggregate order) is the
+        ordered product seeds × strategies × overrides × fault_plans.
+        """
+        runs: List[RunSpec] = []
+        for seed in self.seeds:
+            for strategy in self.strategies:
+                for override_index, override in enumerate(self.overrides):
+                    checked = _check_override(override, override_index)
+                    for fault_index, fault_plan in enumerate(
+                        self.fault_plans
+                    ):
+                        runs.append(
+                            RunSpec(
+                                run_id=(
+                                    f"s{seed}-{strategy}"
+                                    f"-c{override_index}-f{fault_index}"
+                                ),
+                                seed=int(seed),
+                                strategy=strategy,
+                                iid=self.iid,
+                                profile=self.profile,
+                                settings_overrides=checked["settings"],
+                                trainer_overrides=checked["trainer"],
+                                fault_plan=fault_plan,
+                                backend=self.backend,
+                                workers=self.workers,
+                                checkpoint_every=self.checkpoint_every,
+                            )
+                        )
+        return tuple(runs)
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-ready form; :meth:`from_dict` round-trips it."""
+        return {
+            "name": self.name,
+            "profile": self.profile,
+            "iid": self.iid,
+            "seeds": list(self.seeds),
+            "strategies": list(self.strategies),
+            "overrides": [dict(o) for o in self.overrides],
+            "fault_plans": list(self.fault_plans),
+            "backend": self.backend,
+            "workers": self.workers,
+            "checkpoint_every": self.checkpoint_every,
+            "pool_workers": self.pool_workers,
+            "max_retries": self.max_retries,
+        }
+
+    def to_json(self) -> str:
+        """Deterministic JSON text of :meth:`to_dict`."""
+        return json.dumps(self.to_dict(), sort_keys=True, indent=2) + "\n"
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> CampaignSpec:
+        """Build a validated spec from parsed JSON."""
+        if not isinstance(payload, dict):
+            raise ConfigurationError(
+                f"campaign spec must be an object, got "
+                f"{type(payload).__name__}"
+            )
+        known = {
+            "name",
+            "profile",
+            "iid",
+            "seeds",
+            "strategies",
+            "overrides",
+            "fault_plans",
+            "backend",
+            "workers",
+            "checkpoint_every",
+            "pool_workers",
+            "max_retries",
+        }
+        unknown = set(payload) - known
+        if unknown:
+            raise ConfigurationError(
+                f"campaign spec has unknown fields {sorted(unknown)}"
+            )
+        if "name" not in payload:
+            raise ConfigurationError("campaign spec needs a 'name'")
+        return cls(
+            name=str(payload["name"]),
+            profile=str(payload.get("profile", "quick")),
+            iid=bool(payload.get("iid", True)),
+            seeds=tuple(int(s) for s in payload.get("seeds", (0,))),
+            strategies=tuple(payload.get("strategies", ("helcfl",))),
+            overrides=tuple(payload.get("overrides", ({},))),
+            fault_plans=tuple(payload.get("fault_plans", (None,))),
+            backend=str(payload.get("backend", "serial")),
+            workers=payload.get("workers"),
+            checkpoint_every=int(payload.get("checkpoint_every", 1)),
+            pool_workers=int(payload.get("pool_workers", 2)),
+            max_retries=int(payload.get("max_retries", 2)),
+        )
+
+    @classmethod
+    def load(cls, path: str) -> CampaignSpec:
+        """Load and validate a spec from a JSON file."""
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.from_dict(json.load(handle))
+
+    def save(self, path: str) -> None:
+        """Write the spec as JSON (the manifest keeps a copy)."""
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_json())

@@ -8,6 +8,9 @@ Commands:
 * ``fig3`` — regenerate a Fig. 3 panel (DVFS energy reduction);
 * ``trace-report`` — analyze a recorded JSONL trace;
 * ``trace-compare`` — diff two traces, non-zero exit on regression;
+* ``campaign`` — run/inspect/compare declarative multi-run campaigns
+  with checkpointed crash recovery (``campaign run spec.json --dir
+  out/ --resume`` continues a killed campaign bitwise identically);
 * ``info`` — print the resolved experiment settings.
 
 Every command accepts ``--quick`` (20 users, fast) or ``--full``
@@ -214,6 +217,86 @@ def build_parser() -> argparse.ArgumentParser:
     trace_compare.add_argument(
         "--run", type=int, default=None, metavar="N",
         help="0-based run index for multi-run traces",
+    )
+
+    campaign = sub.add_parser(
+        "campaign",
+        help="declarative multi-run campaigns with crash recovery",
+    )
+    campaign_sub = campaign.add_subparsers(
+        dest="campaign_command", required=True
+    )
+
+    campaign_run = campaign_sub.add_parser(
+        "run",
+        help="execute a campaign spec with the fault-tolerant pool",
+    )
+    campaign_run.add_argument("spec", help="campaign spec JSON file")
+    campaign_run.add_argument(
+        "--dir",
+        dest="campaign_dir",
+        required=True,
+        metavar="DIR",
+        help="campaign directory (manifest, per-run artifacts, "
+        "aggregate)",
+    )
+    campaign_run.add_argument(
+        "--resume",
+        action="store_true",
+        help="skip completed runs and continue interrupted ones from "
+        "their checkpoints; the finished aggregate is bitwise "
+        "identical to an uninterrupted campaign's",
+    )
+    campaign_run.add_argument(
+        "--pool-workers", type=int, default=None, metavar="N",
+        help="concurrent worker processes (default: the spec's)",
+    )
+    campaign_run.add_argument(
+        "--max-retries", type=int, default=None, metavar="N",
+        help="requeues per run before giving up (default: the spec's)",
+    )
+    campaign_run.add_argument(
+        "--run-timeout", type=float, default=None, metavar="SECONDS",
+        help="kill and requeue a worker alive past this wall-clock "
+        "bound (default: no bound)",
+    )
+    campaign_run.add_argument(
+        "--log-level",
+        choices=("debug", "info", "warning", "error"),
+        default=None,
+        help="enable library logging on stderr at this level",
+    )
+
+    campaign_status = campaign_sub.add_parser(
+        "status", help="print a campaign manifest's per-run statuses"
+    )
+    campaign_status.add_argument(
+        "campaign_dir", metavar="DIR", help="campaign directory"
+    )
+
+    campaign_compare = campaign_sub.add_parser(
+        "compare",
+        help="diff two campaign aggregates; exits 1 on regression",
+    )
+    campaign_compare.add_argument("base", help="baseline aggregate.json")
+    campaign_compare.add_argument("other", help="candidate aggregate.json")
+    campaign_compare.add_argument(
+        "--strict",
+        action="store_true",
+        help="any metric difference is a regression (crash-recovery "
+        "parity)",
+    )
+    campaign_compare.add_argument(
+        "--energy-threshold", type=float, default=0.02, metavar="REL",
+        help="allowed relative total-energy increase (default: 0.02)",
+    )
+    campaign_compare.add_argument(
+        "--time-threshold", type=float, default=0.02, metavar="REL",
+        help="allowed relative total-time increase (default: 0.02)",
+    )
+    campaign_compare.add_argument(
+        "--accuracy-threshold", type=float, default=0.02, metavar="ABS",
+        help="allowed absolute final-accuracy drop (default: 0.02)",
     )
 
     info_parser = sub.add_parser("info", help="print resolved settings")
@@ -463,6 +546,105 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_campaign_run(args: argparse.Namespace) -> int:
+    from repro.campaign import (
+        STATUS_DONE,
+        CampaignManifest,
+        CampaignPool,
+        CampaignSpec,
+        write_aggregate,
+    )
+
+    if args.log_level:
+        from repro.obs import configure_logging
+
+        configure_logging(args.log_level.upper())
+    spec = CampaignSpec.load(args.spec)
+    manifest = CampaignManifest.create(args.campaign_dir, spec)
+    print(
+        f"campaign {spec.name}: {len(manifest.runs)} run(s) "
+        f"({'resume' if args.resume else 'fresh'})"
+    )
+    pool = CampaignPool(
+        manifest,
+        pool_workers=args.pool_workers,
+        max_retries=args.max_retries,
+        run_timeout_s=args.run_timeout,
+    )
+    statuses = pool.run(resume=args.resume)
+    failed = sorted(
+        run_id
+        for run_id, status in statuses.items()
+        if status != STATUS_DONE
+    )
+    for run_id in statuses:
+        print(f"  {run_id:32s} {statuses[run_id]}")
+    if failed:
+        print(
+            f"error: {len(failed)} run(s) did not finish: "
+            f"{', '.join(failed)}",
+            file=sys.stderr,
+        )
+        return 1
+    path = write_aggregate(manifest)
+    print(f"saved aggregate to {path}")
+    return 0
+
+
+def _cmd_campaign_status(args: argparse.Namespace) -> int:
+    from repro.campaign import STATUS_DONE, CampaignManifest
+
+    manifest = CampaignManifest.open(args.campaign_dir)
+    statuses = manifest.statuses()
+    done = sum(1 for s in statuses.values() if s.status == STATUS_DONE)
+    print(
+        f"campaign {manifest.spec.name}: {done}/{len(statuses)} run(s) done"
+    )
+    for run_id, status in statuses.items():
+        detail = f"  [{status.detail}]" if status.detail else ""
+        print(
+            f"  {run_id:32s} {status.status:8s} "
+            f"attempts={status.attempts}{detail}"
+        )
+    return 0
+
+
+def _cmd_campaign_compare(args: argparse.Namespace) -> int:
+    from repro.campaign import compare_campaigns, load_aggregate
+    from repro.obs.analysis import CompareThresholds, render_comparison
+
+    thresholds = CompareThresholds(
+        energy_rel=args.energy_threshold,
+        time_rel=args.time_threshold,
+        accuracy_abs=args.accuracy_threshold,
+        strict=args.strict,
+    )
+    comparisons, regressed = compare_campaigns(
+        load_aggregate(args.base),
+        load_aggregate(args.other),
+        thresholds=thresholds,
+    )
+    for comparison in comparisons:
+        print(render_comparison(comparison))
+        print()
+    print(
+        f"campaign comparison: {len(comparisons)} run(s) compared, "
+        f"{'REGRESSED' if regressed else 'ok'}"
+    )
+    return 1 if regressed else 0
+
+
+_CAMPAIGN_COMMANDS = {
+    "run": _cmd_campaign_run,
+    "status": _cmd_campaign_status,
+    "compare": _cmd_campaign_compare,
+}
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    return _CAMPAIGN_COMMANDS[args.campaign_command](args)
+
+
 _COMMANDS = {
     "run": _cmd_run,
     "fig2": _cmd_fig2,
@@ -471,6 +653,7 @@ _COMMANDS = {
     "report": _cmd_report,
     "trace-report": _cmd_trace_report,
     "trace-compare": _cmd_trace_compare,
+    "campaign": _cmd_campaign,
     "info": _cmd_info,
 }
 

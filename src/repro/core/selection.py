@@ -153,6 +153,24 @@ class GreedyDecaySelection(SelectionStrategy):
         self._alpha = None
         self._alpha_ids = None
 
+    def state_dict(self) -> Dict:
+        """Checkpoint snapshot: the ``alpha_q`` counters (JSON keys)."""
+        return {
+            "appearance_counts": {
+                str(device_id): count
+                for device_id, count in sorted(self.appearance_counts.items())
+            }
+        }
+
+    def load_state_dict(self, state: Dict) -> None:
+        """Restore the counters; the array mirror rebuilds lazily."""
+        self.appearance_counts = {
+            int(device_id): int(count)
+            for device_id, count in state.get("appearance_counts", {}).items()
+        }
+        self._alpha = None
+        self._alpha_ids = None
+
     def _alpha_for(self, population: DevicePopulation) -> np.ndarray:
         """Population-aligned ``alpha_q`` array (cached between rounds)."""
         ids = population.device_ids

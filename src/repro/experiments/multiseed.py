@@ -5,6 +5,12 @@ noise. This runner repeats a set of strategies over several master
 seeds (each seed re-derives the task, partition, fleet, model init,
 and selection streams) and reports per-metric means, standard
 deviations, and paired per-seed gaps.
+
+Passing ``campaign_dir`` routes the same matrix through the
+crash-recoverable campaign orchestrator (:mod:`repro.campaign`):
+runs execute in parallel worker processes with checkpointing on, a
+killed invocation resumes with ``resume=True``, and the assembled
+:class:`MultiSeedResult` is bitwise identical to the in-process path.
 """
 
 from __future__ import annotations
@@ -78,11 +84,67 @@ class MultiSeedResult:
         return [h.time_to_accuracy(target) for h in self.histories[strategy]]
 
 
+def _run_multiseed_campaign(
+    strategies: Sequence[str],
+    settings: ExperimentSettings,
+    iid: bool,
+    seeds: Tuple[int, ...],
+    campaign_dir: str,
+    resume: bool,
+    pool_workers: Optional[int],
+) -> MultiSeedResult:
+    """Execute the multi-seed matrix through the campaign pool."""
+    import json
+    import os
+
+    from repro.campaign import (
+        CampaignManifest,
+        CampaignPool,
+        CampaignSpec,
+        settings_to_overrides,
+        write_aggregate,
+    )
+    from repro.campaign.runner import HISTORY_FILE
+
+    spec = CampaignSpec(
+        name="multiseed",
+        profile="default",
+        iid=iid,
+        seeds=seeds,
+        strategies=tuple(strategies),
+        overrides=({"settings": settings_to_overrides(settings)},),
+    )
+    manifest = CampaignManifest.create(campaign_dir, spec)
+    pool = CampaignPool(manifest, pool_workers=pool_workers)
+    statuses = pool.run(resume=resume)
+    unfinished = [r for r, s in statuses.items() if s != "done"]
+    if unfinished:
+        raise ConfigurationError(
+            f"multi-seed campaign left {len(unfinished)} run(s) "
+            f"unfinished: {', '.join(sorted(unfinished))}"
+        )
+    write_aggregate(manifest)
+    result = MultiSeedResult(iid=iid, seeds=seeds)
+    for strategy in strategies:
+        result.histories[strategy] = []
+    for seed in seeds:
+        for strategy in strategies:
+            run_id = f"s{seed}-{strategy}-c0-f0"
+            path = os.path.join(manifest.run_dir(run_id), HISTORY_FILE)
+            with open(path, "r", encoding="utf-8") as handle:
+                history = TrainingHistory.from_dict(json.load(handle))
+            result.histories[strategy].append(history)
+    return result
+
+
 def run_multiseed(
     strategies: Sequence[str],
     settings: Optional[ExperimentSettings] = None,
     iid: bool = True,
     seeds: Sequence[int] = (0, 1, 2),
+    campaign_dir: Optional[str] = None,
+    resume: bool = False,
+    pool_workers: Optional[int] = None,
 ) -> MultiSeedResult:
     """Run each strategy once per seed on seed-matched environments.
 
@@ -96,6 +158,13 @@ def run_multiseed(
         settings: base settings; each run replaces only ``seed``.
         iid: partition regime.
         seeds: master seeds.
+        campaign_dir: when set, execute through the crash-recoverable
+            campaign orchestrator in this directory — parallel worker
+            processes, checkpointing, and ``resume`` support — with
+            bitwise-identical histories.
+        resume: (campaign mode) continue an interrupted campaign
+            instead of starting over.
+        pool_workers: (campaign mode) worker-process count override.
 
     Returns:
         The assembled :class:`MultiSeedResult`.
@@ -105,6 +174,16 @@ def run_multiseed(
     if not seeds:
         raise ConfigurationError("need at least one seed")
     settings = settings or ExperimentSettings()
+    if campaign_dir is not None:
+        return _run_multiseed_campaign(
+            strategies,
+            settings,
+            iid,
+            tuple(int(s) for s in seeds),
+            campaign_dir,
+            resume,
+            pool_workers,
+        )
     result = MultiSeedResult(iid=iid, seeds=tuple(int(s) for s in seeds))
     for strategy in strategies:
         result.histories[strategy] = []

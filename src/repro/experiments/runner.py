@@ -35,6 +35,7 @@ __all__ = [
     "STRATEGY_NAMES",
     "Environment",
     "build_environment",
+    "build_trainer",
     "run_strategy",
     "run_traced",
 ]
@@ -110,6 +111,74 @@ def _make_server(settings: ExperimentSettings, env: Environment) -> FederatedSer
     )
 
 
+def build_trainer(
+    name: str,
+    settings: ExperimentSettings,
+    environment: Environment,
+    config_overrides: Optional[Dict] = None,
+    backend: Optional[ExecutionBackend] = None,
+    observer: Optional[RunObserver] = None,
+    faults=None,
+    vectorized: bool = True,
+    checkpoint_path: Optional[str] = None,
+) -> FederatedTrainer:
+    """Assemble the :class:`FederatedTrainer` for one named scheme.
+
+    The shared factory behind :func:`run_strategy` and the campaign
+    runner (:mod:`repro.campaign`): a fresh server/model (seeded from
+    the settings, so every strategy starts identically) plus the
+    scheme's selection strategy and frequency policy, wired against
+    ``environment``'s fleet. The ``sl`` baseline has its own loop and
+    is not constructible here.
+
+    Args:
+        name: one of :data:`STRATEGY_NAMES` except ``sl``.
+        settings: experiment settings.
+        environment: the pre-built data + fleet environment.
+        config_overrides: keyword overrides for the trainer config.
+        backend: a pre-built execution backend (caller owns its
+            lifetime); ``None`` runs serial.
+        observer: optional observer receiving the run's events.
+        faults: optional fault plan/injector.
+        vectorized: use the population array paths (the default).
+        checkpoint_path: where ``checkpoint_every`` snapshots land
+            (see :class:`~repro.fl.trainer.FederatedTrainer`).
+    """
+    key = name.strip().lower()
+    if key not in STRATEGY_NAMES or key == "sl":
+        raise ConfigurationError(
+            f"unknown trainer strategy {name!r}; expected one of "
+            f"{tuple(n for n in STRATEGY_NAMES if n != 'sl')}"
+        )
+    server = _make_server(settings, environment)
+    config = settings.trainer_config(**(config_overrides or {}))
+    selection, policy = build_strategy(
+        key,
+        devices=environment.devices,
+        fraction=settings.fraction,
+        payload_bits=settings.payload_bits,
+        bandwidth_hz=settings.bandwidth_hz,
+        decay=settings.decay,
+        seed=derive_seed(settings.seed, "selection", key),
+        fedcs_target_count=settings.fedcs_target_count,
+        fedcs_candidate_fraction=settings.fedcs_candidate_fraction,
+        fedl_kappa=settings.fedl_kappa,
+    )
+    return FederatedTrainer(
+        server=server,
+        devices=environment.devices,
+        selection=selection,
+        frequency_policy=policy,
+        config=config,
+        label=strategy_labels()[key],
+        backend=backend,
+        observer=observer,
+        faults=faults,
+        vectorized=vectorized,
+        checkpoint_path=checkpoint_path,
+    )
+
+
 def run_strategy(
     name: str,
     settings: ExperimentSettings,
@@ -168,9 +237,6 @@ def run_strategy(
             f"unknown strategy {name!r}; expected one of {STRATEGY_NAMES}"
         )
     env = environment or build_environment(settings, iid)
-    server = _make_server(settings, env)
-    config = settings.trainer_config(**(config_overrides or {}))
-    label = strategy_labels()[key]
 
     if key == "sl":
         if faults is not None:
@@ -178,37 +244,23 @@ def run_strategy(
                 "fault injection is not supported by the 'sl' baseline"
             )
         runner = SeparatedLearningRunner(
-            server,
+            _make_server(settings, env),
             env.devices,
-            config=config,
+            config=settings.trainer_config(**(config_overrides or {})),
             eval_users=min(10, settings.num_users),
             seed=derive_seed(settings.seed, "sl-eval"),
-            label=label,
+            label=strategy_labels()[key],
         )
         return runner.run()
 
-    selection, policy = build_strategy(
-        key,
-        devices=env.devices,
-        fraction=settings.fraction,
-        payload_bits=settings.payload_bits,
-        bandwidth_hz=settings.bandwidth_hz,
-        decay=settings.decay,
-        seed=derive_seed(settings.seed, "selection", key),
-        fedcs_target_count=settings.fedcs_target_count,
-        fedcs_candidate_fraction=settings.fedcs_candidate_fraction,
-        fedl_kappa=settings.fedl_kappa,
-    )
     owned_backend = None
     if isinstance(backend, str):
         backend = owned_backend = create_backend(backend, workers=workers)
-    trainer = FederatedTrainer(
-        server=server,
-        devices=env.devices,
-        selection=selection,
-        frequency_policy=policy,
-        config=config,
-        label=label,
+    trainer = build_trainer(
+        key,
+        settings,
+        env,
+        config_overrides=config_overrides,
         backend=backend,
         observer=observer,
         faults=faults,

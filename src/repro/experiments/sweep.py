@@ -5,6 +5,12 @@ generalizes that: declare a grid over any settings fields, run a
 strategy at every grid point, and collect a tidy results table. Used
 for exploratory studies ("how does the eta/fraction plane look?")
 without writing a new runner each time.
+
+Passing ``campaign_dir`` routes the grid through the crash-recoverable
+campaign orchestrator (:mod:`repro.campaign`): every grid point
+becomes one checkpointed campaign run, a killed sweep resumes with
+``resume=True``, and the assembled :class:`SweepResult` is bitwise
+identical to the in-process path.
 """
 
 from __future__ import annotations
@@ -66,12 +72,77 @@ class SweepResult:
         return max(self.points, key=lambda p: getattr(p.history, metric))
 
 
+def _run_sweep_campaign(
+    grid_points: List[Dict[str, object]],
+    strategy: str,
+    base: ExperimentSettings,
+    iid: bool,
+    campaign_dir: str,
+    resume: bool,
+    pool_workers: Optional[int],
+) -> SweepResult:
+    """Execute the grid through the campaign pool, one run per point."""
+    import json
+    import os
+
+    from repro.campaign import (
+        CampaignManifest,
+        CampaignPool,
+        CampaignSpec,
+        settings_to_overrides,
+        write_aggregate,
+    )
+    from repro.campaign.runner import HISTORY_FILE
+
+    base_diff = settings_to_overrides(base)
+    variants = []
+    for overrides in grid_points:
+        merged = dict(base_diff)
+        for name, value in overrides.items():
+            merged[name] = list(value) if isinstance(value, tuple) else value
+        variants.append({"settings": merged})
+    spec = CampaignSpec(
+        name="sweep",
+        profile="default",
+        iid=iid,
+        seeds=(int(base.seed),),
+        strategies=(strategy,),
+        overrides=tuple(variants),
+    )
+    manifest = CampaignManifest.create(campaign_dir, spec)
+    pool = CampaignPool(manifest, pool_workers=pool_workers)
+    statuses = pool.run(resume=resume)
+    unfinished = [r for r, s in statuses.items() if s != "done"]
+    if unfinished:
+        raise ConfigurationError(
+            f"sweep campaign left {len(unfinished)} run(s) unfinished: "
+            f"{', '.join(sorted(unfinished))}"
+        )
+    write_aggregate(manifest)
+    points: List[SweepPoint] = []
+    for index, overrides in enumerate(grid_points):
+        run_id = f"s{base.seed}-{strategy}-c{index}-f0"
+        path = os.path.join(manifest.run_dir(run_id), HISTORY_FILE)
+        with open(path, "r", encoding="utf-8") as handle:
+            history = TrainingHistory.from_dict(json.load(handle))
+        points.append(
+            SweepPoint(
+                overrides=tuple(sorted(overrides.items())),
+                history=history,
+            )
+        )
+    return SweepResult(strategy=strategy, iid=iid, points=points)
+
+
 def run_sweep(
     grid: Mapping[str, Iterable],
     strategy: str = "helcfl",
     base: Optional[ExperimentSettings] = None,
     iid: bool = True,
     reuse_environment: bool = True,
+    campaign_dir: Optional[str] = None,
+    resume: bool = False,
+    pool_workers: Optional[int] = None,
 ) -> SweepResult:
     """Run ``strategy`` at every point of a settings grid.
 
@@ -84,12 +155,21 @@ def run_sweep(
         reuse_environment: when True and no swept field affects the
             environment (data, partition, fleet), build it once. Fields
             affecting the environment force a rebuild per point.
+        campaign_dir: when set, execute through the crash-recoverable
+            campaign orchestrator in this directory — one checkpointed
+            worker-process run per grid point, with ``resume`` support
+            and bitwise-identical histories.
+        resume: (campaign mode) continue an interrupted sweep instead
+            of starting over.
+        pool_workers: (campaign mode) worker-process count override.
 
     Returns:
         The assembled :class:`SweepResult` in grid order.
 
     Raises:
-        ConfigurationError: for an empty grid or unknown field names.
+        ConfigurationError: for an empty grid, unknown field names, or
+            a campaign-routed sweep over ``seed`` (use
+            :func:`repro.experiments.multiseed.run_multiseed`).
     """
     if not grid:
         raise ConfigurationError("grid must name at least one field")
@@ -101,6 +181,28 @@ def run_sweep(
                 f"unknown settings field {name!r}; valid fields: "
                 f"{sorted(valid_fields)}"
             )
+    if campaign_dir is not None:
+        if "seed" in grid:
+            raise ConfigurationError(
+                "a campaign-routed sweep cannot sweep 'seed' (seeds are "
+                "a campaign matrix axis); use run_multiseed instead"
+            )
+        names = list(grid)
+        grid_points = [
+            dict(zip(names, combination))
+            for combination in itertools.product(
+                *(list(grid[n]) for n in names)
+            )
+        ]
+        return _run_sweep_campaign(
+            grid_points,
+            strategy,
+            base,
+            iid,
+            campaign_dir,
+            resume,
+            pool_workers,
+        )
 
     # Fields that change the generated environment.
     environment_fields = {

@@ -32,7 +32,12 @@ from typing import Dict, List, Sequence
 from repro.devices.device import UserDevice
 from repro.errors import ConfigurationError
 from repro.fl.strategy import SelectionStrategy, selection_count
-from repro.rng import SeedLike, ensure_generator
+from repro.rng import (
+    SeedLike,
+    ensure_generator,
+    generator_state,
+    restore_generator,
+)
 
 __all__ = ["OortSelection"]
 
@@ -99,6 +104,26 @@ class OortSelection(SelectionStrategy):
         self.last_losses.clear()
         self.ever_selected.clear()
         self._rng = ensure_generator(self._seed)
+
+    def state_dict(self) -> Dict:
+        """Checkpoint snapshot: losses, exploration set, RNG stream."""
+        return {
+            "last_losses": {
+                str(device_id): loss
+                for device_id, loss in sorted(self.last_losses.items())
+            },
+            "ever_selected": sorted(self.ever_selected),
+            "rng": generator_state(self._rng),
+        }
+
+    def load_state_dict(self, state: Dict) -> None:
+        """Restore a :meth:`state_dict` snapshot."""
+        self.last_losses = {
+            int(device_id): float(loss)
+            for device_id, loss in state.get("last_losses", {}).items()
+        }
+        self.ever_selected = set(state.get("ever_selected", ()))
+        self._rng = restore_generator(state["rng"])
 
     # ------------------------------------------------------------------
     def observe_losses(self, losses: Dict[int, float]) -> None:

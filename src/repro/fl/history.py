@@ -98,6 +98,25 @@ class TrainingHistory:
     def __len__(self) -> int:
         return len(self.records)
 
+    def truncated(self, max_round: int) -> TrainingHistory:
+        """A copy keeping only rounds up to ``max_round`` (inclusive).
+
+        The truncated copy has no ``stop_reason`` — it represents a
+        run cut mid-flight (the checkpoint/resume machinery compares
+        resumed prefixes against it), not a finished one.
+        """
+        if max_round < 0:
+            raise TrainingError(
+                f"max_round must be non-negative, got {max_round}"
+            )
+        history = TrainingHistory(label=self.label)
+        history.records = [
+            record
+            for record in self.records
+            if record.round_index <= max_round
+        ]
+        return history
+
     # ------------------------------------------------------------------
     # Totals
     # ------------------------------------------------------------------

@@ -172,6 +172,32 @@ class SelectionStrategy:
     def reset(self) -> None:
         """Clear any cross-round state before a fresh training run."""
 
+    def state_dict(self) -> Dict:
+        """JSON-serializable snapshot of the cross-round mutable state.
+
+        Checkpoint/resume support: the trainer captures this at every
+        checkpoint and feeds it back through :meth:`load_state_dict`
+        when resuming, so a resumed run selects exactly the users an
+        uninterrupted one would have. Stateless strategies (the base)
+        return ``{}``; every strategy with cross-round state (counters,
+        RNG streams, loss tables) must override *both* methods or
+        resumed runs silently diverge.
+        """
+        return {}
+
+    def load_state_dict(self, state: Dict) -> None:
+        """Restore a :meth:`state_dict` snapshot (after :meth:`reset`).
+
+        The base accepts only the empty snapshot; a non-empty one
+        means the checkpoint was written by a stateful strategy this
+        class cannot restore.
+        """
+        if state:
+            raise SelectionError(
+                f"{type(self).__name__} cannot restore selection state "
+                f"with keys {sorted(state)}"
+            )
+
     def observe_losses(self, losses: Dict[int, float]) -> None:
         """Feedback hook: the trainer reports each round's client losses.
 

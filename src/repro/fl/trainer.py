@@ -116,6 +116,13 @@ class TrainerConfig:
             only the first ``N`` survivors (selection order), where
             ``N`` is the strategy's own count. 0 (the default) disables
             over-selection.
+        checkpoint_every: write an atomic
+            :class:`~repro.fl.checkpoint.TrainerCheckpoint` to the
+            trainer's ``checkpoint_path`` every this many completed
+            rounds (a killed run then resumes from its last snapshot,
+            bitwise identical to an uninterrupted one). ``None`` (the
+            default) disables mid-run checkpointing; the trainer still
+            captures ``trainer.last_checkpoint`` in memory at run end.
     """
 
     rounds: int = 300
@@ -135,6 +142,7 @@ class TrainerConfig:
     minibatch_seed: int = 0
     round_deadline_s: Optional[float] = None
     over_select_margin: int = 0
+    checkpoint_every: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.rounds <= 0:
@@ -182,6 +190,11 @@ class TrainerConfig:
             raise ConfigurationError(
                 "over_select_margin must be non-negative, got "
                 f"{self.over_select_margin}"
+            )
+        if self.checkpoint_every is not None and self.checkpoint_every <= 0:
+            raise ConfigurationError(
+                "checkpoint_every must be positive when set, got "
+                f"{self.checkpoint_every}"
             )
 
     def learning_rate_at(self, round_index: int) -> float:
@@ -259,6 +272,13 @@ class FederatedTrainer:
             object paths, O(Q) numpy instead of O(Q) Python per round.
             False forces the scalar object paths everywhere (the
             parity oracle and the benchmark baseline).
+        checkpoint_path: where ``config.checkpoint_every`` snapshots
+            are written (atomically; see
+            :mod:`repro.fl.checkpoint`). ``None`` (the default)
+            disables on-disk checkpointing even when
+            ``checkpoint_every`` is set. Checkpointing and resuming
+            are not supported together with ``compression`` or
+            ``channel_models`` (their mid-run state is not captured).
 
     Attributes:
         ledger: an :class:`repro.energy.EnergyLedger` accumulating
@@ -266,6 +286,10 @@ class FederatedTrainer:
         observer: the bound :class:`repro.obs.RunObserver`; its
             ``metrics`` carry the run's timers and counters even when
             tracing is off.
+        last_checkpoint: the
+            :class:`~repro.fl.checkpoint.TrainerCheckpoint` captured
+            when :meth:`run` last completed (in memory, regardless of
+            ``checkpoint_every``); ``None`` before the first run.
     """
 
     def __init__(
@@ -282,6 +306,7 @@ class FederatedTrainer:
         observer: Optional[RunObserver] = None,
         faults=None,
         vectorized: bool = True,
+        checkpoint_path: Optional[str] = None,
     ) -> None:
         if not devices:
             raise TrainingError("cannot train with an empty device population")
@@ -321,6 +346,8 @@ class FederatedTrainer:
         )
         self.best_model_params = None
         self.best_model_accuracy = 0.0
+        self.checkpoint_path = checkpoint_path
+        self.last_checkpoint = None
 
     # ------------------------------------------------------------------
     def _run_clients(
@@ -433,10 +460,144 @@ class FederatedTrainer:
                 )
             )
 
-    def run(self) -> TrainingHistory:
-        """Execute the full training loop and return its history."""
+    def _capture_checkpoint(
+        self,
+        round_index: int,
+        history: TrainingHistory,
+        cumulative_time: float,
+        cumulative_energy: float,
+        plateau,
+    ):
+        """Freeze every piece of cross-round state after ``round_index``."""
+        from repro.fl.checkpoint import TrainerCheckpoint
+
+        ledger_state = {
+            "rounds_recorded": self.ledger.rounds_recorded,
+            "devices": {
+                str(device_id): {
+                    "compute_joules": entry.compute_joules,
+                    "upload_joules": entry.upload_joules,
+                    "slack_seconds": entry.slack_seconds,
+                    "rounds": entry.rounds,
+                }
+                for device_id, entry in sorted(self.ledger.devices.items())
+            },
+        }
+        return TrainerCheckpoint(
+            round_index=round_index,
+            label=self.label,
+            strategy_class=type(self.selection).__name__,
+            model_params=self.server.broadcast(),
+            history=history.to_dict(),
+            cumulative_time=cumulative_time,
+            cumulative_energy=cumulative_energy,
+            ledger=ledger_state,
+            batteries={
+                d.device_id: d.battery.charge_joules
+                for d in self.devices
+                if d.battery is not None
+            },
+            channel_gains={
+                d.device_id: d.radio.channel_gain for d in self.devices
+            },
+            selection_state=self.selection.state_dict(),
+            plateau=(
+                {
+                    "best": plateau.best,
+                    "stale_count": plateau.stale_count,
+                    "converged": plateau.converged,
+                }
+                if plateau is not None
+                else None
+            ),
+            best_model_params=self.best_model_params,
+            best_model_accuracy=self.best_model_accuracy,
+        )
+
+    def _apply_checkpoint(self, checkpoint, plateau) -> TrainingHistory:
+        """Restore a checkpoint into this trainer; returns its history.
+
+        Called by :meth:`run` after ``selection.reset()`` and the
+        ledger rebuild but before the population snapshot, so the
+        vectorized view is built from the restored device state.
+        """
+        from repro.energy.accounting import DeviceEnergy
+        from repro.fl.checkpoint import TrainerCheckpoint
+
+        if not isinstance(checkpoint, TrainerCheckpoint):
+            raise ConfigurationError(
+                "resume_from must be a TrainerCheckpoint, got "
+                f"{type(checkpoint).__name__}"
+            )
+        strategy_class = type(self.selection).__name__
+        if checkpoint.strategy_class != strategy_class:
+            raise ConfigurationError(
+                f"checkpoint was written by {checkpoint.strategy_class}; "
+                f"refusing to resume under {strategy_class}"
+            )
+        if checkpoint.round_index > self.config.rounds:
+            raise ConfigurationError(
+                f"checkpoint is at round {checkpoint.round_index}, past "
+                f"this run's {self.config.rounds} rounds"
+            )
+        self.server.model.set_flat_params(checkpoint.model_params.copy())
+        self.selection.load_state_dict(checkpoint.selection_state)
+        self.ledger.rounds_recorded = int(
+            checkpoint.ledger.get("rounds_recorded", 0)
+        )
+        self.ledger.devices.clear()
+        for device_id, raw in checkpoint.ledger.get("devices", {}).items():
+            entry = DeviceEnergy(int(device_id))
+            entry.compute_joules = float(raw["compute_joules"])
+            entry.upload_joules = float(raw["upload_joules"])
+            entry.slack_seconds = float(raw["slack_seconds"])
+            entry.rounds = int(raw["rounds"])
+            self.ledger.devices[int(device_id)] = entry
+        device_index = {d.device_id: d for d in self.devices}
+        for device_id, charge in checkpoint.batteries.items():
+            device = device_index.get(device_id)
+            if device is not None and device.battery is not None:
+                device.battery.charge_joules = float(charge)
+        for device_id, gain in checkpoint.channel_gains.items():
+            device = device_index.get(device_id)
+            if device is not None:
+                device.radio.channel_gain = float(gain)
+        if plateau is not None and checkpoint.plateau is not None:
+            plateau.best = checkpoint.plateau.get("best")
+            plateau.stale_count = int(checkpoint.plateau.get("stale_count", 0))
+            plateau.converged = bool(checkpoint.plateau.get("converged"))
+        self.best_model_params = (
+            checkpoint.best_model_params.copy()
+            if checkpoint.best_model_params is not None
+            else None
+        )
+        self.best_model_accuracy = checkpoint.best_model_accuracy
+        return TrainingHistory.from_dict(checkpoint.history)
+
+    def run(self, resume_from=None, stop_after=None) -> TrainingHistory:
+        """Execute the full training loop and return its history.
+
+        Args:
+            resume_from: an optional
+                :class:`~repro.fl.checkpoint.TrainerCheckpoint` to
+                restore before training; the loop then continues from
+                ``resume_from.round_index + 1`` and the returned
+                history (and every artifact derived from it) is
+                bitwise identical to an uninterrupted run's.
+            stop_after: optional replay cut-off — pause the loop after
+                this round *without* the final-round semantics
+                (``config.rounds`` still governs the forced last
+                evaluation), leaving ``trainer.last_checkpoint``
+                holding exactly the state an uninterrupted run carried
+                out of that round. Used by trace reconstruction
+                (:mod:`repro.campaign.resume`).
+        """
         config = self.config
         observer = self.observer
+        if stop_after is not None and stop_after <= 0:
+            raise ConfigurationError(
+                f"stop_after must be positive when set, got {stop_after}"
+            )
         history = TrainingHistory(label=self.label)
         self.selection.reset()
         if self.compression is not None:
@@ -457,6 +618,29 @@ class FederatedTrainer:
 
         self.ledger = EnergyLedger(metrics=observer.metrics)
         device_index = {d.device_id: d for d in self.devices}
+        checkpointing = (
+            config.checkpoint_every is not None
+            and self.checkpoint_path is not None
+        )
+        if (checkpointing or resume_from is not None) and (
+            self.compression is not None or self.channel_models
+        ):
+            raise ConfigurationError(
+                "checkpoint/resume does not capture compression or "
+                "channel-model state; disable checkpointing or drop "
+                "those features"
+            )
+        start_round = 1
+        if resume_from is not None:
+            history = self._apply_checkpoint(resume_from, plateau)
+            cumulative_time = resume_from.cumulative_time
+            cumulative_energy = resume_from.cumulative_energy
+            start_round = resume_from.round_index + 1
+            _LOGGER.info(
+                "run %r resuming from checkpointed round %d",
+                self.label,
+                resume_from.round_index,
+            )
         # Population-scale array view of the fleet: built once, kept in
         # sync with per-round fading, and sliced per round for the
         # vectorized scheduler paths.
@@ -484,7 +668,7 @@ class FederatedTrainer:
         )
 
         stop_reason = StopReason.ROUNDS_EXHAUSTED
-        round_index = 0
+        round_index = start_round - 1
         injector = self.fault_injector
         if injector is not None and injector.plan.is_empty:
             # An empty plan is contractually a no-op: take the exact
@@ -495,7 +679,7 @@ class FederatedTrainer:
             injector is not None or config.round_deadline_s is not None
         )
         try:
-            for round_index in range(1, config.rounds + 1):
+            for round_index in range(start_round, config.rounds + 1):
                 # Per-round fading: refresh mapped devices' channel gains
                 # before selection so the FLCC plans with current info.
                 for device_id, model in self.channel_models.items():
@@ -876,6 +1060,24 @@ class FederatedTrainer:
                     train_loss,
                 )
 
+                if checkpointing and (
+                    round_index % config.checkpoint_every == 0
+                ):
+                    from repro.fl.checkpoint import save_checkpoint
+
+                    with observer.timer("checkpoint"):
+                        save_checkpoint(
+                            self.checkpoint_path,
+                            self._capture_checkpoint(
+                                round_index,
+                                history,
+                                cumulative_time,
+                                cumulative_energy,
+                                plateau,
+                            ),
+                        )
+                    observer.metrics.inc("checkpoints_written")
+
                 if (
                     config.deadline_s is not None
                     and cumulative_time >= config.deadline_s
@@ -896,6 +1098,9 @@ class FederatedTrainer:
                 ):
                     stop_reason = StopReason.PLATEAU
                     break
+                if stop_after is not None and round_index >= stop_after:
+                    # Replay cut-off: pause (not finish) the run here.
+                    break
         except Exception:
             # Leave a terminal marker in the trace before propagating,
             # so a crashed chaos run's JSONL still ends with a typed
@@ -911,6 +1116,9 @@ class FederatedTrainer:
             )
             raise
 
+        self.last_checkpoint = self._capture_checkpoint(
+            round_index, history, cumulative_time, cumulative_energy, plateau
+        )
         history.stop_reason = stop_reason.value
         observer.emit(
             RunStopEvent(

@@ -105,3 +105,47 @@ class TestMultiSeed:
             run_multiseed((), seeds=(0,))
         with pytest.raises(ConfigurationError):
             run_multiseed(("helcfl",), seeds=())
+
+
+class TestCampaignRouting:
+    def test_campaign_matches_in_process_bitwise(self, tmp_path):
+        settings = ExperimentSettings.quick(
+            num_users=6, rounds=4, train_size=96, test_size=32
+        )
+        in_process = run_multiseed(
+            ("helcfl", "classic"), settings, seeds=(0, 1)
+        )
+        routed = run_multiseed(
+            ("helcfl", "classic"),
+            settings,
+            seeds=(0, 1),
+            campaign_dir=str(tmp_path / "camp"),
+        )
+        assert routed.seeds == in_process.seeds
+        for strategy in in_process.histories:
+            for a, b in zip(
+                in_process.histories[strategy], routed.histories[strategy]
+            ):
+                assert a.to_json() == b.to_json()
+
+    def test_campaign_resume_is_idempotent(self, tmp_path):
+        settings = ExperimentSettings.quick(
+            num_users=6, rounds=4, train_size=96, test_size=32
+        )
+        first = run_multiseed(
+            ("helcfl",),
+            settings,
+            seeds=(0,),
+            campaign_dir=str(tmp_path / "camp"),
+        )
+        again = run_multiseed(
+            ("helcfl",),
+            settings,
+            seeds=(0,),
+            campaign_dir=str(tmp_path / "camp"),
+            resume=True,
+        )
+        assert (
+            first.histories["helcfl"][0].to_json()
+            == again.histories["helcfl"][0].to_json()
+        )

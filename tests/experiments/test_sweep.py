@@ -67,3 +67,27 @@ class TestRunSweep:
 
         with pytest.raises(ConfigurationError):
             SweepResult("helcfl", True, []).best_point()
+
+
+class TestCampaignRouting:
+    def test_campaign_matches_in_process_bitwise(self, tmp_path):
+        base = ExperimentSettings.quick(
+            num_users=6, rounds=4, train_size=96, test_size=32
+        )
+        grid = {"learning_rate": (0.2, 0.3)}
+        in_process = run_sweep(grid, base=base)
+        routed = run_sweep(
+            grid, base=base, campaign_dir=str(tmp_path / "camp")
+        )
+        assert len(routed.points) == len(in_process.points)
+        for a, b in zip(in_process.points, routed.points):
+            assert a.overrides == b.overrides
+            assert a.history.to_json() == b.history.to_json()
+
+    def test_campaign_route_rejects_seed_grid(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="seed"):
+            run_sweep(
+                {"seed": (0, 1)},
+                base=ExperimentSettings.quick(),
+                campaign_dir=str(tmp_path / "camp"),
+            )

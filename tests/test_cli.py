@@ -165,3 +165,82 @@ class TestTraceAnalyticsCommands:
 
         payload = _json.loads(capsys.readouterr().out)
         assert payload["num_rounds"] == 3
+
+
+class TestCampaignCommands:
+    @pytest.fixture(scope="class")
+    def spec_path(self, tmp_path_factory):
+        import json
+
+        path = tmp_path_factory.mktemp("campaign-cli") / "spec.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "name": "cli-smoke",
+                    "profile": "quick",
+                    "seeds": [0],
+                    "strategies": ["helcfl"],
+                    "overrides": [
+                        {
+                            "settings": {
+                                "num_users": 6,
+                                "rounds": 4,
+                                "train_size": 96,
+                                "test_size": 32,
+                            }
+                        }
+                    ],
+                    "pool_workers": 1,
+                }
+            )
+        )
+        return path
+
+    def test_campaign_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["campaign"])
+
+    def test_campaign_run_requires_dir(self, spec_path):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["campaign", "run", str(spec_path)])
+
+    def test_campaign_run_status_compare(self, capsys, tmp_path, spec_path):
+        campaign_dir = tmp_path / "camp"
+        code = main(
+            ["campaign", "run", str(spec_path), "--dir", str(campaign_dir)]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "s0-helcfl-c0-f0" in out and "done" in out
+        assert (campaign_dir / "aggregate.json").exists()
+
+        assert main(["campaign", "status", str(campaign_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "1/1 run(s) done" in out
+
+        aggregate = str(campaign_dir / "aggregate.json")
+        assert main(
+            ["campaign", "compare", aggregate, aggregate, "--strict"]
+        ) == 0
+        assert "ok" in capsys.readouterr().out
+
+    def test_campaign_resume_of_finished_campaign(
+        self, capsys, tmp_path, spec_path
+    ):
+        campaign_dir = tmp_path / "camp"
+        assert main(
+            ["campaign", "run", str(spec_path), "--dir", str(campaign_dir)]
+        ) == 0
+        before = (campaign_dir / "aggregate.json").read_bytes()
+        capsys.readouterr()
+        assert main(
+            [
+                "campaign",
+                "run",
+                str(spec_path),
+                "--dir",
+                str(campaign_dir),
+                "--resume",
+            ]
+        ) == 0
+        assert (campaign_dir / "aggregate.json").read_bytes() == before
