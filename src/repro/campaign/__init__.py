@@ -45,6 +45,13 @@ from repro.campaign.resume import (
 )
 from repro.campaign.runner import execute_run
 from repro.campaign.spec import CampaignSpec, RunSpec, settings_to_overrides
+from repro.campaign.watch import (
+    CampaignSnapshot,
+    RunProgress,
+    render_snapshot,
+    snapshot_campaign,
+    watch,
+)
 
 __all__ = [
     "AGGREGATE_SCHEMA",
@@ -54,7 +61,9 @@ __all__ = [
     "STATUS_RUNNING",
     "CampaignManifest",
     "CampaignPool",
+    "CampaignSnapshot",
     "CampaignSpec",
+    "RunProgress",
     "RunSpec",
     "RunStatus",
     "aggregate_campaign",
@@ -62,8 +71,11 @@ __all__ = [
     "execute_run",
     "load_aggregate",
     "reconstruct_checkpoint",
+    "render_snapshot",
     "resumable_round",
     "settings_to_overrides",
+    "snapshot_campaign",
     "truncate_trace",
+    "watch",
     "write_aggregate",
 ]

@@ -24,7 +24,7 @@ import json
 import os
 import tempfile
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.campaign.spec import CampaignSpec, RunSpec
 from repro.errors import ConfigurationError, SerializationError
@@ -75,13 +75,35 @@ class RunStatus:
         run_id: the run this status belongs to.
         status: one of ``pending``/``running``/``done``/``failed``.
         attempts: how many times the run has been launched.
-        detail: free-form note (the failure message for ``failed``).
+        detail: free-form note (the failure message for ``failed``,
+            the last attempt's death for a retrying ``running``).
+        started_at: Unix timestamp of the latest launch (``None`` when
+            never launched, or written by an older pool version).
+        finished_at: Unix timestamp of the terminal transition
+            (``done``/``failed``); ``None`` while in flight.
     """
 
     run_id: str
     status: str = STATUS_PENDING
     attempts: int = 0
     detail: str = ""
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+
+    def elapsed(self, now: Optional[float] = None) -> Optional[float]:
+        """Seconds from launch to finish (or to ``now`` while running).
+
+        Returns ``None`` when no launch timestamp was recorded. The
+        caller supplies ``now`` (wall-clock reads stay in the caller's
+        jurisdiction).
+        """
+        if self.started_at is None:
+            return None
+        if self.finished_at is not None:
+            return max(0.0, self.finished_at - self.started_at)
+        if now is None:
+            return None
+        return max(0.0, now - self.started_at)
 
 
 class CampaignManifest:
@@ -168,33 +190,49 @@ class CampaignManifest:
             raise SerializationError(
                 f"status file {path} carries unknown status {status!r}"
             )
+        started_at = payload.get("started_at")
+        finished_at = payload.get("finished_at")
         return RunStatus(
             run_id=run_id,
             status=status,
             attempts=int(payload.get("attempts", 0)),
             detail=str(payload.get("detail", "")),
+            started_at=None if started_at is None else float(started_at),
+            finished_at=None if finished_at is None else float(finished_at),
         )
 
     def write_status(
-        self, run_id: str, status: str, attempts: int, detail: str = ""
+        self,
+        run_id: str,
+        status: str,
+        attempts: int,
+        detail: str = "",
+        started_at: Optional[float] = None,
+        finished_at: Optional[float] = None,
     ) -> None:
-        """Atomically record one run's status transition."""
+        """Atomically record one run's status transition.
+
+        Timestamps are supplied by the caller (the pool) rather than
+        read here; ``None`` values are omitted from the file, keeping
+        old status files and new readers mutually compatible.
+        """
         if status not in _STATUSES:
             raise ConfigurationError(
                 f"unknown status {status!r}; expected one of {_STATUSES}"
             )
+        payload = {
+            "run_id": run_id,
+            "status": status,
+            "attempts": int(attempts),
+            "detail": detail,
+        }
+        if started_at is not None:
+            payload["started_at"] = float(started_at)
+        if finished_at is not None:
+            payload["finished_at"] = float(finished_at)
         atomic_write_text(
             self._status_path(run_id),
-            json.dumps(
-                {
-                    "run_id": run_id,
-                    "status": status,
-                    "attempts": int(attempts),
-                    "detail": detail,
-                },
-                sort_keys=True,
-            )
-            + "\n",
+            json.dumps(payload, sort_keys=True) + "\n",
         )
 
     def statuses(self) -> Dict[str, RunStatus]:

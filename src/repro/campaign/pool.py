@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import logging
 import multiprocessing
+import os
 import sys
 import time
 from collections import deque
@@ -34,12 +35,22 @@ from repro.campaign.runner import execute_run
 from repro.campaign.spec import RunSpec
 from repro.errors import ConfigurationError
 
-__all__ = ["CampaignPool", "worker_main"]
+__all__ = ["CAMPAIGN_TRACE_FILE", "CampaignPool", "worker_main"]
 
 _LOGGER = logging.getLogger("repro.campaign.pool")
 
+CAMPAIGN_TRACE_FILE = "campaign-trace.jsonl"
+"""Pool-side span trace, next to ``spec.json`` in the campaign dir."""
 
-def worker_main(run_payload: dict, run_dir: str, resume: bool) -> None:
+
+def worker_main(
+    run_payload: dict,
+    run_dir: str,
+    resume: bool,
+    log_level: Optional[str] = None,
+    spans: bool = True,
+    parent_span_id: str = "",
+) -> None:
     """Process entry point: execute one run, exit 0 on success.
 
     Any exception prints its traceback to stderr and exits 1; the
@@ -48,9 +59,21 @@ def worker_main(run_payload: dict, run_dir: str, resume: bool) -> None:
     parent only after observing a clean exit, so a worker killed at
     the very last instant still counts as dead and is re-verified by
     a resumed attempt.
+
+    ``log_level``, ``spans``, and ``parent_span_id`` are the parent's
+    observability settings, carried across the process boundary so the
+    worker logs at the requested level and its run span links back to
+    the pool's attempt span.
     """
     try:
-        execute_run(RunSpec.from_dict(run_payload), run_dir, resume=resume)
+        execute_run(
+            RunSpec.from_dict(run_payload),
+            run_dir,
+            resume=resume,
+            log_level=log_level,
+            spans=spans,
+            parent_span_id=parent_span_id,
+        )
     except Exception:  # pragma: no cover - exercised via subprocess
         import traceback
 
@@ -75,6 +98,13 @@ class CampaignPool:
         spawn_hook: optional callback ``(run, process, attempt)``
             invoked after each worker launch — the chaos-drill /
             test hook used to SIGKILL workers mid-run.
+        log_level: when given, forwarded into every worker process so
+            worker-side warnings reach stderr at the same level the
+            parent logs at.
+        spans: emit pool-side span events (the ``campaign`` span plus
+            one span per launch attempt) into ``campaign-trace.jsonl``
+            in the campaign directory, and enable span tracing inside
+            workers; ``False`` disables both.
     """
 
     def __init__(
@@ -85,6 +115,8 @@ class CampaignPool:
         run_timeout_s: Optional[float] = None,
         poll_interval_s: float = 0.05,
         spawn_hook: Optional[Callable] = None,
+        log_level: Optional[str] = None,
+        spans: bool = True,
     ) -> None:
         spec = manifest.spec
         self.manifest = manifest
@@ -109,6 +141,8 @@ class CampaignPool:
         self.run_timeout_s = run_timeout_s
         self.poll_interval_s = float(poll_interval_s)
         self.spawn_hook = spawn_hook
+        self.log_level = log_level
+        self.spans = bool(spans)
 
     # ------------------------------------------------------------------
     def run(self, resume: bool = False) -> Dict[str, str]:
@@ -133,13 +167,24 @@ class CampaignPool:
         resume_next: Dict[str, bool] = {
             run.run_id: resume for run in queue
         }
+        # Last-failure notes, carried into the next attempt's status so
+        # `campaign status` and `campaign watch` can show why a run is
+        # on its Nth attempt while it is still retrying.
+        failures: Dict[str, str] = {}
         active: Dict[str, dict] = {}
         context = multiprocessing.get_context()
+        observer, trace_handle = self._campaign_observer()
+        campaign_span = observer.span("campaign", resources=True)
 
         def launch(run: RunSpec) -> None:
             attempts[run.run_id] += 1
+            started_at = time.time()  # repro: allow[REP004] status timestamps are operational metadata; simulation time untouched
             manifest.write_status(
-                run.run_id, STATUS_RUNNING, attempts[run.run_id]
+                run.run_id,
+                STATUS_RUNNING,
+                attempts[run.run_id],
+                detail=failures.get(run.run_id, ""),
+                started_at=started_at,
             )
             process = context.Process(
                 target=worker_main,
@@ -147,6 +192,9 @@ class CampaignPool:
                     run.to_dict(),
                     manifest.run_dir(run.run_id),
                     resume_next[run.run_id],
+                    self.log_level,
+                    self.spans,
+                    f"{run.run_id}/attempt-{attempts[run.run_id]}",
                 ),
                 name=f"campaign-{run.run_id}",
             )
@@ -156,6 +204,12 @@ class CampaignPool:
                 "process": process,
                 "run": run,
                 "started": time.monotonic(),  # repro: allow[REP004] worker liveness is wall-clock; simulation time untouched
+                "started_at": started_at,
+                "span": observer.span(
+                    "attempt",
+                    span_id=f"{run.run_id}/attempt-{attempts[run.run_id]}",
+                    parent_id="campaign",
+                ),
             }
             _LOGGER.info(
                 "launched %s (attempt %d, pid %d)",
@@ -184,15 +238,26 @@ class CampaignPool:
                             )
                             process.kill()
                             process.join()
+                            entry["span"].end()
                             self._handle_death(
-                                entry, attempts, resume_next, queue, "hung"
+                                entry,
+                                attempts,
+                                resume_next,
+                                failures,
+                                queue,
+                                "hung",
                             )
                             del active[run_id]
                     continue
                 process.join()
+                entry["span"].end()
                 if process.exitcode == 0:
                     manifest.write_status(
-                        run_id, STATUS_DONE, attempts[run_id]
+                        run_id,
+                        STATUS_DONE,
+                        attempts[run_id],
+                        started_at=entry["started_at"],
+                        finished_at=time.time(),  # repro: allow[REP004] status timestamps are operational metadata
                     )
                     _LOGGER.info("%s done", run_id)
                 else:
@@ -200,27 +265,56 @@ class CampaignPool:
                         entry,
                         attempts,
                         resume_next,
+                        failures,
                         queue,
                         f"exit code {process.exitcode}",
                     )
                 del active[run_id]
 
-        while queue or active:
-            while queue and len(active) < self.pool_workers:
-                launch(queue.popleft())
-            reap()
-            if active:
-                time.sleep(self.poll_interval_s)
+        try:
+            while queue or active:
+                while queue and len(active) < self.pool_workers:
+                    launch(queue.popleft())
+                reap()
+                if active:
+                    time.sleep(self.poll_interval_s)
+        finally:
+            # Close attempt spans a crashing pool would strand, then
+            # the campaign span, so the trace tail stays parseable.
+            for entry in active.values():
+                entry["span"].end()
+            campaign_span.end()
+            observer.close()
+            if trace_handle is not None:
+                trace_handle.close()
         return {
             run.run_id: manifest.read_status(run.run_id).status
             for run in manifest.runs
         }
+
+    def _campaign_observer(self):
+        """The pool-side observer (and owned trace handle, if any).
+
+        Spans off (or tracing unavailable) yields a null observer whose
+        spans compile to no-ops — the pool's control flow is identical
+        either way. The trace opens in append mode so a resumed
+        campaign extends the same file instead of erasing the earlier
+        pool's spans.
+        """
+        from repro.obs import JsonlTraceSink, RunObserver
+
+        if not self.spans:
+            return RunObserver(), None
+        path = os.path.join(self.manifest.root, CAMPAIGN_TRACE_FILE)
+        handle = open(path, "a", encoding="utf-8")
+        return RunObserver(sink=JsonlTraceSink(handle)), handle
 
     def _handle_death(
         self,
         entry: dict,
         attempts: Dict[str, int],
         resume_next: Dict[str, bool],
+        failures: Dict[str, str],
         queue: deque,
         cause: str,
     ) -> None:
@@ -229,6 +323,9 @@ class CampaignPool:
         run_id = run.run_id
         if attempts[run_id] <= self.max_retries:
             resume_next[run_id] = True
+            failures[run_id] = (
+                f"attempt {attempts[run_id]} died ({cause}); retrying"
+            )
             queue.append(run)
             _LOGGER.warning(
                 "%s died (%s); requeued with resume (attempt %d of %d)",
@@ -243,6 +340,8 @@ class CampaignPool:
                 STATUS_FAILED,
                 attempts[run_id],
                 detail=f"gave up after {attempts[run_id]} attempts ({cause})",
+                started_at=entry["started_at"],
+                finished_at=time.time(),  # repro: allow[REP004] status timestamps are operational metadata
             )
             _LOGGER.error(
                 "%s failed permanently after %d attempts (%s)",

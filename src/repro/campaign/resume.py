@@ -84,9 +84,16 @@ def truncate_trace(path: str, keep_round: int) -> int:
                 f"trace {path} line {position + 1} is malformed "
                 "mid-stream"
             ) from exc
-        if payload.get("kind") == "run_stop":
+        kind = payload.get("event")
+        if kind == "run_stop":
             continue
-        if int(payload.get("round_index", 0)) > keep_round:
+        round_index = int(payload.get("round_index", 0))
+        if round_index > keep_round:
+            continue
+        if round_index == 0 and kind in ("span_end", "worker_resource"):
+            # Run-level span *closures* are re-emitted when the resumed
+            # attempt finishes; only the opening span_start is kept so
+            # the final trace carries exactly one start/end pair.
             continue
         kept.append(text + "\n")
     atomic_write_text(path, "".join(kept))

@@ -29,7 +29,7 @@ from repro.errors import SerializationError
 from repro.experiments.runner import build_environment, build_trainer
 from repro.fl.checkpoint import TrainerCheckpoint, load_checkpoint
 from repro.fl.execution import ExecutionBackend, create_backend
-from repro.obs import JsonlTraceSink, RunObserver
+from repro.obs import JsonlTraceSink, RunObserver, configure_logging
 
 __all__ = ["execute_run"]
 
@@ -82,7 +82,14 @@ def _resume_checkpoint(
     return checkpoint
 
 
-def execute_run(run: RunSpec, run_dir: str, resume: bool = False) -> dict:
+def execute_run(
+    run: RunSpec,
+    run_dir: str,
+    resume: bool = False,
+    log_level: Optional[str] = None,
+    spans: bool = True,
+    parent_span_id: str = "",
+) -> dict:
     """Execute one campaign run to completion in this process.
 
     Args:
@@ -90,11 +97,17 @@ def execute_run(run: RunSpec, run_dir: str, resume: bool = False) -> dict:
         run_dir: the run's artifact directory (created if missing).
         resume: continue from the run directory's checkpoint/trace
             instead of starting over.
-
-    Returns:
-        A summary dict: ``run_id``, ``rounds`` trained in total, and
-        ``resumed_from`` (0 when the run started fresh).
+        log_level: when given, (re)configure the ``repro`` logger at
+            this level — pool workers pass the parent's level through
+            so worker-side warnings reach stderr.
+        spans: emit hierarchical span events into the run trace
+            (``False`` compiles them to no-ops; the artifacts stay
+            bitwise identical either way).
+        parent_span_id: span id of the enclosing campaign-side span,
+            recorded as the run span's parent for cross-process trees.
     """
+    if log_level is not None:
+        configure_logging(log_level)
     os.makedirs(run_dir, exist_ok=True)
     trace_path = os.path.join(run_dir, TRACE_FILE)
     checkpoint_path = os.path.join(run_dir, CHECKPOINT_FILE)
@@ -126,10 +139,16 @@ def execute_run(run: RunSpec, run_dir: str, resume: bool = False) -> dict:
         handle = open(trace_path, "w", encoding="utf-8")
 
     backend: Optional[ExecutionBackend] = None
-    observer = RunObserver(sink=JsonlTraceSink(handle))
+    observer = RunObserver(
+        sink=JsonlTraceSink(handle),
+        spans_enabled=spans,
+        parent_span_id=parent_span_id,
+    )
     try:
         if run.backend != "serial":
-            backend = create_backend(run.backend, workers=run.workers)
+            backend = create_backend(
+                run.backend, workers=run.workers, log_level=log_level
+            )
         trainer = build_trainer(
             run.strategy,
             settings,

@@ -40,6 +40,9 @@ REP011    RNG provenance (cross-file) — generators reaching
           selection/faults/quantization trace to :mod:`repro.rng`
 REP012    suppression hygiene — every ``allow[...]`` comment carries a
           justification (REP012 itself cannot be suppressed)
+REP013    span lifecycle — every ``observer.span(...)`` open reaches
+          ``.end()`` on all paths (``with``, same depth, ``finally``,
+          or explicit handoff to a new owner)
 ========  ==============================================================
 """
 

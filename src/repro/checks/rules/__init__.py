@@ -13,6 +13,7 @@ from repro.checks.rules.hotpath import HotPathLoopRule
 from repro.checks.rules.pickling import ParamPicklingRule
 from repro.checks.rules.rng_provenance import RngProvenanceRule
 from repro.checks.rules.shm_lifecycle import ShmLifecycleRule
+from repro.checks.rules.span_lifecycle import SpanLifecycleRule
 from repro.checks.rules.suppression import SuppressionHygieneRule
 from repro.checks.rules.units import UnitDisciplineRule
 from repro.checks.rules.units_flow import UnitFlowRule
@@ -36,6 +37,7 @@ ALL_RULES: Dict[str, type] = {
         UnitFlowRule,
         RngProvenanceRule,
         SuppressionHygieneRule,
+        SpanLifecycleRule,
     )
 }
 """Mapping from rule id to rule class, in id order."""

@@ -1,0 +1,220 @@
+"""REP013 — every opened span reaches end() on all paths.
+
+A :meth:`repro.obs.observer.RunObserver.span` that is opened but never
+closed leaves a dangling ``span_start`` in the trace: the analyzer
+reports it unclosed, the Chrome export renders it running forever, and
+a resumed attempt cannot tell it from a genuine crash cut. The
+discipline is structural and this rule enforces it per function:
+
+* a span opened as a ``with`` item is closed by the context manager —
+  always fine;
+* a span bound to a local must reach an *unconditional* ``.end()`` in
+  the same function: either at the same ``if``/``while`` nesting depth
+  as the open, or inside a ``finally`` block (the trainer's
+  crash-handler pattern — an extra ``.end()`` in an ``except`` arm is
+  welcome but does not count on its own);
+* a span result that is neither bound, managed, nor immediately
+  ``.end()``-chained is discarded and can never be closed;
+* handing the span off (returning it, passing it to a call, storing it
+  in a container or attribute) transfers the obligation to the new
+  owner and is accepted here — the campaign pool parks attempt spans
+  in its ``active`` table and closes them in its ``finally``.
+
+``Span.end()`` is idempotent by contract, so defense-in-depth closes
+on multiple paths are encouraged, never flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Set, Tuple
+
+from repro.checks.context import ModuleContext
+from repro.checks.findings import Finding
+from repro.checks.rules.base import Rule
+
+__all__ = ["SpanLifecycleRule"]
+
+
+def _is_span_call(node: ast.AST) -> bool:
+    """Whether ``node`` is a ``<something>.span(...)`` call."""
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr == "span"
+    )
+
+
+@dataclass
+class _Open:
+    name: str
+    node: ast.AST
+    depth: int
+
+
+@dataclass
+class _ScopeState:
+    """Span facts for one function (or the module body)."""
+
+    opens: List[_Open] = field(default_factory=list)
+    discarded: List[ast.AST] = field(default_factory=list)
+    ends: Dict[str, List[Tuple[int, bool]]] = field(default_factory=dict)
+    with_managed: Set[str] = field(default_factory=set)
+    escaped: Set[str] = field(default_factory=set)
+
+
+def _scan_expr(expr: ast.AST, state, tracked, depth, in_finally) -> None:
+    """Record ``name.end()`` calls and escapes of tracked names."""
+    end_receivers = set()
+    for node in ast.walk(expr):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "end"
+            and isinstance(node.func.value, ast.Name)
+            and node.func.value.id in tracked
+        ):
+            state.ends.setdefault(node.func.value.id, []).append(
+                (depth, in_finally)
+            )
+            end_receivers.add(id(node.func.value))
+    for node in ast.walk(expr):
+        if (
+            isinstance(node, ast.Name)
+            and isinstance(node.ctx, ast.Load)
+            and node.id in tracked
+            and id(node) not in end_receivers
+        ):
+            # Any non-.end() read — returned, passed on, aliased,
+            # stored — is an ownership handoff; the new owner closes.
+            state.escaped.add(node.id)
+
+
+def _scan_stmts(stmts, state, tracked, depth, in_finally) -> None:
+    for stmt in stmts:
+        if isinstance(
+            stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ):
+            continue  # nested scopes are scanned on their own
+        if (
+            isinstance(stmt, ast.Assign)
+            and len(stmt.targets) == 1
+            and isinstance(stmt.targets[0], ast.Name)
+            and _is_span_call(stmt.value)
+        ):
+            name = stmt.targets[0].id
+            state.opens.append(_Open(name=name, node=stmt, depth=depth))
+            tracked.add(name)
+            continue
+        if isinstance(stmt, ast.Expr) and _is_span_call(stmt.value):
+            state.discarded.append(stmt)
+            continue
+        if isinstance(stmt, ast.With) or isinstance(stmt, ast.AsyncWith):
+            for item in stmt.items:
+                if _is_span_call(item.context_expr):
+                    continue  # managed open — nothing to track
+                if (
+                    isinstance(item.context_expr, ast.Name)
+                    and item.context_expr.id in tracked
+                ):
+                    state.with_managed.add(item.context_expr.id)
+                else:
+                    _scan_expr(
+                        item.context_expr, state, tracked, depth, in_finally
+                    )
+            _scan_stmts(stmt.body, state, tracked, depth, in_finally)
+            continue
+        if isinstance(stmt, (ast.If, ast.While)):
+            _scan_expr(stmt.test, state, tracked, depth, in_finally)
+            _scan_stmts(stmt.body, state, tracked, depth + 1, in_finally)
+            _scan_stmts(stmt.orelse, state, tracked, depth + 1, in_finally)
+            continue
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            # A loop body is not an *extra* condition for this rule:
+            # the idiomatic per-iteration span opens and closes inside
+            # the same body (the trainer's round span).
+            _scan_expr(stmt.iter, state, tracked, depth, in_finally)
+            _scan_stmts(stmt.body, state, tracked, depth, in_finally)
+            _scan_stmts(stmt.orelse, state, tracked, depth, in_finally)
+            continue
+        if isinstance(stmt, ast.Try):
+            _scan_stmts(stmt.body, state, tracked, depth, in_finally)
+            for handler in stmt.handlers:
+                _scan_stmts(
+                    handler.body, state, tracked, depth + 1, in_finally
+                )
+            _scan_stmts(stmt.orelse, state, tracked, depth, in_finally)
+            _scan_stmts(stmt.finalbody, state, tracked, depth, True)
+            continue
+        _scan_expr(stmt, state, tracked, depth, in_finally)
+
+
+def _scope_bodies(tree: ast.Module):
+    """Every function body (plus the module body) to scan separately."""
+    yield tree.body
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node.body
+
+
+class SpanLifecycleRule(Rule):
+    """Spans opened outside ``with`` reach an unconditional end()."""
+
+    rule_id = "REP013"
+    title = "span lifecycle: opened spans reach end() on all paths"
+    rationale = (
+        "A span opened via observer.span() but never closed leaves a "
+        "dangling span_start in the trace: analysis reports it "
+        "unclosed and the Chrome export renders it running forever. "
+        "Bind-and-end spans must close at the open's if/while depth "
+        "or in a finally; an end only inside a branch or except arm "
+        "misses the other paths. Handing the span to another owner "
+        "(return, call, container) transfers the obligation."
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        """Flag discarded, never-ended, and conditionally ended spans."""
+        for body in _scope_bodies(ctx.tree):
+            state = _ScopeState()
+            _scan_stmts(body, state, set(), 0, False)
+            for node in state.discarded:
+                yield self.finding(
+                    ctx,
+                    node,
+                    "span is opened and immediately discarded; use "
+                    "`with observer.span(...)`, bind it and call "
+                    ".end(), or chain .end() directly",
+                )
+            reported: Set[str] = set()
+            for open_ in state.opens:
+                name = open_.name
+                if name in reported:
+                    continue
+                if name in state.with_managed or name in state.escaped:
+                    continue
+                ends = state.ends.get(name, [])
+                if not ends:
+                    reported.add(name)
+                    yield self.finding(
+                        ctx,
+                        open_.node,
+                        f"span {name!r} is opened outside `with` but "
+                        "never reaches .end() in this function and is "
+                        "not handed off; the trace keeps a dangling "
+                        "span_start",
+                    )
+                    continue
+                reliable = any(
+                    in_finally or depth <= open_.depth
+                    for depth, in_finally in ends
+                )
+                if not reliable:
+                    reported.add(name)
+                    yield self.finding(
+                        ctx,
+                        open_.node,
+                        f"span {name!r} is closed only under extra "
+                        "conditions relative to its open; move .end() "
+                        "into a finally block or the open's own path",
+                    )

@@ -87,6 +87,12 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         "JSON lines to PATH; tracing never changes results",
     )
     parser.add_argument(
+        "--no-spans",
+        action="store_true",
+        help="omit span/resource telemetry events from the trace "
+        "(simulation events only); results are identical either way",
+    )
+    parser.add_argument(
         "--log-level",
         choices=("debug", "info", "warning", "error"),
         default=None,
@@ -171,9 +177,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     trace_report.add_argument(
         "--format",
-        choices=("table", "markdown", "json"),
+        choices=("table", "markdown", "json", "chrome-trace"),
         default="table",
-        help="output format (default: table)",
+        help=(
+            "output format (default: table); chrome-trace exports the "
+            "span tree as Chrome/Perfetto trace-event JSON"
+        ),
     )
     trace_report.add_argument(
         "--output", default=None, help="write the report to this file"
@@ -264,7 +273,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--log-level",
         choices=("debug", "info", "warning", "error"),
         default=None,
-        help="enable library logging on stderr at this level",
+        help="enable library logging on stderr at this level; also "
+        "forwarded into every worker process",
+    )
+    campaign_run.add_argument(
+        "--no-spans",
+        action="store_true",
+        help="disable span/resource telemetry (no campaign-trace.jsonl, "
+        "simulation-only run traces); results are identical either way",
     )
 
     campaign_status = campaign_sub.add_parser(
@@ -272,6 +288,24 @@ def build_parser() -> argparse.ArgumentParser:
     )
     campaign_status.add_argument(
         "campaign_dir", metavar="DIR", help="campaign directory"
+    )
+
+    campaign_watch = campaign_sub.add_parser(
+        "watch",
+        help="live-monitor a running campaign (read-only: progress "
+        "bars, retries, throughput, ETA)",
+    )
+    campaign_watch.add_argument(
+        "campaign_dir", metavar="DIR", help="campaign directory"
+    )
+    campaign_watch.add_argument(
+        "--once",
+        action="store_true",
+        help="render a single frame and exit (CI smoke mode)",
+    )
+    campaign_watch.add_argument(
+        "--interval", type=float, default=2.0, metavar="SECONDS",
+        help="refresh cadence (default: 2.0)",
     )
 
     campaign_compare = campaign_sub.add_parser(
@@ -349,7 +383,9 @@ def _observer_from(args: argparse.Namespace):
     if args.log_level:
         configure_logging(args.log_level.upper())
     if args.trace:
-        return RunObserver.to_path(args.trace)
+        return RunObserver.to_path(
+            args.trace, spans_enabled=not args.no_spans
+        )
     return None
 
 
@@ -570,6 +606,8 @@ def _cmd_campaign_run(args: argparse.Namespace) -> int:
         pool_workers=args.pool_workers,
         max_retries=args.max_retries,
         run_timeout_s=args.run_timeout,
+        log_level=args.log_level.upper() if args.log_level else None,
+        spans=not args.no_spans,
     )
     statuses = pool.run(resume=args.resume)
     failed = sorted(
@@ -592,21 +630,44 @@ def _cmd_campaign_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_campaign_status(args: argparse.Namespace) -> int:
-    from repro.campaign import STATUS_DONE, CampaignManifest
+    import time
+
+    from repro.campaign import (
+        STATUS_DONE,
+        STATUS_FAILED,
+        CampaignManifest,
+    )
 
     manifest = CampaignManifest.open(args.campaign_dir)
     statuses = manifest.statuses()
     done = sum(1 for s in statuses.values() if s.status == STATUS_DONE)
+    now = time.time()  # repro: allow[REP004] elapsed-time display for operators; simulation untouched
     print(
         f"campaign {manifest.spec.name}: {done}/{len(statuses)} run(s) done"
     )
     for run_id, status in statuses.items():
+        elapsed = status.elapsed(
+            now=None
+            if status.status in (STATUS_DONE, STATUS_FAILED)
+            else now
+        )
+        elapsed_text = "—" if elapsed is None else f"{elapsed:.1f}s"
         detail = f"  [{status.detail}]" if status.detail else ""
         print(
             f"  {run_id:32s} {status.status:8s} "
-            f"attempts={status.attempts}{detail}"
+            f"attempts={status.attempts} elapsed={elapsed_text}{detail}"
         )
     return 0
+
+
+def _cmd_campaign_watch(args: argparse.Namespace) -> int:
+    from repro.campaign import watch
+
+    return watch(
+        args.campaign_dir,
+        interval_s=args.interval,
+        once=args.once,
+    )
 
 
 def _cmd_campaign_compare(args: argparse.Namespace) -> int:
@@ -637,6 +698,7 @@ def _cmd_campaign_compare(args: argparse.Namespace) -> int:
 _CAMPAIGN_COMMANDS = {
     "run": _cmd_campaign_run,
     "status": _cmd_campaign_status,
+    "watch": _cmd_campaign_watch,
     "compare": _cmd_campaign_compare,
 }
 

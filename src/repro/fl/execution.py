@@ -45,6 +45,12 @@ from repro.devices.device import UserDevice
 from repro.errors import ConfigurationError, TrainingError
 from repro.fl.client import LocalTrainer
 from repro.nn.model import Sequential
+from repro.obs.spans import (
+    TaskSpanContext,
+    begin_task_sample,
+    emit_task_span,
+    end_task_sample,
+)
 from repro.rng import derive_seed
 
 __all__ = [
@@ -318,6 +324,12 @@ class ExecutionBackend:
     def __init__(self) -> None:
         self._spec: Optional[LocalUpdateSpec] = None
         self.observer = None
+        # Per-round task-sampling scratch: when the bound observer has
+        # spans active, ``_run`` implementations record one
+        # ``(device_id, TaskSample)`` pair per client in selection
+        # order; ``run_round`` turns them into per-task span events.
+        self._sample_tasks = False
+        self._task_samples: List[tuple] = []
 
     # -- lifecycle ------------------------------------------------------
     def bind(
@@ -376,14 +388,29 @@ class ExecutionBackend:
                 f"{type(self).__name__} must be bound before run_round"
             )
         observer = self.observer
-        if observer is None:
-            return self._run(round_index, global_params, selected, learning_rate)
-        with observer.timer("run_round"):
-            updates = self._run(
-                round_index, global_params, selected, learning_rate
-            )
-        observer.metrics.inc("clients_trained", float(len(updates)))
-        return updates
+        self._sample_tasks = observer is not None and observer.spans_active
+        self._task_samples = []
+        try:
+            if observer is None:
+                return self._run(
+                    round_index, global_params, selected, learning_rate
+                )
+            with observer.timer("run_round"):
+                updates = self._run(
+                    round_index, global_params, selected, learning_rate
+                )
+            observer.metrics.inc("clients_trained", float(len(updates)))
+            if self._task_samples:
+                context = TaskSpanContext(
+                    parent_id=f"round-{round_index}/local_updates",
+                    round_index=round_index,
+                )
+                for device_id, sample in self._task_samples:
+                    emit_task_span(observer, context, device_id, sample)
+            return updates
+        finally:
+            self._sample_tasks = False
+            self._task_samples = []
 
     def _run(
         self,
@@ -433,19 +460,39 @@ class SerialBackend(ExecutionBackend):
         self._scratch = model_template.clone()
 
     def _run(self, round_index, global_params, selected, learning_rate):
-        return [
-            _train_one(
-                self._scratch,
-                self._spec,
-                round_index,
-                learning_rate,
-                global_params,
-                device.device_id,
-                device.dataset,
-                float(device.num_samples),
+        if not self._sample_tasks:
+            return [
+                _train_one(
+                    self._scratch,
+                    self._spec,
+                    round_index,
+                    learning_rate,
+                    global_params,
+                    device.device_id,
+                    device.dataset,
+                    float(device.num_samples),
+                )
+                for device in selected
+            ]
+        updates = []
+        for device in selected:
+            token = begin_task_sample()
+            updates.append(
+                _train_one(
+                    self._scratch,
+                    self._spec,
+                    round_index,
+                    learning_rate,
+                    global_params,
+                    device.device_id,
+                    device.dataset,
+                    float(device.num_samples),
+                )
             )
-            for device in selected
-        ]
+            self._task_samples.append(
+                (device.device_id, end_task_sample(token))
+            )
+        return updates
 
 
 class ThreadPoolBackend(ExecutionBackend):
@@ -497,9 +544,11 @@ class ThreadPoolBackend(ExecutionBackend):
     def _run(self, round_index, global_params, selected, learning_rate):
         if self._pool is None:
             raise TrainingError("ThreadPoolBackend is closed; re-bind it")
+        sampling = self._sample_tasks
 
-        def task(device: UserDevice) -> ClientUpdate:
-            return _train_one(
+        def task(device: UserDevice):
+            token = begin_task_sample() if sampling else None
+            update = _train_one(
                 self._scratch(),
                 self._spec,
                 round_index,
@@ -509,31 +558,54 @@ class ThreadPoolBackend(ExecutionBackend):
                 device.dataset,
                 float(device.num_samples),
             )
+            return update, (
+                end_task_sample(token) if token is not None else None
+            )
 
-        return list(self._pool.map(task, selected))
+        results = list(self._pool.map(task, selected))
+        if sampling:
+            # Collected in map (= selection) order, not completion
+            # order, so the emitted span sequence is deterministic.
+            self._task_samples.extend(
+                (device.device_id, sample)
+                for device, (_, sample) in zip(selected, results)
+            )
+        return [update for update, _ in results]
 
 
 # -- process-pool worker plumbing (module level for picklability) ------
 _WORKER_STATE: dict = {}
 
 
-def _process_worker_init(model: Sequential, spec: LocalUpdateSpec, datasets):
+def _process_worker_init(
+    model: Sequential,
+    spec: LocalUpdateSpec,
+    datasets,
+    log_level=None,
+):
     """Build one worker's scratch model and dataset cache.
 
     The writes below are the deliberate process-pool initializer
     pattern: each pool *process* runs this exactly once, before any
     task, so its copy of ``_WORKER_STATE`` is populated single-threaded
-    and never mutated again.
+    and never mutated again. ``log_level`` re-applies the parent's
+    logging configuration inside the worker process, so warnings
+    raised during local updates reach stderr instead of vanishing.
     """
+    if log_level is not None:
+        from repro.obs import configure_logging
+
+        configure_logging(log_level)
     _WORKER_STATE["scratch"] = model  # repro: allow[REP005] per-process init, pre-task
     _WORKER_STATE["spec"] = spec  # repro: allow[REP005] per-process init, pre-task
     _WORKER_STATE["datasets"] = datasets  # repro: allow[REP005] per-process init, pre-task
 
 
 def _process_worker_run(task):
-    round_index, learning_rate, global_params, device_id, weight, dataset = task
+    round_index, learning_rate, global_params, device_id, weight, dataset, sample = task
     if dataset is None:
         dataset = _WORKER_STATE["datasets"][device_id]
+    token = begin_task_sample() if sample else None
     update = _train_one(
         _WORKER_STATE["scratch"],
         _WORKER_STATE["spec"],
@@ -544,8 +616,11 @@ def _process_worker_run(task):
         dataset,
         weight,
     )
+    # The resource sample is taken in the *worker* process, then rides
+    # home with the result (scalars only) for the parent to emit.
+    taken = end_task_sample(token) if token is not None else None
     # Pickle-transport fallback path; the zero-copy route is repro.fl.shm.
-    return update.device_id, update.params, update.weight, update.loss  # repro: allow[REP007] pickle fallback backend
+    return update.device_id, update.params, update.weight, update.loss, taken  # repro: allow[REP007] pickle fallback backend
 
 
 class ProcessPoolBackend(ExecutionBackend):
@@ -559,13 +634,19 @@ class ProcessPoolBackend(ExecutionBackend):
 
     Args:
         workers: pool size; ``None`` uses ``os.cpu_count()``.
+        log_level: when given, each worker process re-applies this
+            logging level at pool start-up so worker-side warnings
+            surface on stderr.
     """
 
     name = "process"
 
-    def __init__(self, workers: Optional[int] = None) -> None:
+    def __init__(
+        self, workers: Optional[int] = None, log_level=None
+    ) -> None:
         super().__init__()
         self.workers = _check_workers(workers)
+        self.log_level = log_level
         self._pool = None
         self._known_ids: set = set()
 
@@ -578,7 +659,7 @@ class ProcessPoolBackend(ExecutionBackend):
         self._pool = ProcessPoolExecutor(
             max_workers=self.workers,
             initializer=_process_worker_init,
-            initargs=(model_template.clone(), spec, datasets),
+            initargs=(model_template.clone(), spec, datasets, self.log_level),
         )
 
     def close(self) -> None:
@@ -589,6 +670,7 @@ class ProcessPoolBackend(ExecutionBackend):
     def _run(self, round_index, global_params, selected, learning_rate):
         if self._pool is None:
             raise TrainingError("ProcessPoolBackend is closed; re-bind it")
+        sampling = self._sample_tasks
         tasks = [
             (
                 round_index,
@@ -597,19 +679,27 @@ class ProcessPoolBackend(ExecutionBackend):
                 device.device_id,
                 float(device.num_samples),
                 None if device.device_id in self._known_ids else device.dataset,
+                sampling,
             )
             for device in selected
         ]
-        return [
-            ClientUpdate(
-                device_id=device_id, params=params, weight=weight, loss=loss
+        updates = []
+        for device_id, params, weight, loss, sample in self._pool.map(
+            _process_worker_run,
+            tasks,
+            chunksize=_map_chunksize(len(tasks), self.workers),
+        ):
+            updates.append(
+                ClientUpdate(
+                    device_id=device_id,
+                    params=params,
+                    weight=weight,
+                    loss=loss,
+                )
             )
-            for device_id, params, weight, loss in self._pool.map(
-                _process_worker_run,
-                tasks,
-                chunksize=_map_chunksize(len(tasks), self.workers),
-            )
-        ]
+            if sampling:
+                self._task_samples.append((device_id, sample))
+        return updates
 
 
 # ----------------------------------------------------------------------
@@ -628,7 +718,7 @@ BACKEND_NAMES: Tuple[str, ...] = tuple(_BACKENDS) + ("process+shm",)
 
 
 def create_backend(
-    name: str, workers: Optional[int] = None
+    name: str, workers: Optional[int] = None, log_level=None
 ) -> ExecutionBackend:
     """Construct a backend by name.
 
@@ -636,6 +726,9 @@ def create_backend(
         name: one of :data:`BACKEND_NAMES`.
         workers: pool size for the pooled backends; ignored by
             ``serial``.
+        log_level: logging level re-applied inside pool *worker
+            processes* (``process`` / ``process+shm``); in-process
+            backends inherit the parent's logger and ignore it.
     """
     key = str(name).strip().lower()
     if key not in BACKEND_NAMES:
@@ -645,8 +738,12 @@ def create_backend(
         )
     if key == "serial":
         return SerialBackend()
+    if key == "thread":
+        return ThreadPoolBackend(workers=workers)
     if key == "process+shm":
         from repro.fl.shm import SharedMemoryProcessPoolBackend
 
-        return SharedMemoryProcessPoolBackend(workers=workers)
-    return _BACKENDS[key](workers=workers)
+        return SharedMemoryProcessPoolBackend(
+            workers=workers, log_level=log_level
+        )
+    return ProcessPoolBackend(workers=workers, log_level=log_level)

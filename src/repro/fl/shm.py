@@ -45,6 +45,7 @@ from repro.fl.execution import (
     _train_one,
 )
 from repro.nn.model import Sequential
+from repro.obs.spans import begin_task_sample, end_task_sample
 
 __all__ = ["SharedArrayPool", "SharedMemoryProcessPoolBackend"]
 
@@ -231,13 +232,20 @@ def _shm_worker_init(
     datasets: dict,
     broadcast_name: str,
     param_count: int,
+    log_level=None,
 ) -> None:
     """Build one worker's scratch model, dataset cache, and shm state.
 
     Deliberate process-pool initializer pattern: each pool *process*
     runs this exactly once, before any task, so its copy of
-    ``_SHM_WORKER_STATE`` is populated single-threaded.
+    ``_SHM_WORKER_STATE`` is populated single-threaded. ``log_level``
+    re-applies the parent's logging configuration so worker-side
+    warnings surface on stderr.
     """
+    if log_level is not None:
+        from repro.obs import configure_logging
+
+        configure_logging(log_level)
     _SHM_WORKER_STATE["scratch"] = model  # repro: allow[REP005] per-process init, pre-task
     _SHM_WORKER_STATE["spec"] = spec  # repro: allow[REP005] per-process init, pre-task
     _SHM_WORKER_STATE["datasets"] = datasets  # repro: allow[REP005] per-process init, pre-task
@@ -256,10 +264,12 @@ def _shm_worker_run(task):
         weight,
         result_name,
         dataset,
+        sample,
     ) = task
     state = _SHM_WORKER_STATE
     if dataset is None:
         dataset = state["datasets"][device_id]
+    token = begin_task_sample() if sample else None
     count = state["param_count"]
     broadcast = _attach_segment(state["broadcast_name"])
     global_params = np.ndarray(
@@ -285,7 +295,10 @@ def _shm_worker_run(task):
         weight,
         params_out=slot_view,
     )
-    return update.device_id, slot, update.weight, update.loss
+    # The resource sample is taken in the *worker* process and returns
+    # with the scalar result tuple; parameters stay in shared memory.
+    taken = end_task_sample(token) if token is not None else None
+    return update.device_id, slot, update.weight, update.loss, taken
 
 
 class SharedMemoryProcessPoolBackend(ExecutionBackend):
@@ -298,13 +311,18 @@ class SharedMemoryProcessPoolBackend(ExecutionBackend):
 
     Args:
         workers: pool size; ``None`` uses ``os.cpu_count()``.
+        log_level: when given, each worker process re-applies this
+            logging level at pool start-up.
     """
 
     name = "process+shm"
 
-    def __init__(self, workers: Optional[int] = None) -> None:
+    def __init__(
+        self, workers: Optional[int] = None, log_level=None
+    ) -> None:
         super().__init__()
         self.workers = _check_workers(workers)
+        self.log_level = log_level
         self._pool = None
         self._shm: Optional[SharedArrayPool] = None
         self._known_ids: set = set()
@@ -330,6 +348,7 @@ class SharedMemoryProcessPoolBackend(ExecutionBackend):
                 datasets,
                 self._shm.broadcast_name,
                 self._shm.param_count,
+                self.log_level,
             ),
         )
 
@@ -348,6 +367,7 @@ class SharedMemoryProcessPoolBackend(ExecutionBackend):
             )
         if not selected:
             return []
+        sampling = self._sample_tasks
         shm = self._shm
         shm.broadcast_view()[...] = np.asarray(
             global_params, dtype=np.float64
@@ -362,6 +382,7 @@ class SharedMemoryProcessPoolBackend(ExecutionBackend):
                 float(device.num_samples),
                 result_name,
                 None if device.device_id in self._known_ids else device.dataset,
+                sampling,
             )
             for slot, device in enumerate(selected)
         ]
@@ -373,15 +394,19 @@ class SharedMemoryProcessPoolBackend(ExecutionBackend):
             )
         )
         slots = shm.result_view(len(selected))
-        return [
-            ClientUpdate(
-                device_id=device_id,
-                # Copy out of the shared slot: the block is reused next
-                # round, while the update may outlive it (history,
-                # compression, aggregation buffers).
-                params=slots[slot].copy(),
-                weight=weight,
-                loss=loss,
+        updates = []
+        for device_id, slot, weight, loss, sample in results:
+            updates.append(
+                ClientUpdate(
+                    device_id=device_id,
+                    # Copy out of the shared slot: the block is reused
+                    # next round, while the update may outlive it
+                    # (history, compression, aggregation buffers).
+                    params=slots[slot].copy(),
+                    weight=weight,
+                    loss=loss,
+                )
             )
-            for device_id, slot, weight, loss in results
-        ]
+            if sampling:
+                self._task_samples.append((device_id, sample))
+        return updates

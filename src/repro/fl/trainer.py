@@ -44,6 +44,7 @@ from repro.fl.strategy import (
 )
 from repro.network.tdma import RoundTimeline, simulate_tdma_round
 from repro.obs import (
+    NOOP_SPAN,
     AggregationEvent,
     BatteryDropEvent,
     ClientDroppedEvent,
@@ -667,6 +668,17 @@ class FederatedTrainer:
             self.backend.name,
         )
 
+        # The run-level span. A resumed attempt continues a run whose
+        # first attempt already wrote the span_start, so it only emits
+        # the close — the finished trace carries exactly one pair.
+        run_span = observer.span(
+            "run",
+            parent_id=observer.parent_span_id,
+            resources=True,
+            emit_start=resume_from is None,
+        )
+        round_span = NOOP_SPAN
+
         stop_reason = StopReason.ROUNDS_EXHAUSTED
         round_index = start_round - 1
         injector = self.fault_injector
@@ -680,6 +692,12 @@ class FederatedTrainer:
         )
         try:
             for round_index in range(start_round, config.rounds + 1):
+                round_span = observer.span(
+                    "round",
+                    span_id=f"round-{round_index}",
+                    parent_id="run",
+                    round_index=round_index,
+                )
                 # Per-round fading: refresh mapped devices' channel gains
                 # before selection so the FLCC plans with current info.
                 for device_id, model in self.channel_models.items():
@@ -692,7 +710,12 @@ class FederatedTrainer:
                                 (position_by_id[device_id],), (gain,)
                             )
 
-                with observer.timer("selection"):
+                with observer.timer("selection"), observer.span(
+                    "selection",
+                    span_id=f"round-{round_index}/selection",
+                    parent_id=f"round-{round_index}",
+                    round_index=round_index,
+                ):
                     positions: Optional[np.ndarray] = None
                     if population is not None:
                         positions = self.selection.select_population(
@@ -758,7 +781,12 @@ class FederatedTrainer:
                 self.local_trainer.learning_rate = config.learning_rate_at(
                     round_index
                 )
-                with observer.timer("frequency_assignment"):
+                with observer.timer("frequency_assignment"), observer.span(
+                    "frequency_assignment",
+                    span_id=f"round-{round_index}/frequency_assignment",
+                    parent_id=f"round-{round_index}",
+                    round_index=round_index,
+                ):
                     frequencies = self.frequency_policy.assign(
                         selected,
                         self.server.payload_bits,
@@ -816,7 +844,12 @@ class FederatedTrainer:
                     # over the survivors so successors do not idle at
                     # stale frequencies. The vector path replans off the
                     # survivors' population slice.
-                    with observer.timer("frequency_assignment"):
+                    with observer.timer("frequency_assignment"), observer.span(
+                        "frequency_reassignment",
+                        span_id=f"round-{round_index}/frequency_reassignment",
+                        parent_id=f"round-{round_index}",
+                        round_index=round_index,
+                    ):
                         frequencies = self.frequency_policy.assign(
                             active,
                             self.server.payload_bits,
@@ -834,7 +867,13 @@ class FederatedTrainer:
                     reassigned = True
 
                 if active:
-                    result = self._run_clients(round_index, active)
+                    with observer.span(
+                        "local_updates",
+                        span_id=f"round-{round_index}/local_updates",
+                        parent_id=f"round-{round_index}",
+                        round_index=round_index,
+                    ):
+                        result = self._run_clients(round_index, active)
                     timeline = simulate_tdma_round(
                         active,
                         self.server.payload_bits,
@@ -953,7 +992,12 @@ class FederatedTrainer:
                 self.selection.observe_losses(integrated.losses)
                 self.ledger.record_round(timeline)
                 if integrated:
-                    with observer.timer("aggregation"):
+                    with observer.timer("aggregation"), observer.span(
+                        "aggregation",
+                        span_id=f"round-{round_index}/aggregation",
+                        parent_id=f"round-{round_index}",
+                        round_index=round_index,
+                    ):
                         self.server.aggregate(
                             integrated.params, integrated.weights
                         )
@@ -1013,7 +1057,13 @@ class FederatedTrainer:
                 )
                 test_loss = test_accuracy = None
                 if should_eval and self.server.test_dataset is not None:
-                    test_loss, test_accuracy = self.server.evaluate()
+                    with observer.span(
+                        "eval",
+                        span_id=f"round-{round_index}/eval",
+                        parent_id=f"round-{round_index}",
+                        round_index=round_index,
+                    ):
+                        test_loss, test_accuracy = self.server.evaluate()
                     observer.emit(
                         EvalEvent(
                             round_index=round_index,
@@ -1060,24 +1110,36 @@ class FederatedTrainer:
                     train_loss,
                 )
 
-                if checkpointing and (
-                    round_index % config.checkpoint_every == 0
+                # The checkpoint span opens every round, whether or not
+                # the cadence writes one: span structure must stay a
+                # pure function of the simulated run, and checkpoint
+                # cadence is explicitly allowed to vary between a
+                # killed run and its resumed retry.
+                with observer.span(
+                    "checkpoint",
+                    span_id=f"round-{round_index}/checkpoint",
+                    parent_id=f"round-{round_index}",
+                    round_index=round_index,
                 ):
-                    from repro.fl.checkpoint import save_checkpoint
+                    if checkpointing and (
+                        round_index % config.checkpoint_every == 0
+                    ):
+                        from repro.fl.checkpoint import save_checkpoint
 
-                    with observer.timer("checkpoint"):
-                        save_checkpoint(
-                            self.checkpoint_path,
-                            self._capture_checkpoint(
-                                round_index,
-                                history,
-                                cumulative_time,
-                                cumulative_energy,
-                                plateau,
-                            ),
-                        )
-                    observer.metrics.inc("checkpoints_written")
+                        with observer.timer("checkpoint"):
+                            save_checkpoint(
+                                self.checkpoint_path,
+                                self._capture_checkpoint(
+                                    round_index,
+                                    history,
+                                    cumulative_time,
+                                    cumulative_energy,
+                                    plateau,
+                                ),
+                            )
+                        observer.metrics.inc("checkpoints_written")
 
+                round_span.end()
                 if (
                     config.deadline_s is not None
                     and cumulative_time >= config.deadline_s
@@ -1102,9 +1164,12 @@ class FederatedTrainer:
                     # Replay cut-off: pause (not finish) the run here.
                     break
         except Exception:
-            # Leave a terminal marker in the trace before propagating,
-            # so a crashed chaos run's JSONL still ends with a typed
-            # run_stop instead of cutting off mid-round.
+            # Close the open spans first (idempotent), then leave a
+            # terminal marker in the trace before propagating, so a
+            # crashed chaos run's JSONL still pairs every span and ends
+            # with a typed run_stop instead of cutting off mid-round.
+            round_span.end()
+            run_span.end()
             observer.emit(
                 RunStopEvent(
                     round_index=round_index,
@@ -1120,6 +1185,7 @@ class FederatedTrainer:
             round_index, history, cumulative_time, cumulative_energy, plateau
         )
         history.stop_reason = stop_reason.value
+        run_span.end()
         observer.emit(
             RunStopEvent(
                 round_index=round_index,

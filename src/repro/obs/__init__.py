@@ -31,12 +31,16 @@ the underlying analytics live in :mod:`repro.obs.analysis`.
 from repro.obs.analysis import (
     LoadedTrace,
     RunStats,
+    SpanSummary,
     compare_stats,
     compute_run_stats,
     load_trace,
     render_report,
+    self_time_rows,
     split_runs,
+    summarize_spans,
 )
+from repro.obs.chrome_trace import chrome_trace_document, render_chrome_trace
 from repro.obs.events import (
     EVENT_TYPES,
     AggregationEvent,
@@ -50,11 +54,24 @@ from repro.obs.events import (
     RoundDegradedEvent,
     RunStopEvent,
     SelectionEvent,
+    SpanEndEvent,
+    SpanStartEvent,
     StopReason,
     TimelineEvent,
+    WorkerResourceEvent,
 )
 from repro.obs.metrics import MetricsRegistry, TimerStat
 from repro.obs.observer import RunObserver, configure_logging
+from repro.obs.spans import (
+    NOOP_SPAN,
+    NoopSpan,
+    Span,
+    TaskSample,
+    TaskSpanContext,
+    begin_task_sample,
+    emit_task_span,
+    end_task_sample,
+)
 from repro.obs.schema import (
     EVENT_SCHEMAS,
     validate_event,
@@ -81,9 +98,20 @@ __all__ = [
     "RoundDegradedEvent",
     "AggregationEvent",
     "EvalEvent",
+    "SpanStartEvent",
+    "SpanEndEvent",
+    "WorkerResourceEvent",
     "RunStopEvent",
     "StopReason",
     "EVENT_TYPES",
+    "Span",
+    "NoopSpan",
+    "NOOP_SPAN",
+    "TaskSpanContext",
+    "TaskSample",
+    "begin_task_sample",
+    "end_task_sample",
+    "emit_task_span",
     "MetricsRegistry",
     "TimerStat",
     "RunObserver",
@@ -99,9 +127,14 @@ __all__ = [
     "open_trace_file",
     "LoadedTrace",
     "RunStats",
+    "SpanSummary",
     "load_trace",
     "split_runs",
     "compute_run_stats",
+    "summarize_spans",
+    "self_time_rows",
     "render_report",
     "compare_stats",
+    "chrome_trace_document",
+    "render_chrome_trace",
 ]

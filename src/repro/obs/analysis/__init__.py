@@ -48,6 +48,13 @@ from repro.obs.analysis.round_stats import (
     jain_index,
     split_runs,
 )
+from repro.obs.analysis.spans import (
+    SpanNode,
+    SpanSummary,
+    build_span_nodes,
+    self_time_rows,
+    summarize_spans,
+)
 
 __all__ = [
     "LoadedTrace",
@@ -61,6 +68,11 @@ __all__ = [
     "compute_run_stats",
     "jain_index",
     "split_runs",
+    "SpanNode",
+    "SpanSummary",
+    "build_span_nodes",
+    "self_time_rows",
+    "summarize_spans",
     "render_report",
     "CompareThresholds",
     "MetricDrift",

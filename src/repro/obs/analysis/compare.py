@@ -264,6 +264,34 @@ def compare_stats(
             float(other.clients_timeout),
             t,
         ),
+        # Span-tree structure: informational in thresholded mode (a
+        # spans-off candidate legitimately reports zeros against a
+        # traced baseline), exact-match in strict backend-parity mode
+        # where the structural digest is contractually identical.
+        _drift(
+            "spans_total",
+            float(base.spans.spans_total),
+            float(other.spans.spans_total),
+            t,
+        ),
+        _drift(
+            "spans_unclosed",
+            float(base.spans.spans_unclosed),
+            float(other.spans.spans_unclosed),
+            t,
+        ),
+        _drift(
+            "span_max_depth",
+            float(base.spans.max_depth),
+            float(other.spans.max_depth),
+            t,
+        ),
+        _drift(
+            "critical_path_len",
+            float(base.spans.critical_path_len),
+            float(other.spans.critical_path_len),
+            t,
+        ),
     ]
     return RunComparison(
         base_label=base.label or base.source or "base",

@@ -79,6 +79,43 @@ def _fairness_rows(stats: RunStats) -> List[tuple]:
     ]
 
 
+def _span_rows(stats: RunStats) -> List[tuple]:
+    spans = stats.spans
+    rows = [
+        ("spans", str(spans.spans_total)),
+        ("unclosed", str(spans.spans_unclosed)),
+        ("max depth", str(spans.max_depth)),
+        ("critical path", " > ".join(spans.critical_path) or "—"),
+    ]
+    for name, count in sorted(spans.by_name.items()):
+        rows.append((f"spans: {name}", str(count)))
+    return rows
+
+
+_SPAN_TIMING_HEADER = (
+    "span",
+    "count",
+    "total (s)",
+    "self (s)",
+    "rss peak (KiB)",
+    "cpu user (s)",
+    "cpu sys (s)",
+)
+
+
+def _span_timing_row(row) -> tuple:
+    name, count, total_s, self_s, rss_kb, cpu_user, cpu_sys = row
+    return (
+        name,
+        str(count),
+        f"{total_s:.4f}",
+        f"{self_s:.4f}",
+        f"{rss_kb:.0f}",
+        f"{cpu_user:.4f}",
+        f"{cpu_sys:.4f}",
+    )
+
+
 def _fault_rows(stats: RunStats) -> List[tuple]:
     rows = [
         ("degraded rounds", str(stats.degraded_rounds)),
@@ -176,7 +213,7 @@ def _text_table(header, rows) -> List[str]:
     return lines
 
 
-def _render_table(stats: RunStats, top_devices: int) -> str:
+def _render_table(stats: RunStats, top_devices: int, span_timing) -> str:
     out: List[str] = []
 
     def section(title: str, rows: List[tuple]) -> None:
@@ -199,6 +236,19 @@ def _render_table(stats: RunStats, top_devices: int) -> str:
         or stats.battery_drop_rounds
     ):
         section("Faults & degradation", _fault_rows(stats))
+    if stats.spans.spans_total:
+        section("Span tree (structural, deterministic)", _span_rows(stats))
+    if span_timing:
+        title = "Span self-time (wall clock, from trace telemetry)"
+        out.append(title)
+        out.append("-" * len(title))
+        out.extend(
+            _text_table(
+                _SPAN_TIMING_HEADER,
+                [_span_timing_row(r) for r in span_timing],
+            )
+        )
+        out.append("")
 
     out.append("Per-round")
     out.append("---------")
@@ -226,7 +276,7 @@ def _md_table(header, rows) -> List[str]:
     return lines
 
 
-def _render_markdown(stats: RunStats, top_devices: int) -> str:
+def _render_markdown(stats: RunStats, top_devices: int, span_timing) -> str:
     out: List[str] = [f"# Trace report: {stats.label or stats.source or 'run'}", ""]
 
     def section(title: str, rows: List[tuple]) -> None:
@@ -248,6 +298,18 @@ def _render_markdown(stats: RunStats, top_devices: int) -> str:
         or stats.battery_drop_rounds
     ):
         section("Faults & degradation", _fault_rows(stats))
+    if stats.spans.spans_total:
+        section("Span tree (structural, deterministic)", _span_rows(stats))
+    if span_timing:
+        out.append("## Span self-time (wall clock, from trace telemetry)")
+        out.append("")
+        out.extend(
+            _md_table(
+                _SPAN_TIMING_HEADER,
+                [_span_timing_row(r) for r in span_timing],
+            )
+        )
+        out.append("")
 
     out.append("## Per-round")
     out.append("")
@@ -265,7 +327,10 @@ def _render_markdown(stats: RunStats, top_devices: int) -> str:
 
 
 def render_report(
-    stats: RunStats, fmt: str = "table", top_devices: int = 10
+    stats: RunStats,
+    fmt: str = "table",
+    top_devices: int = 10,
+    span_timing=None,
 ) -> str:
     """Render a :class:`RunStats` in the requested format.
 
@@ -274,6 +339,11 @@ def render_report(
         fmt: ``table`` (terminal), ``markdown``, or ``json``.
         top_devices: how many devices the device table shows (highest
             total energy first; the JSON format always contains all).
+        span_timing: optional rows from
+            :func:`repro.obs.analysis.spans.self_time_rows` — the
+            wall-clock breakdown only a raw trace can supply. Rendered
+            as an extra table/markdown section; the JSON format ignores
+            it so snapshot bytes stay deterministic.
 
     Raises:
         ConfigurationError: for an unknown format or a non-positive
@@ -291,5 +361,5 @@ def render_report(
     if fmt == "json":
         return stats.to_json()
     if fmt == "markdown":
-        return _render_markdown(stats, top_devices)
-    return _render_table(stats, top_devices)
+        return _render_markdown(stats, top_devices, span_timing)
+    return _render_table(stats, top_devices, span_timing)

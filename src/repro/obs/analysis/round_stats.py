@@ -26,10 +26,11 @@ The paper-grounded derivations:
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import SerializationError
+from repro.obs.analysis.spans import SpanSummary, summarize_spans
 from repro.obs.events import Event
 
 __all__ = [
@@ -205,6 +206,8 @@ class RunStats:
         degraded_rounds: rounds that lost at least one planned update.
         battery_drop_rounds: rounds where natural battery depletion
             dropped updates.
+        spans: structural span digest (empty for traces recorded with
+            spans disabled, or by pre-span trainers).
     """
 
     label: str
@@ -219,6 +222,7 @@ class RunStats:
     drop_causes: Dict[str, int]
     degraded_rounds: int
     battery_drop_rounds: int
+    spans: SpanSummary = field(default_factory=SpanSummary)
 
     # -- run-level aggregates -------------------------------------------
     @property
@@ -369,6 +373,7 @@ class RunStats:
             "final_accuracy": self.final_accuracy,
             "best_accuracy": self.best_accuracy,
             "final_test_loss": self.final_test_loss,
+            "spans": self.spans.to_dict(),
             "rounds": [
                 {
                     "round_index": r.round_index,
@@ -483,6 +488,9 @@ class RunStats:
             drop_causes=dict(payload["drop_causes"]),
             degraded_rounds=int(payload["degraded_rounds"]),
             battery_drop_rounds=int(payload["battery_drop_rounds"]),
+            # Absent in pre-span snapshots (e.g. committed bench
+            # baselines) — defaults to the empty digest.
+            spans=SpanSummary.from_dict(payload.get("spans")),
         )
 
 
@@ -713,4 +721,5 @@ def compute_run_stats(events: Sequence[Event], source: str = "") -> RunStats:
         drop_causes=drop_causes,
         degraded_rounds=degraded_rounds,
         battery_drop_rounds=battery_drop_rounds,
+        spans=summarize_spans(events),
     )

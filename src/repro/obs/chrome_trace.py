@@ -1,0 +1,100 @@
+"""Export span events as Chrome trace-event JSON (Perfetto-loadable).
+
+The `Trace Event Format`_ is the JSON array format understood by
+``chrome://tracing``, `Perfetto`_ (ui.perfetto.dev), and ``speedscope``.
+Each closed span becomes a complete (``"ph": "X"``) slice on its
+emitting process's track, so the run's whole hierarchy — campaign →
+attempt → run → round → stage → per-client task — renders as nested
+flame bars, with worker-side spans appearing on their own pid rows.
+Spans a crash left open are exported as begin (``"ph": "B"``) events
+with no matching end, which the viewers render as running-to-the-end.
+
+Timestamps are re-based to the earliest span start so the viewer opens
+at t=0 instead of the Unix epoch. Sampled worker resources ride along
+in each slice's ``args``.
+
+.. _Trace Event Format: https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+.. _Perfetto: https://perfetto.dev
+"""
+
+from __future__ import annotations
+
+import json
+from typing import List, Sequence
+
+from repro.obs.analysis.spans import SpanNode, build_span_nodes
+from repro.obs.events import Event
+
+__all__ = ["chrome_trace_document", "render_chrome_trace"]
+
+
+def _slice_args(node: SpanNode) -> dict:
+    args = {
+        "span_id": node.span_id,
+        "parent_id": node.parent_id,
+        "round_index": node.round_index,
+    }
+    if node.rss_peak_kb or node.cpu_user_s or node.cpu_sys_s:
+        args["rss_peak_kb"] = node.rss_peak_kb
+        args["cpu_user_s"] = node.cpu_user_s
+        args["cpu_sys_s"] = node.cpu_sys_s
+    return args
+
+
+def chrome_trace_document(events: Sequence[Event]) -> dict:
+    """Build the trace-event document for one trace's events.
+
+    Non-span events pass through untouched elsewhere; only span
+    structure (plus attached resource samples) is exported. An empty
+    or span-free trace yields a valid document with no slices.
+    """
+    nodes = build_span_nodes(events)
+    base = min((n.t_wall for n in nodes), default=0.0)
+    trace_events: List[dict] = []
+    for pid in sorted({n.pid for n in nodes}):
+        trace_events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": pid,
+                "args": {"name": f"pid {pid}"},
+            }
+        )
+    for node in nodes:
+        ts = round((node.t_wall - base) * 1e6, 3)
+        record = {
+            "name": node.name,
+            "cat": "repro",
+            "ph": "X" if node.closed else "B",
+            "ts": ts,
+            "pid": node.pid,
+            "tid": node.pid,
+            "args": _slice_args(node),
+        }
+        if node.closed:
+            record["dur"] = round(node.duration_s * 1e6, 3)
+        trace_events.append(record)
+    return {
+        "traceEvents": trace_events,
+        "displayTimeUnit": "ms",
+        "otherData": {"source": "repro.obs"},
+    }
+
+
+def render_chrome_trace(events: Sequence[Event]) -> str:
+    """The document as JSON text (one line per event, viewer-friendly)."""
+    document = chrome_trace_document(events)
+    lines = ['{"displayTimeUnit": "ms",']
+    lines.append(
+        '"otherData": '
+        + json.dumps(document["otherData"], sort_keys=True)
+        + ","
+    )
+    lines.append('"traceEvents": [')
+    records = document["traceEvents"]
+    for index, record in enumerate(records):
+        suffix = "," if index + 1 < len(records) else ""
+        lines.append(json.dumps(record, sort_keys=True) + suffix)
+    lines.append("]}")
+    return "\n".join(lines)

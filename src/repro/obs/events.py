@@ -34,6 +34,9 @@ __all__ = [
     "RoundDegradedEvent",
     "AggregationEvent",
     "EvalEvent",
+    "SpanStartEvent",
+    "SpanEndEvent",
+    "WorkerResourceEvent",
     "RunStopEvent",
     "EVENT_TYPES",
 ]
@@ -333,6 +336,93 @@ class EvalEvent(Event):
 
 
 @dataclass(frozen=True)
+class SpanStartEvent(Event):
+    """A hierarchical timing span opened (see :mod:`repro.obs.spans`).
+
+    Span ids are deterministic path-like names (``"run"``,
+    ``"round-3"``, ``"round-3/selection"``,
+    ``"round-3/task-17"``), so two identical runs produce identical
+    span *structure*; only the wall-clock annotations differ.
+
+    Attributes:
+        round_index: 1-based FL round the span belongs to (0 for
+            run/campaign-level spans).
+        span_id: the span's deterministic id, unique within a run.
+        parent_id: the enclosing span's id (``""`` for a root span).
+        name: the span's human-readable stage name (e.g.
+            ``"selection"``; not necessarily unique).
+        t_wall: wall-clock time at open, seconds (observational only —
+            never compared or replayed).
+        pid: OS process id of the process that *measured* the span
+            (worker-side task spans carry the worker's pid even though
+            the parent writes the event).
+    """
+
+    kind = "span_start"
+
+    round_index: int
+    span_id: str
+    parent_id: str
+    name: str
+    t_wall: float
+    pid: int
+
+
+@dataclass(frozen=True)
+class SpanEndEvent(Event):
+    """A previously opened span closed.
+
+    Attributes:
+        round_index: 1-based FL round the span belongs to (0 for
+            run/campaign-level spans).
+        span_id: the id from the matching :class:`SpanStartEvent`.
+        t_wall: wall-clock time at close, seconds (observational only).
+        duration_s: measured wall-clock duration, seconds.
+        pid: OS process id of the process that measured the span.
+    """
+
+    kind = "span_end"
+
+    round_index: int
+    span_id: str
+    t_wall: float
+    duration_s: float
+    pid: int
+
+
+@dataclass(frozen=True)
+class WorkerResourceEvent(Event):
+    """Sampled OS resource usage of the process that ran a span.
+
+    Emitted between a span's start and end events (so analysis
+    attributes it to that span). For process-backend task spans the
+    sample is taken *inside the worker* and shipped back with the
+    result; for serial/thread backends it describes the parent
+    process. Values are observational only and never enter compared
+    metrics.
+
+    Attributes:
+        round_index: 1-based FL round of the owning span (0 for
+            run-level samples).
+        span_id: the owning span's id.
+        pid: OS process id the sample describes.
+        rss_peak_kb: lifetime peak resident set size of that process,
+            kilobytes (``ru_maxrss``).
+        cpu_user_s: user-mode CPU seconds spent inside the span.
+        cpu_sys_s: kernel-mode CPU seconds spent inside the span.
+    """
+
+    kind = "worker_resource"
+
+    round_index: int
+    span_id: str
+    pid: int
+    rss_peak_kb: float
+    cpu_user_s: float
+    cpu_sys_s: float
+
+
+@dataclass(frozen=True)
 class RunStopEvent(Event):
     """The end of a training run, with the reason it stopped.
 
@@ -366,6 +456,9 @@ EVENT_TYPES: Dict[str, type] = {
         RoundDegradedEvent,
         AggregationEvent,
         EvalEvent,
+        SpanStartEvent,
+        SpanEndEvent,
+        WorkerResourceEvent,
         RunStopEvent,
     )
 }

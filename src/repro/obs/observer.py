@@ -24,6 +24,7 @@ from typing import Optional, Union
 from repro.obs.events import Event
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.sinks import EventSink, JsonlTraceSink, NullSink
+from repro.obs.spans import NOOP_SPAN, Span
 
 __all__ = ["RunObserver", "configure_logging"]
 
@@ -36,25 +37,68 @@ class RunObserver:
             off, the default).
         metrics: registry to aggregate into; ``None`` creates a fresh
             one (exposed as ``observer.metrics``).
+        spans_enabled: whether :meth:`span` produces live spans
+            (requires tracing too); False compiles every span to the
+            shared no-op.
+        parent_span_id: span id of the enclosing span in a *parent
+            process* (the campaign span when a pool worker runs this
+            trainer); becomes the run span's ``parent_id``.
     """
 
     def __init__(
         self,
         sink: Optional[EventSink] = None,
         metrics: Optional[MetricsRegistry] = None,
+        spans_enabled: bool = True,
+        parent_span_id: str = "",
     ) -> None:
         self.sink = sink if sink is not None else NullSink()
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.spans_enabled = bool(spans_enabled)
+        self.parent_span_id = str(parent_span_id)
 
     @classmethod
-    def to_path(cls, path: str) -> RunObserver:
+    def to_path(cls, path: str, spans_enabled: bool = True) -> RunObserver:
         """An observer streaming a JSONL trace to ``path``."""
-        return cls(sink=JsonlTraceSink(path))
+        return cls(sink=JsonlTraceSink(path), spans_enabled=spans_enabled)
 
     @property
     def tracing(self) -> bool:
         """Whether events actually go anywhere (sink is not null)."""
         return not isinstance(self.sink, NullSink)
+
+    @property
+    def spans_active(self) -> bool:
+        """Whether :meth:`span` returns live spans right now."""
+        return self.spans_enabled and self.tracing
+
+    def span(
+        self,
+        name: str,
+        span_id: Optional[str] = None,
+        parent_id: str = "",
+        round_index: int = 0,
+        resources: bool = False,
+        emit_start: bool = True,
+    ):
+        """Open a hierarchical timing span (see :mod:`repro.obs.spans`).
+
+        Returns the shared no-op span when tracing or spans are off,
+        so call sites stay branch-free and results stay bitwise
+        identical. See :class:`repro.obs.spans.Span` for the
+        parameters; ``span_id`` defaults to ``name``.
+        """
+        if not self.spans_active:
+            return NOOP_SPAN
+        return Span(
+            self,
+            name,
+            span_id if span_id is not None else name,
+            parent_id=parent_id,
+            round_index=round_index,
+            resources=resources,
+            emit_start=emit_start,
+        )
 
     def emit(self, event: Event) -> None:
         """Forward one event to the sink and count it."""

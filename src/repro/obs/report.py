@@ -39,9 +39,42 @@ from repro.obs.analysis.round_stats import (
     compute_run_stats,
     split_runs,
 )
+from repro.obs.analysis.spans import self_time_rows
+from repro.obs.chrome_trace import render_chrome_trace
 from repro.obs.sinks import open_trace_file
 
-__all__ = ["build_parser", "load_stats", "main"]
+__all__ = ["build_parser", "load_stats", "load_run_events", "main"]
+
+OUTPUT_FORMATS = REPORT_FORMATS + ("chrome-trace",)
+"""Report formats plus the raw-trace-only Chrome export."""
+
+
+def _select_segment(path: str, segments, run: Optional[int]):
+    if not segments:
+        raise SerializationError(f"{path}: trace contains no events")
+    if run is None:
+        if len(segments) > 1:
+            raise SerializationError(
+                f"{path}: trace holds {len(segments)} runs; pick one "
+                "with --run N"
+            )
+        run = 0
+    if not 0 <= run < len(segments):
+        raise SerializationError(
+            f"{path}: --run {run} out of range (trace holds "
+            f"{len(segments)} run(s))"
+        )
+    return segments[run]
+
+
+def load_run_events(path: str, run: Optional[int] = None):
+    """One run's raw event segment from a JSONL trace.
+
+    Unlike :func:`load_stats` this only accepts traces — analytics
+    snapshots carry no events to export or time.
+    """
+    trace = load_trace(path)
+    return _select_segment(path, split_runs(trace.events), run)
 
 
 def load_stats(path: str, run: Optional[int] = None) -> RunStats:
@@ -91,22 +124,8 @@ def load_stats(path: str, run: Optional[int] = None) -> RunStats:
             return replace(stats, source=str(path))
 
     trace = load_trace(path)
-    segments = split_runs(trace.events)
-    if not segments:
-        raise SerializationError(f"{path}: trace contains no events")
-    if run is None:
-        if len(segments) > 1:
-            raise SerializationError(
-                f"{path}: trace holds {len(segments)} runs; pick one "
-                "with --run N"
-            )
-        run = 0
-    if not 0 <= run < len(segments):
-        raise SerializationError(
-            f"{path}: --run {run} out of range (trace holds "
-            f"{len(segments)} run(s))"
-        )
-    return compute_run_stats(segments[run], source=str(path))
+    segment = _select_segment(path, split_runs(trace.events), run)
+    return compute_run_stats(segment, source=str(path))
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -135,9 +154,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--format",
-        choices=REPORT_FORMATS,
+        choices=OUTPUT_FORMATS,
         default="table",
-        help="report output format (default: table)",
+        help=(
+            "report output format (default: table); chrome-trace "
+            "exports the span tree as Chrome/Perfetto trace-event JSON "
+            "and requires a raw JSONL trace input"
+        ),
     )
     parser.add_argument(
         "--output",
@@ -228,10 +251,27 @@ def main(argv: Optional[List[str]] = None) -> int:
             comparison = compare_stats(base, other, thresholds)
             _emit(render_comparison(comparison), args.output)
             return 0 if comparison.ok else 1
+        if args.format == "chrome-trace":
+            events = load_run_events(args.paths[0], run=args.run)
+            _emit(render_chrome_trace(events), args.output)
+            return 0
         stats = load_stats(args.paths[0], run=args.run)
+        span_timing = None
+        if args.format != "json" and stats.spans.spans_total:
+            try:
+                span_timing = self_time_rows(
+                    load_run_events(args.paths[0], run=args.run)
+                )
+            except SerializationError:
+                # Snapshot input: structural digest only, no raw
+                # events to time.
+                span_timing = None
         _emit(
             render_report(
-                stats, fmt=args.format, top_devices=args.top_devices
+                stats,
+                fmt=args.format,
+                top_devices=args.top_devices,
+                span_timing=span_timing,
             ),
             args.output,
         )

@@ -119,6 +119,29 @@ EVENT_SCHEMAS: Dict[str, Dict[str, Callable[[object], bool]]] = {
         "test_loss": _is_num,
         "test_accuracy": _is_num,
     },
+    "span_start": {
+        "round_index": _is_int,
+        "span_id": _is_str,
+        "parent_id": _is_str,
+        "name": _is_str,
+        "t_wall": _is_num,
+        "pid": _is_int,
+    },
+    "span_end": {
+        "round_index": _is_int,
+        "span_id": _is_str,
+        "t_wall": _is_num,
+        "duration_s": _is_num,
+        "pid": _is_int,
+    },
+    "worker_resource": {
+        "round_index": _is_int,
+        "span_id": _is_str,
+        "pid": _is_int,
+        "rss_peak_kb": _is_num,
+        "cpu_user_s": _is_num,
+        "cpu_sys_s": _is_num,
+    },
     "run_stop": {
         "round_index": _is_int,
         "reason": _is_stop_reason,

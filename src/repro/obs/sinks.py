@@ -121,6 +121,7 @@ class JsonlTraceSink(EventSink):
                 f"text handle, got {type(target).__name__}"
             )
         self.events_written = 0
+        self._closing = False
 
     def emit(self, event: Event) -> None:
         """Serialize and write one event, then flush.
@@ -144,13 +145,19 @@ class JsonlTraceSink(EventSink):
 
         Idempotent, and safe mid-exception: borrowed handles (e.g.
         ``sys.stdout``) are flushed but left open for their owner.
+        The handle stays writable until the final flush completes, so
+        an event emitted *during* close (a final ``run_stop`` from an
+        atexit path, a flush-triggered callback) is still written
+        instead of being dropped; only after the flush does the sink
+        reject further emits.
         """
-        if self._handle is None:
+        if self._handle is None or self._closing:
             return
+        self._closing = True
         handle, owns = self._handle, self._owns_handle
-        self._handle = None
         try:
             handle.flush()
         finally:
+            self._handle = None
             if owns:
                 handle.close()

@@ -4,8 +4,11 @@ Every test interrupts a run at some round (by running it with
 ``stop_after``, exactly the state a SIGKILLed worker leaves behind,
 modulo the torn trace tail tested separately), resumes it through
 :func:`repro.campaign.runner.execute_run`, and compares the finished
-``trace.jsonl``/``history.json``/``stats.json`` byte-for-byte against
-an uninterrupted reference run.
+``history.json``/``stats.json`` byte-for-byte against an uninterrupted
+reference run. The trace is compared line-by-line: simulation events
+must match byte-for-byte, while span/resource telemetry events (which
+record real wall-clock times and pids by design) must match on every
+deterministic field — same kinds, ids, parents, and positions.
 """
 
 import dataclasses
@@ -62,11 +65,43 @@ def partial_run(run, run_dir, stop_after, checkpoint_every=1):
         handle.close()
 
 
+SPAN_KINDS = ("span_start", "span_end", "worker_resource")
+VOLATILE_SPAN_FIELDS = frozenset(
+    ("t_wall", "duration_s", "pid", "rss_peak_kb", "cpu_user_s", "cpu_sys_s")
+)
+
+
+def canonical_trace_lines(path):
+    """Trace lines with span telemetry reduced to deterministic fields.
+
+    Simulation events stay as raw text (byte-level comparison); span
+    and worker-resource events drop only their wall-clock/pid/resource
+    readings, so ids, parents, names, and line positions still compare.
+    """
+    lines = []
+    for line in path.read_text(encoding="utf-8").splitlines():
+        payload = json.loads(line)
+        if payload.get("event") in SPAN_KINDS:
+            lines.append(
+                {
+                    key: value
+                    for key, value in payload.items()
+                    if key not in VOLATILE_SPAN_FIELDS
+                }
+            )
+        else:
+            lines.append(line)
+    return lines
+
+
 def assert_bitwise_identical(run_dir, reference_run_dir):
-    for name in ARTIFACTS:
+    for name in (HISTORY_FILE, STATS_FILE):
         got = (run_dir / name).read_bytes()
         want = (reference_run_dir / name).read_bytes()
         assert got == want, f"{name} differs after resume"
+    got_trace = canonical_trace_lines(run_dir / TRACE_FILE)
+    want_trace = canonical_trace_lines(reference_run_dir / TRACE_FILE)
+    assert got_trace == want_trace, "trace.jsonl differs after resume"
 
 
 class TestResumeParity:
@@ -161,6 +196,18 @@ class TestResumePrimitives:
         assert resumable_round(trace) == 4  # 5 rounds ran; last untrusted
 
     def test_truncate_trace_preserves_bytes(self, tmp_path, reference_run_dir):
+        def survives(line):
+            payload = json.loads(line)
+            kind = payload.get("event")
+            round_index = int(payload.get("round_index", 0))
+            if kind == "run_stop" or round_index > 3:
+                return False
+            # Run-level span closures are dropped too: the resumed
+            # attempt re-emits them when it finishes.
+            return not (
+                round_index == 0 and kind in ("span_end", "worker_resource")
+            )
+
         path = tmp_path / TRACE_FILE
         path.write_bytes((reference_run_dir / TRACE_FILE).read_bytes())
         truncate_trace(str(path), 3)
@@ -169,8 +216,7 @@ class TestResumePrimitives:
             for line in (reference_run_dir / TRACE_FILE).read_text().splitlines(
                 keepends=True
             )
-            if json.loads(line).get("kind") != "run_stop"
-            and int(json.loads(line).get("round_index", 0)) <= 3
+            if survives(line)
         ]
         assert path.read_text() == "".join(original)
 

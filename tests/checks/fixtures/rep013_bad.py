@@ -1,0 +1,32 @@
+"""REP013 fixtures that must each fire: spans that never close."""
+
+
+def discarded_result(observer):
+    observer.span("round", span_id="round-1")  # opened, never closable
+    work(1)
+
+
+def never_ended(observer):
+    span = observer.span("run")
+    work(0)
+    return 1  # `span` itself is not handed off
+
+
+def end_only_in_branch(observer, noisy):
+    span = observer.span("round")
+    work(0)
+    if noisy:
+        span.end()  # the quiet path leaks the span
+
+
+def end_only_in_except(observer):
+    span = observer.span("run")
+    try:
+        work(0)
+    except Exception:
+        span.end()
+        raise
+
+
+def work(value):
+    return value

@@ -1,0 +1,58 @@
+"""REP013 fixtures that must stay clean: every span is closed."""
+
+
+def with_managed(observer):
+    with observer.span("round", span_id="round-1"):
+        return 1
+
+
+def bind_and_end_same_depth(observer, rounds):
+    for index in rounds:
+        span = observer.span("round", span_id=f"round-{index}")
+        work(index)
+        span.end()
+
+
+def end_in_finally(observer):
+    span = observer.span("run", resources=True)
+    try:
+        work(0)
+    finally:
+        span.end()
+
+
+def crash_handler_plus_main_path(observer):
+    # The trainer's pattern: an extra close in the except arm is
+    # defense in depth; the unconditional close after the try is what
+    # satisfies the rule.
+    span = observer.span("run")
+    try:
+        work(0)
+    except Exception:
+        span.end()
+        raise
+    span.end()
+
+
+def handoff_to_container(observer, active):
+    span = observer.span("attempt", span_id="r/attempt-1")
+    active["r"] = span  # ownership transferred; pool closes in finally
+
+
+def handoff_by_return(observer):
+    span = observer.span("attempt")
+    return span
+
+
+def chained_immediate_end(observer):
+    observer.span("blip").end()
+
+
+def reuse_name_as_context_manager(observer):
+    span = observer.span("round")
+    with span:
+        work(1)
+
+
+def work(value):
+    return value

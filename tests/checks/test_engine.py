@@ -119,6 +119,7 @@ class TestRuleRegistry:
             "REP010",
             "REP011",
             "REP012",
+            "REP013",
         ]
 
     def test_dataflow_rules_declare_needs_index(self):

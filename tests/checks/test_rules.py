@@ -32,6 +32,7 @@ PAIRS = [
     ("REP009", "rep009_good.py", "rep009_bad.py", "repro.fl.fixture"),
     ("REP010", "rep010_good.py", "rep010_bad.py", "repro.energy.fixture"),
     ("REP011", "rep011_good.py", "rep011_bad.py", "repro.core.fixture"),
+    ("REP013", "rep013_good.py", "rep013_bad.py", "repro.fl.fixture"),
 ]
 
 
@@ -355,6 +356,37 @@ class TestRep011Findings:
             source, module="repro.rng", is_test=False, rules=["REP011"]
         )
         assert report.findings == ()
+
+
+class TestRep013Findings:
+    MODULE = "repro.fl.fixture"
+
+    def test_flags_each_leak_shape(self):
+        report = run_fixture("rep013_bad.py", "REP013", module=self.MODULE)
+        messages = [f.message for f in report.findings]
+        assert any("immediately discarded" in m for m in messages)
+        assert any("never reaches .end()" in m for m in messages)
+        assert sum("only under extra conditions" in m for m in messages) == 2
+        assert len(report.findings) == 4
+
+    def test_closing_idioms_are_clean(self):
+        report = run_fixture("rep013_good.py", "REP013", module=self.MODULE)
+        assert report.findings == ()
+
+    def test_shipped_span_call_sites_are_clean(self):
+        repo_root = Path(__file__).parents[2]
+        src = repo_root / "src" / "repro"
+        for rel in ("fl/trainer.py", "campaign/pool.py", "fl/execution.py"):
+            path = src / rel
+            module = "repro." + rel.removesuffix(".py").replace("/", ".")
+            report = check_source(
+                path.read_text(encoding="utf-8"),
+                path=str(path),
+                module=module,
+                is_test=False,
+                rules=["REP013"],
+            )
+            assert report.findings == (), (path, report.findings)
 
 
 class TestRep012Findings:

@@ -82,6 +82,54 @@ class TestThresholdGate:
             CompareThresholds(energy_rel=-0.1)
 
 
+class TestSpanDrifts:
+    """Span structure is compared informationally, gated only by strict."""
+
+    def with_spans(self, **span_kwargs):
+        from dataclasses import replace
+
+        from repro.obs.analysis import SpanSummary
+
+        return replace(make_stats(), spans=SpanSummary(**span_kwargs))
+
+    def test_span_metrics_are_reported(self):
+        comparison = compare_stats(make_stats(), make_stats())
+        names = [d.metric for d in comparison.drifts]
+        for metric in ("spans_total", "spans_unclosed", "span_max_depth",
+                       "critical_path_len"):
+            assert metric in names
+
+    def test_structure_difference_never_fails_default_gate(self):
+        comparison = compare_stats(
+            make_stats(),
+            self.with_spans(
+                spans_total=9, max_depth=3, critical_path=("run",)
+            ),
+        )
+        assert comparison.ok
+        drift = {d.metric: d for d in comparison.drifts}["spans_total"]
+        assert drift.other == 9.0
+        assert not drift.regression
+
+    def test_strict_flags_structure_difference(self):
+        comparison = compare_stats(
+            make_stats(),
+            self.with_spans(spans_total=9),
+            CompareThresholds(strict=True),
+        )
+        assert not comparison.ok
+        assert "spans_total" in [d.metric for d in comparison.regressions]
+
+    def test_identical_span_structure_passes_strict(self):
+        spans = dict(spans_total=4, max_depth=2, critical_path=("run",))
+        comparison = compare_stats(
+            self.with_spans(**spans),
+            self.with_spans(**spans),
+            CompareThresholds(strict=True),
+        )
+        assert comparison.ok
+
+
 class TestRendering:
     def test_pass_and_fail_lines(self):
         ok = compare_stats(make_stats(), make_stats())

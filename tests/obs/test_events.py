@@ -18,8 +18,11 @@ from repro.obs import (
     RoundDegradedEvent,
     RunStopEvent,
     SelectionEvent,
+    SpanEndEvent,
+    SpanStartEvent,
     StopReason,
     TimelineEvent,
+    WorkerResourceEvent,
     validate_event,
     validate_trace_lines,
 )
@@ -68,6 +71,29 @@ SAMPLE_EVENTS = [
         cumulative_energy=3.0,
     ),
     BatteryDropEvent(round_index=2, dropped_ids=(1,)),
+    SpanStartEvent(
+        round_index=2,
+        span_id="round-2/task-3",
+        parent_id="round-2/local_updates",
+        name="task",
+        t_wall=1700000000.25,
+        pid=4242,
+    ),
+    WorkerResourceEvent(
+        round_index=2,
+        span_id="round-2/task-3",
+        pid=4242,
+        rss_peak_kb=51200.0,
+        cpu_user_s=0.75,
+        cpu_sys_s=0.05,
+    ),
+    SpanEndEvent(
+        round_index=2,
+        span_id="round-2/task-3",
+        t_wall=1700000000.5,
+        duration_s=0.25,
+        pid=4242,
+    ),
     AggregationEvent(round_index=2, num_updates=2, total_weight=80.0),
     EvalEvent(round_index=2, test_loss=1.1, test_accuracy=0.4),
     RunStopEvent(

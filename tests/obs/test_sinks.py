@@ -93,6 +93,47 @@ class TestJsonlTraceSink:
             open_trace_file(str(tmp_path / "t.jsonl"), "a")
 
 
+class TestJsonlCloseSemantics:
+    """Regression: close() must flush before rejecting emits."""
+
+    def test_lines_are_durable_before_close(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        sink = JsonlTraceSink(str(path))
+        sink.emit(EVENT)
+        # Flushed per event: a run killed before close loses nothing.
+        assert len(path.read_text().splitlines()) == 1
+        sink.close()
+
+    def test_event_emitted_during_final_flush_is_written(self):
+        # A flush-triggered callback (e.g. an atexit run_stop) fires
+        # while close() is flushing; the sink must still accept it —
+        # only after the final flush may emits be rejected.
+        buffer = io.StringIO()
+
+        class FlushHookHandle:
+            closing = False
+
+            def write(self, text):
+                return buffer.write(text)
+
+            def flush(self):
+                if self.closing:
+                    self.closing = False
+                    sink.emit(EVENT)
+
+        handle = FlushHookHandle()
+        sink = JsonlTraceSink(handle)
+        sink.emit(EVENT)
+        handle.closing = True
+        sink.close()
+        lines = buffer.getvalue().splitlines()
+        assert len(lines) == 2
+        for line in lines:
+            assert json.loads(line)["event"] == "selection"
+        with pytest.raises(SerializationError):
+            sink.emit(EVENT)
+
+
 class TestRunObserver:
     def test_default_observer_discards_but_counts(self):
         observer = RunObserver()

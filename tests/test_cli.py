@@ -157,6 +157,44 @@ class TestTraceAnalyticsCommands:
         assert main(["run", "helcfl", "--quick", "--report"]) == 2
         assert "--report requires --trace" in capsys.readouterr().err
 
+    def test_trace_report_table_includes_span_sections(
+        self, capsys, tmp_path
+    ):
+        path = self.make_trace(tmp_path)
+        capsys.readouterr()
+        assert main(["trace-report", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "Span tree (structural, deterministic)" in out
+        assert "Span self-time" in out
+
+    def test_trace_report_chrome_trace_format(self, capsys, tmp_path):
+        import json as _json
+
+        path = self.make_trace(tmp_path)
+        exported = tmp_path / "trace-chrome.json"
+        assert main(["trace-report", str(path), "--format", "chrome-trace",
+                     "--output", str(exported)]) == 0
+        document = _json.loads(exported.read_text())
+        assert document["displayTimeUnit"] == "ms"
+        slices = [
+            e for e in document["traceEvents"] if e["ph"] != "M"
+        ]
+        assert slices, "expected span slices in the export"
+        assert {"run", "round", "task"} <= {e["name"] for e in slices}
+
+    def test_no_spans_flag_disables_span_events(self, capsys, tmp_path):
+        import json as _json
+
+        path = self.make_trace(tmp_path, extra=["--no-spans"])
+        kinds = {
+            _json.loads(line)["event"]
+            for line in path.read_text().splitlines()
+        }
+        assert not kinds & {"span_start", "span_end", "worker_resource"}
+        capsys.readouterr()
+        assert main(["trace-report", str(path)]) == 0
+        assert "Span tree" not in capsys.readouterr().out
+
     def test_gzip_trace_via_cli(self, capsys, tmp_path):
         path = self.make_trace(tmp_path, "t.jsonl.gz")
         capsys.readouterr()
@@ -223,6 +261,28 @@ class TestCampaignCommands:
             ["campaign", "compare", aggregate, aggregate, "--strict"]
         ) == 0
         assert "ok" in capsys.readouterr().out
+
+    def test_campaign_status_and_watch_after_run(
+        self, capsys, tmp_path, spec_path
+    ):
+        campaign_dir = tmp_path / "camp"
+        assert main(
+            ["campaign", "run", str(spec_path), "--dir", str(campaign_dir)]
+        ) == 0
+        capsys.readouterr()
+
+        assert main(["campaign", "status", str(campaign_dir)]) == 0
+        status_out = capsys.readouterr().out
+        assert "attempts=1" in status_out
+        assert "elapsed=" in status_out
+
+        assert main(
+            ["campaign", "watch", str(campaign_dir), "--once"]
+        ) == 0
+        watch_out = capsys.readouterr().out
+        assert "campaign cli-smoke" in watch_out
+        assert "done" in watch_out
+        assert "4/4" in watch_out  # all 4 rounds complete
 
     def test_campaign_resume_of_finished_campaign(
         self, capsys, tmp_path, spec_path
